@@ -1,0 +1,191 @@
+// Figure 1 reproduction: "Simulation of the vehicle (left) and the
+// switch-lane motion suggested by the neural network (right)."
+//
+// Runs the highway simulation, encodes the scene around an ego vehicle,
+// evaluates the trained MDN predictor, and renders (a) the lane/vehicle
+// situation and (b) the predicted Gaussian mixture over the 2-D action
+// space (lateral velocity x longitudinal acceleration) as an ASCII
+// density plot — the paper's "the generated Gaussian mixture is within
+// the lower left part" readout becomes a printed suggestion.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "highway/scenario.hpp"
+
+using namespace safenn;
+
+namespace {
+
+void render_road(const highway::HighwaySim& sim, int ego_id) {
+  const auto& cfg = sim.config();
+  const double window = 120.0;  // metres around the ego
+  const int cols = 60;
+  const highway::VehicleState& ego = sim.vehicle(ego_id);
+  std::printf("road (ego '>E', others '>%%', window %.0fm):\n",
+              window);
+  for (int lane = cfg.num_lanes - 1; lane >= 0; --lane) {
+    std::string row(cols, '.');
+    for (const auto& v : sim.vehicles()) {
+      if (v.lane != lane) continue;
+      double rel = sim.forward_distance(ego.s, v.s);
+      if (rel > cfg.road_length / 2) rel -= cfg.road_length;
+      if (std::abs(rel) > window / 2) continue;
+      const int col = static_cast<int>((rel + window / 2) / window * cols);
+      if (col >= 0 && col < cols) {
+        row[static_cast<std::size_t>(col)] = (v.id == ego_id) ? 'E' : '#';
+      }
+    }
+    std::printf("  lane %d |%s|\n", lane, row.c_str());
+  }
+}
+
+void render_mixture(const nn::GaussianMixture& gm) {
+  // Action space grid: lateral velocity (x) vs longitudinal accel (y).
+  const int w = 51, h = 21;
+  const double lat_lo = -3.0, lat_hi = 3.0;
+  const double acc_lo = -4.0, acc_hi = 2.0;
+  std::printf("\npredicted action distribution "
+              "(x: lateral velocity %.0f..%.0f m/s, + = left; "
+              "y: accel %.0f..%.0f m/s^2):\n",
+              lat_lo, lat_hi, acc_lo, acc_hi);
+  double max_density = 1e-12;
+  std::vector<std::vector<double>> grid(
+      static_cast<std::size_t>(h), std::vector<double>(static_cast<std::size_t>(w)));
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      linalg::Vector a(2);
+      a[highway::kActionLateral] = lat_lo + (lat_hi - lat_lo) * c / (w - 1);
+      a[highway::kActionAccel] = acc_hi - (acc_hi - acc_lo) * r / (h - 1);
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          gm.density(a);
+      max_density = std::max(
+          max_density, grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+    }
+  }
+  const char* shades = " .:-=+*#%@";
+  for (int r = 0; r < h; ++r) {
+    std::string line;
+    for (int c = 0; c < w; ++c) {
+      const double d =
+          grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] /
+          max_density;
+      const int level = std::min(9, static_cast<int>(d * 9.999));
+      line += shades[level];
+    }
+    std::printf("  |%s|\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const core::TrainedPredictor predictor = bench::train_predictor(
+      built.data, static_cast<std::size_t>(bench::env_long("SAFENN_FIG1_WIDTH", 10)),
+      static_cast<std::size_t>(bench::env_long("SAFENN_FIG1_EPOCHS", 25)));
+
+  // Drive a dense scenario and pick the snapshot where the predictor
+  // itself most strongly suggests a lane change (the paper's figure shows
+  // such an instant: "suggests to slightly decelerate and to switch to
+  // left lanes").
+  highway::Scenario sc =
+      highway::make_scenario(highway::TrafficDensity::kDense, 5);
+  highway::HighwaySim sim(sc.sim);
+  sim.run(60);
+  int ego_id = 0;
+  int best_step = 60;
+  double best_score = -1.0;
+  {
+    highway::HighwaySim scout(sc.sim);
+    scout.run(60);
+    for (int step = 60; step < 600; ++step) {
+      scout.step();
+      for (const auto& v : scout.vehicles()) {
+        const nn::GaussianMixture gm =
+            predictor.predict(encoder.encode(scout, v.id));
+        for (std::size_t k = 0; k < gm.components(); ++k) {
+          const double lat = gm.means[k][highway::kActionLateral];
+          // Same criterion as the suggestion picker below: a credible
+          // (w >= 0.05) lane-change (|lat| > 0.3) mode.
+          if (gm.weights[k] < 0.05 || std::abs(lat) <= 0.3) continue;
+          const double score = gm.weights[k] * std::abs(lat);
+          if (score > best_score) {
+            best_score = score;
+            best_step = step;
+            ego_id = v.id;
+          }
+        }
+      }
+    }
+  }
+  sim.run(best_step - static_cast<int>(sim.step_count()));
+
+  std::printf("== Figure 1: simulation snapshot + predictor suggestion ==\n\n");
+  render_road(sim, ego_id);
+
+  const linalg::Vector scene = encoder.encode(sim, ego_id);
+  const nn::GaussianMixture gm = predictor.predict(scene);
+  render_mixture(gm);
+
+  const linalg::Vector mean = gm.mean();
+  std::printf("\nmixture mean action: lateral velocity %+.2f m/s, "
+              "longitudinal accel %+.2f m/s^2\n",
+              mean[highway::kActionLateral], mean[highway::kActionAccel]);
+  std::printf("components:\n");
+  for (std::size_t k = 0; k < gm.components(); ++k) {
+    std::printf("  k=%zu  w=%.3f  lateral %+.2f m/s  accel %+.2f m/s^2  "
+                "(sigma_lat %.3f)\n",
+                k, gm.weights[k], gm.means[k][highway::kActionLateral],
+                gm.means[k][highway::kActionAccel],
+                gm.sigmas[k][highway::kActionLateral]);
+  }
+  // Suggestion: the strongest non-negligible lane-change mode, else the
+  // dominant keep-lane mode (the paper reads the mixture the same way:
+  // where the probability mass sits in action space).
+  std::size_t pick = gm.dominant_component();
+  double pick_score = 0.0;
+  for (std::size_t k = 0; k < gm.components(); ++k) {
+    const double lat = gm.means[k][highway::kActionLateral];
+    const double score = gm.weights[k] * std::abs(lat);
+    if (gm.weights[k] >= 0.05 && std::abs(lat) > 0.3 && score > pick_score) {
+      pick_score = score;
+      pick = k;
+    }
+  }
+  const double lat = gm.means[pick][highway::kActionLateral];
+  const double acc = gm.means[pick][highway::kActionAccel];
+  std::printf("suggestion (component %zu, w=%.2f): %s%s\n", pick,
+              gm.weights[pick],
+              lat > 0.3    ? "switch to LEFT lane"
+              : lat < -0.3 ? "switch to RIGHT lane"
+                           : "keep lane",
+              acc < -0.3 ? ", slightly decelerate" : "");
+
+  // Probability mass per maneuver region (numerical marginal over the
+  // lateral-velocity axis) — the quantitative form of "where the
+  // generated Gaussian mixture sits" in the paper's figure.
+  double p_left = 0.0, p_keep = 0.0, p_right = 0.0;
+  const int steps = 600;
+  for (int i = 0; i < steps; ++i) {
+    const double lv = -4.0 + 8.0 * (i + 0.5) / steps;
+    // Marginal density of the lateral dimension.
+    double density = 0.0;
+    for (std::size_t k = 0; k < gm.components(); ++k) {
+      const double s = gm.sigmas[k][highway::kActionLateral];
+      const double d = (lv - gm.means[k][highway::kActionLateral]) / s;
+      density += gm.weights[k] * std::exp(-0.5 * d * d) /
+                 (s * 2.5066282746310002);
+    }
+    const double mass = density * (8.0 / steps);
+    if (lv > 0.5) p_left += mass;
+    else if (lv < -0.5) p_right += mass;
+    else p_keep += mass;
+  }
+  std::printf("maneuver probability mass: left %.1f%%  keep %.1f%%  "
+              "right %.1f%%\n", 100 * p_left, 100 * p_keep, 100 * p_right);
+  return 0;
+}

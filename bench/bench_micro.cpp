@@ -1,0 +1,197 @@
+// Substrate micro-benchmarks (google-benchmark): throughput of the
+// building blocks every reproduced experiment rests on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "coverage/neuron_coverage.hpp"
+#include "highway/scenario.hpp"
+#include "highway/scene_encoder.hpp"
+#include "lp/simplex.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "nn/mdn.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "sat/solver.hpp"
+#include "verify/interval.hpp"
+
+namespace {
+
+using namespace safenn;
+
+nn::Network make_net(std::size_t width) {
+  Rng rng(1);
+  return nn::Network::make_i4xn(84, width, 15, nn::Activation::kRelu, rng);
+}
+
+void BM_NetworkForward(benchmark::State& state) {
+  const nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  linalg::Vector x(84);
+  for (auto& v : x) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(BM_NetworkForward)->Arg(10)->Arg(30)->Arg(60);
+
+void BM_NetworkBackward(benchmark::State& state) {
+  nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  linalg::Vector x(84), grad(15);
+  for (auto& v : x) v = rng.uniform(0, 1);
+  for (auto& v : grad) v = rng.normal();
+  for (auto _ : state) {
+    const nn::ForwardTrace trace = net.forward_trace(x);
+    benchmark::DoNotOptimize(net.backward(trace, grad));
+  }
+}
+BENCHMARK(BM_NetworkBackward)->Arg(10)->Arg(60);
+
+void BM_MdnNll(benchmark::State& state) {
+  const nn::MdnHead head(3, 2);
+  Rng rng(4);
+  linalg::Vector raw(head.raw_output_size()), target{0.3, -0.5}, grad;
+  for (auto& v : raw) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(head.nll(raw, target, &grad));
+  }
+}
+BENCHMARK(BM_MdnNll);
+
+void BM_IntervalPropagation(benchmark::State& state) {
+  const nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  const verify::Box box(84, verify::Interval{0.0, 1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::propagate_bounds(net, box));
+  }
+}
+BENCHMARK(BM_IntervalPropagation)->Arg(10)->Arg(60);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random feasible LP of the given size.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  lp::Problem p;
+  p.set_maximize(true);
+  std::vector<double> witness;
+  for (int j = 0; j < n; ++j) {
+    p.add_variable(-2, 2, rng.normal());
+    witness.push_back(rng.uniform(-1, 1));
+  }
+  for (int i = 0; i < n; ++i) {
+    lp::LinearTerms terms;
+    double lhs = 0;
+    for (int j = 0; j < n; ++j) {
+      const double c = rng.normal();
+      terms.emplace_back(j, c);
+      lhs += c * witness[static_cast<std::size_t>(j)];
+    }
+    p.add_constraint(std::move(terms), lp::Relation::kLe, lhs + 1.0);
+  }
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  milp::Model m;
+  m.set_maximize(true);
+  lp::LinearTerms terms;
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    const double w = rng.uniform(1, 10);
+    total += w;
+    terms.emplace_back(
+        m.add_variable(0, 1, milp::VarType::kBinary, rng.uniform(1, 20)), w);
+  }
+  m.add_constraint(std::move(terms), lp::Relation::kLe, total * 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::BranchAndBound().solve(m));
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(15)->Arg(25);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  sat::Cnf cnf;
+  std::vector<std::vector<sat::Var>> v(static_cast<std::size_t>(holes + 1));
+  for (int p = 0; p <= holes; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      v[static_cast<std::size_t>(p)].push_back(cnf.new_var());
+    }
+  }
+  for (int p = 0; p <= holes; ++p) {
+    std::vector<sat::Lit> c(v[static_cast<std::size_t>(p)].begin(),
+                            v[static_cast<std::size_t>(p)].end());
+    cnf.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 <= holes; ++p1) {
+      for (int p2 = p1 + 1; p2 <= holes; ++p2) {
+        cnf.add_binary(-v[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)],
+                       -v[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)]);
+      }
+    }
+  }
+  for (auto _ : state) {
+    sat::Solver solver;
+    benchmark::DoNotOptimize(solver.solve(cnf));
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  highway::Scenario sc = highway::make_scenario(
+      highway::TrafficDensity::kDense, 7);
+  highway::HighwaySim sim(sc.sim);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.vehicles().data());
+  }
+}
+BENCHMARK(BM_SimulatorStep);
+
+void BM_SceneEncoding(benchmark::State& state) {
+  highway::Scenario sc = highway::make_scenario(
+      highway::TrafficDensity::kMedium, 8);
+  highway::HighwaySim sim(sc.sim);
+  sim.run(50);
+  const highway::SceneEncoder encoder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(sim, 0));
+  }
+}
+BENCHMARK(BM_SceneEncoding);
+
+void BM_QuantizedForward(benchmark::State& state) {
+  const nn::Network net = make_net(10);
+  const nn::QuantizedNetwork q = nn::QuantizedNetwork::quantize(net, 8);
+  Rng rng(9);
+  linalg::Vector x(84);
+  for (auto& v : x) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.forward_real(x));
+  }
+}
+BENCHMARK(BM_QuantizedForward);
+
+void BM_CoverageRecord(benchmark::State& state) {
+  const nn::Network net = make_net(20);
+  coverage::CoverageTracker tracker(net);
+  Rng rng(10);
+  linalg::Vector x(84);
+  for (auto& v : x) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    tracker.record_input(net, x);
+  }
+}
+BENCHMARK(BM_CoverageRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Sec. IV(ii) reproduction: "Recent results on quantized neural networks
+// might make verification more scalable via an encoding to bitvector
+// theories in SMT."
+//
+// Quantizes trained predictors to fixed point, verifies the lateral-
+// velocity bound by bit-blasting + CDCL SAT, and compares wall-clock and
+// verdicts against the real-valued MILP on the same networks. Also
+// reports the quantization error so the fidelity/scalability trade is
+// visible.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "highway/safety_rules.hpp"
+#include "smt/qnn_encoder.hpp"
+
+using namespace safenn;
+
+int main() {
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built.data, encoder));
+  const double time_limit = bench::env_double("SAFENN_SMT_LIMIT", 30.0);
+  const double threshold = 3.0;  // the paper's "never larger than 3 m/s"
+
+  std::printf("== quantized (SAT/bit-vector) vs real-valued (MILP) "
+              "verification ==\n");
+  std::printf("property: component-mean lateral velocity <= %.1f m/s on the "
+              "vehicle-on-left region\n\n", threshold);
+  std::printf("net   | frac bits | quant err | engine | verdict  | time    | size\n");
+  std::printf("------+-----------+-----------+--------+----------+---------+---------------\n");
+
+  for (std::size_t width : {4u, 6u}) {
+    const core::TrainedPredictor predictor =
+        bench::train_predictor(built.data, width);
+
+    // MILP on the real-valued network (all components).
+    {
+      verify::VerifierOptions opts;
+      opts.time_limit_seconds = time_limit;
+      opts.warm_start_split_seconds = time_limit * 0.2;
+      const core::PredictorProof proof = core::prove_lateral_velocity_bound(
+          predictor, encoder, threshold, opts, &region);
+      std::printf("I4x%-2zu | %9s | %9s | MILP   | %-8s | %6.2fs | -\n",
+                  width, "-", "-",
+                  verify::to_string(proof.verdict).c_str(), proof.seconds);
+    }
+
+    // SAT on quantized variants.
+    for (int frac_bits : {4, 6}) {
+      const nn::QuantizedNetwork qnet =
+          nn::QuantizedNetwork::quantize(predictor.network, frac_bits);
+      std::vector<linalg::Vector> probes;
+      for (std::size_t i = 0; i < 60; ++i) {
+        probes.push_back(built.data.input(i * built.data.size() / 60));
+      }
+      const double err =
+          qnet.quantization_error(predictor.network, probes);
+
+      // Verify every component's mean output via the SAT engine.
+      double total_seconds = 0.0;
+      sat::SatResult worst = sat::SatResult::kUnsat;
+      int vars = 0;
+      std::size_t clauses = 0;
+      smt::QnnVerifierOptions qopts;
+      qopts.solver.time_limit_seconds = time_limit;
+      for (std::size_t k = 0; k < predictor.head.components(); ++k) {
+        const std::size_t out_index =
+            predictor.head.mean_index(k, highway::kActionLateral);
+        const smt::QnnVerdict v = smt::prove_quantized_output_bound(
+            qnet, region.box, out_index, threshold, qopts);
+        total_seconds += v.seconds;
+        vars = v.cnf_variables;
+        clauses = v.cnf_clauses;
+        if (v.sat == sat::SatResult::kSat) worst = sat::SatResult::kSat;
+        if (v.sat == sat::SatResult::kUnknown &&
+            worst == sat::SatResult::kUnsat) {
+          worst = sat::SatResult::kUnknown;
+        }
+      }
+      const char* verdict = worst == sat::SatResult::kUnsat   ? "proved"
+                            : worst == sat::SatResult::kSat   ? "violated"
+                                                              : "unknown";
+      std::printf("I4x%-2zu | %9d | %9.4f | SAT    | %-8s | %6.2fs | "
+                  "%d vars, %zu clauses\n",
+                  width, frac_bits, err, verdict, total_seconds, vars,
+                  clauses);
+    }
+  }
+  std::printf("\nnote: SAT proves the property of the *quantized* network; "
+              "quant err bounds the deviation from the float network.\n");
+  return 0;
+}

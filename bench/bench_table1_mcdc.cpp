@@ -1,0 +1,61 @@
+// Table I / Sec. II reproduction: the measurable core of the paper's
+// certification table is its MC/DC argument —
+//   (i)  atan networks: no if-then-else branches, MC/DC trivially
+//        satisfiable with one test case;
+//   (ii) ReLU networks: one decision per neuron, 2^n branch combinations,
+//        intractable for testing.
+// This bench prints the MC/DC obligations per architecture and runs a
+// random test-generation campaign showing per-neuron coverage saturating
+// while observed activation patterns remain a vanishing fraction of the
+// exponential pattern space.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "coverage/mcdc.hpp"
+#include "highway/scene_encoder.hpp"
+
+using namespace safenn;
+
+int main() {
+  std::printf("== Table I: MC/DC obligations per architecture ==\n");
+  std::printf("architecture    | activation | decisions | branch combos | min tests\n");
+  std::printf("----------------+------------+-----------+---------------+----------\n");
+  Rng rng(1);
+  for (std::size_t width : {10u, 20u, 25u, 40u, 50u, 60u}) {
+    for (nn::Activation act : {nn::Activation::kAtan, nn::Activation::kRelu}) {
+      nn::Network net = nn::Network::make_i4xn(84, width, 15, act, rng);
+      const coverage::McdcAnalysis a = coverage::analyze_mcdc(net);
+      std::printf("I4x%-12zu | %-10s | %9zu | 2^%-11zu | %zu%s\n", width,
+                  nn::to_string(act).c_str(), a.decisions, a.decisions,
+                  a.min_tests_lower_bound,
+                  a.trivially_satisfiable ? " (trivially satisfiable)" : "");
+    }
+  }
+
+  std::printf("\n== random coverage campaign (ReLU, shows intractability) ==\n");
+  std::printf("width | tests | both-phase coverage | distinct patterns / 2^n\n");
+  highway::SceneEncoder encoder;
+  const verify::Box box = encoder.domain_box();
+  const long max_tests = bench::env_long("SAFENN_T1_TESTS", 3000);
+  for (std::size_t width : {5u, 10u, 20u, 40u}) {
+    Rng net_rng(2);
+    nn::Network net =
+        nn::Network::make_i4xn(84, width, 15, nn::Activation::kRelu, net_rng);
+    Rng campaign_rng(3);
+    const coverage::CoverageCampaignResult r = coverage::run_coverage_campaign(
+        net, box, static_cast<std::size_t>(max_tests), campaign_rng);
+    std::printf("%5zu | %5zu | %18.1f%% | %zu / 2^%.0f  (log2 fraction %.1f)\n",
+                width, r.tests_generated, r.both_phase_coverage * 100.0,
+                r.distinct_patterns, r.log2_total_patterns,
+                std::log2(static_cast<double>(r.distinct_patterns)) -
+                    r.log2_total_patterns);
+  }
+  std::printf("\nshape check: coverage saturates while the observed pattern\n"
+              "fraction collapses exponentially with width -- testing cannot\n"
+              "certify correctness, motivating the formal analysis of "
+              "Table II.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table II reproduction: "Results of verifying ANN-based motion
+// predictors" — for each I4xN predictor, the maximum mean lateral
+// velocity when a vehicle exists on the left, and the verification time;
+// plus the final row's "prove that the lateral velocity can never be
+// larger than 3 m/s" query on the largest network.
+//
+// The paper ran a commercial MILP solver on a 12-core VM; absolute times
+// differ here (from-scratch simplex, one container). What reproduces is
+// the shape: time grows steeply with width, and the largest instances hit
+// the time limit (the paper's I4x60 row timed out, too). Rows that finish
+// within budget are proven optima; time-limited rows report the best
+// value found and the remaining dual bound.
+//
+// Budgets (env-overridable):
+//   SAFENN_T2_LIMIT    seconds per mixture component       (default 20)
+//   SAFENN_T2_WIDTHS   "10,20,25,40,50,60" row widths      (paper set)
+//   SAFENN_T2_EXTRA    also run an exact small-width series (default 1)
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "highway/safety_rules.hpp"
+
+using namespace safenn;
+
+namespace {
+
+std::vector<std::size_t> parse_widths(const char* env, const char* fallback) {
+  const char* v = std::getenv(env);
+  std::stringstream ss(v && *v ? v : fallback);
+  std::vector<std::size_t> widths;
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) widths.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  }
+  return widths;
+}
+
+core::TableTwoRow run_row(const data::Dataset& data,
+                          const highway::SceneEncoder& encoder,
+                          const verify::InputRegion& region,
+                          std::size_t width, double per_component_limit) {
+  const core::TrainedPredictor predictor =
+      bench::train_predictor(data, width);
+  verify::VerifierOptions opts;
+  opts.time_limit_seconds = per_component_limit;
+  opts.warm_start_split_seconds = per_component_limit * 0.2;
+  const core::PredictorVerification v =
+      core::verify_max_lateral_velocity(predictor, encoder, opts, &region);
+  return core::make_table_two_row("I4x" + std::to_string(width), v);
+}
+
+}  // namespace
+
+int main() {
+  const double limit = bench::env_double("SAFENN_T2_LIMIT", 20.0);
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built.data, encoder));
+
+  std::printf("== Table II: verifying ANN-based motion predictors ==\n");
+  std::printf("   (per-component time budget %.0fs; "
+              "SAFENN_T2_LIMIT overrides)\n\n", limit);
+
+  std::vector<core::TableTwoRow> rows;
+  if (bench::env_long("SAFENN_T2_EXTRA", 1)) {
+    std::printf("-- exact supplement (widths small enough to prove "
+                "optimality on this machine) --\n");
+    for (std::size_t width : parse_widths("SAFENN_T2_EXTRA_WIDTHS", "4,5,6")) {
+      rows.push_back(run_row(built.data, encoder, region, width, limit * 3));
+      std::printf("%s", core::render_table_two({rows.back()}).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("-- paper-scale rows --\n");
+  for (std::size_t width : parse_widths("SAFENN_T2_WIDTHS", "10,20,25,40,50,60")) {
+    rows.push_back(run_row(built.data, encoder, region, width, limit));
+    std::printf("%s", core::render_table_two({rows.back()}).c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n== full table ==\n%s", core::render_table_two(rows).c_str());
+
+  // Final Table II row: prove lateral velocity can never exceed 3 m/s on
+  // the largest network (the paper proved this for I4x60 in 11059.8s).
+  {
+    const std::size_t width =
+        parse_widths("SAFENN_T2_WIDTHS", "10,20,25,40,50,60").back();
+    const core::TrainedPredictor predictor =
+        bench::train_predictor(built.data, width);
+    verify::VerifierOptions opts;
+    opts.time_limit_seconds = limit;
+    opts.warm_start_split_seconds = limit * 0.2;
+    const core::PredictorProof proof = core::prove_lateral_velocity_bound(
+        predictor, encoder, 3.0, opts, &region);
+    std::printf("\nI4x%zu | prove lateral velocity can never be larger "
+                "than 3 m/s | %s (%.1fs)\n",
+                width, verify::to_string(proof.verdict).c_str(),
+                proof.seconds);
+  }
+
+  {
+    CsvWriter csv;
+    core::table_two_csv(rows, csv);
+    std::ostringstream os;
+    csv.write(os);
+    std::printf("\n== CSV ==\n%s", os.str().c_str());
+  }
+  return 0;
+}

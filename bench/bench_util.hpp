@@ -1,0 +1,48 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "highway/dataset_builder.hpp"
+
+namespace safenn::bench {
+
+/// Environment override with a default (used for time budgets so the full
+/// paper-scale sweep can be requested: SAFENN_T2_LIMIT=600 etc.).
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::atof(v);
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::atol(v);
+}
+
+/// The standard bench dataset: the full scenario battery, moderate size.
+inline highway::BuiltDataset standard_dataset(
+    const highway::SceneEncoder& encoder, double risky_probability = 0.0) {
+  highway::DatasetBuildConfig cfg;
+  cfg.sample_steps = static_cast<int>(env_long("SAFENN_DATA_STEPS", 120));
+  cfg.warmup_steps = 30;
+  cfg.seed = 7;
+  cfg.risky_probability = risky_probability;
+  return highway::build_highway_dataset(encoder, cfg);
+}
+
+/// Trains the I4xN predictor used across benches.
+inline core::TrainedPredictor train_predictor(const data::Dataset& data,
+                                              std::size_t width,
+                                              std::size_t epochs = 10) {
+  core::PredictorConfig cfg;
+  cfg.hidden_width = width;
+  cfg.train.epochs = epochs;
+  cfg.weight_seed = 40 + width;  // one fixed net per width, like the paper
+  return core::train_motion_predictor(data, cfg);
+}
+
+}  // namespace safenn::bench

@@ -1,0 +1,43 @@
+// The paper's full methodology, end to end (Sec. II + Sec. III):
+// generate raw data (with injected risky driving) -> validate & sanitize
+// the data (specification validity) -> train the MDN motion predictor ->
+// neuron-to-feature traceability (understandability) -> MC/DC accounting
+// and formal verification (correctness) -> certification report.
+//
+// Run:  ./examples/certify_predictor [hidden_width] [time_limit_s]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/certification.hpp"
+#include "core/report.hpp"
+#include "explain/traceability.hpp"
+
+using namespace safenn;
+
+int main(int argc, char** argv) {
+  core::CertificationConfig config;
+  config.predictor.hidden_width =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 6;
+  config.verification_time_limit = argc > 2 ? std::atof(argv[2]) : 45.0;
+  config.predictor.train.epochs = 10;
+  config.dataset.sample_steps = 120;
+  config.dataset.risky_probability = 0.01;  // contaminate the raw data
+  config.property_threshold = 2.0;
+
+  std::printf("running the certification methodology on an I4x%zu motion "
+              "predictor...\n\n", config.predictor.hidden_width);
+  const core::CertificationArtifacts artifacts =
+      core::run_certification(config);
+
+  std::printf("%s\n", core::render_certification_report(artifacts, config).c_str());
+
+  // Show a slice of the traceability evidence with named features.
+  highway::SceneEncoder encoder;
+  std::printf("traceability sample (first 6 neurons):\n");
+  explain::TraceabilityReport head = artifacts.traceability;
+  if (head.neurons.size() > 6) head.neurons.resize(6);
+  std::printf("%s", explain::render_traceability(
+                        head, encoder.schema().names()).c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Highway simulation walkthrough: the case study's substrate.
+//
+// Runs the traffic simulator, prints live lane diagrams, and shows how a
+// scene is encoded into the predictor's 84 input features — the paper's
+// "(i) own speed profile, (ii) nearest surrounding vehicles for each
+// orientation, (iii) road condition".
+//
+// Run:  ./examples/highway_sim [steps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "highway/scenario.hpp"
+#include "highway/scene_encoder.hpp"
+
+using namespace safenn;
+
+namespace {
+
+void print_lanes(const highway::HighwaySim& sim, int ego_id) {
+  const auto& cfg = sim.config();
+  const int cols = 70;
+  const highway::VehicleState& ego = sim.vehicle(ego_id);
+  for (int lane = cfg.num_lanes - 1; lane >= 0; --lane) {
+    std::string row(cols, '.');
+    for (const auto& v : sim.vehicles()) {
+      if (v.lane != lane) continue;
+      double rel = sim.forward_distance(ego.s, v.s);
+      if (rel > cfg.road_length / 2) rel -= cfg.road_length;
+      if (std::abs(rel) > 140.0) continue;
+      const int col = static_cast<int>((rel + 140.0) / 280.0 * cols);
+      if (col >= 0 && col < cols) {
+        row[static_cast<std::size_t>(col)] =
+            v.id == ego_id ? 'E' : (v.changing_lane ? '/' : '#');
+      }
+    }
+    std::printf("lane %d |%s|\n", lane, row.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 300;
+  highway::Scenario scenario =
+      highway::make_scenario(highway::TrafficDensity::kMedium, 11);
+  highway::HighwaySim sim(scenario.sim);
+  highway::SceneEncoder encoder;
+
+  std::printf("scenario '%s': %d vehicles, %d lanes, %.0fm ring road\n\n",
+              scenario.name.c_str(), scenario.sim.num_vehicles,
+              scenario.sim.num_lanes, scenario.sim.road_length);
+
+  for (int step = 0; step <= steps; ++step) {
+    sim.step();
+    if (step % 100 == 0) {
+      std::printf("-- t = %.1fs --\n", step * scenario.sim.dt);
+      print_lanes(sim, 0);
+      std::printf("\n");
+    }
+  }
+
+  // Encode the final scene for vehicle 0 and walk through the features.
+  const linalg::Vector x = encoder.encode(sim, 0);
+  const data::FeatureSchema& schema = encoder.schema();
+  std::printf("scene encoding for ego vehicle 0 (%zu features):\n",
+              x.size());
+  std::printf("  [ego]      current speed feature  %-22s = %.3f\n",
+              "ego.speed[t-0]", x[schema.index_of("ego.speed[t-0]")]);
+  std::printf("  [neighbor] left-front presence    %-22s = %.3f\n",
+              "left_front.presence",
+              x[schema.index_of("left_front.presence")]);
+  std::printf("  [neighbor] left-front gap         %-22s = %.3f\n",
+              "left_front.gap", x[schema.index_of("left_front.gap")]);
+  std::printf("  [neighbor] same-front rel. speed  %-22s = %.3f\n",
+              "same_front.rel_speed",
+              x[schema.index_of("same_front.rel_speed")]);
+  std::printf("  [road]     friction               %-22s = %.3f\n",
+              "road.friction", x[schema.index_of("road.friction")]);
+
+  std::printf("\nfeature groups: ");
+  std::printf("ego=%zu neighbor.left_front=%zu road=%zu (total %zu)\n",
+              schema.group_indices("ego").size(),
+              schema.group_indices("neighbor.left_front").size(),
+              schema.group_indices("road").size(), schema.size());
+  std::printf("collision-free: %s\n", sim.any_collision() ? "NO" : "yes");
+  return 0;
+}

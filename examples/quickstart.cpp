@@ -1,0 +1,70 @@
+// Quickstart: the safenn workflow on a toy problem in ~80 lines.
+//
+//   1. Build and train a small ReLU network.
+//   2. State a safety property ("output stays below a bound on a region").
+//   3. Verify it formally with the MILP engine; get a proof or a concrete
+//      counterexample.
+//
+// Run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "nn/trainer.hpp"
+#include "verify/verifier.hpp"
+
+using namespace safenn;
+
+int main() {
+  // 1. Train y = max(x0, x1) on samples from [-1, 1]^2.
+  Rng rng(7);
+  nn::Network net = nn::Network::make_mlp(
+      {2, 12, 12, 1}, nn::Activation::kRelu, nn::Activation::kIdentity, rng);
+  std::vector<linalg::Vector> xs, ys;
+  for (int i = 0; i < 600; ++i) {
+    linalg::Vector x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    ys.push_back(linalg::Vector{std::max(x[0], x[1])});
+    xs.push_back(std::move(x));
+  }
+  nn::MseLoss loss;
+  nn::TrainConfig tc;
+  tc.epochs = 150;
+  tc.learning_rate = 3e-3;
+  const double final_loss = nn::Trainer(tc).train(net, loss, xs, ys);
+  std::printf("trained %s to MSE %.5f\n", net.describe().c_str(), final_loss);
+
+  // 2. Property: for inputs in [-1,1]^2, the output never exceeds 1.25.
+  verify::SafetyProperty property;
+  property.name = "output <= 1.25 on the unit box";
+  property.region.box = verify::Box(2, verify::Interval{-1.0, 1.0});
+  property.expr.terms = {{0, 1.0}};
+  property.threshold = 1.25;
+
+  // 3. Verify: static analysis first (fast, incomplete), then MILP
+  //    (complete). This is the Sec. II(B) escalation.
+  verify::IntervalVerifier quick;
+  std::printf("interval analysis bound: %.4f -> %s\n",
+              quick.upper_bound(net, property.region, property.expr),
+              to_string(quick.prove(net, property)).c_str());
+
+  verify::MilpVerifier verifier;
+  const verify::ProveResult result = verifier.prove(net, property);
+  std::printf("MILP verification: %s (%.2fs, %ld nodes)\n",
+              to_string(result.verdict).c_str(), result.seconds,
+              result.nodes);
+  if (result.counterexample) {
+    const linalg::Vector& cx = *result.counterexample;
+    std::printf("counterexample: f(%.3f, %.3f) = %.4f > %.2f\n", cx[0], cx[1],
+                net.forward(cx)[0], property.threshold);
+  }
+
+  // Bonus: the exact maximum (what Table II reports for the case study).
+  const verify::MaximizeResult max_result =
+      verifier.maximize(net, property.region, property.expr);
+  if (max_result.status == milp::MilpStatus::kOptimal) {
+    std::printf("exact maximum over the region: %.4f at (%.3f, %.3f)\n",
+                max_result.max_value, max_result.witness[0],
+                max_result.witness[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Minimal CSV emission for benchmark/report artifacts.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace safenn {
+
+/// Accumulates rows and streams them as RFC-4180-ish CSV. Cells containing
+/// commas, quotes, or newlines are quoted and inner quotes doubled.
+class CsvWriter {
+ public:
+  /// Sets the header row. Must be called before any add_row().
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header when one is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string cell(double value, int precision = 9);
+
+  /// Writes header + rows to `os`.
+  void write(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV cell (quoting when needed).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace safenn

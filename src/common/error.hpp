@@ -1,0 +1,22 @@
+// Error handling primitives shared by every safenn module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace safenn {
+
+/// Base exception for all library errors. Thrown on contract violations
+/// at API boundaries (bad dimensions, unknown names, malformed files).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws safenn::Error with `msg` when `cond` is false. Used for
+/// precondition checks that must stay active in release builds.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace safenn

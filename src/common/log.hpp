@@ -1,0 +1,46 @@
+// Tiny leveled logger. Solvers use it for optional search tracing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace safenn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Default kWarn so
+/// tests and benches stay quiet unless explicitly enabled.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr when `level` >= the global level.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(args...));
+}
+
+}  // namespace safenn

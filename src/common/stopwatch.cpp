@@ -1,0 +1,38 @@
+#include "common/stopwatch.hpp"
+
+#include <limits>
+
+namespace safenn {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Stopwatch::millis() const { return seconds() * 1000.0; }
+
+Deadline::Deadline(double seconds) : unlimited_(seconds <= 0.0) {
+  if (!unlimited_) {
+    end_ = std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(seconds));
+  }
+}
+
+bool Deadline::expired() const {
+  return !unlimited_ && std::chrono::steady_clock::now() >= end_;
+}
+
+double Deadline::remaining() const {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  const double r =
+      std::chrono::duration<double>(end_ - std::chrono::steady_clock::now())
+          .count();
+  return r > 0.0 ? r : 0.0;
+}
+
+}  // namespace safenn

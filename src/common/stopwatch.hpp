@@ -1,0 +1,47 @@
+// Wall-clock timing used by verification benches (Table II reports
+// per-instance verification time).
+#pragma once
+
+#include <chrono>
+
+namespace safenn {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restart the clock.
+  void reset();
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const;
+
+  /// Milliseconds elapsed.
+  double millis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deadline helper for solver time limits.
+class Deadline {
+ public:
+  /// A deadline `seconds` from now; non-positive means "no limit".
+  explicit Deadline(double seconds);
+
+  /// True when the wall clock has passed the deadline.
+  bool expired() const;
+
+  /// Seconds remaining (clamped at 0); +inf when unlimited.
+  double remaining() const;
+
+  /// True when this deadline never expires.
+  bool unlimited() const { return unlimited_; }
+
+ private:
+  bool unlimited_;
+  std::chrono::steady_clock::time_point end_;
+};
+
+}  // namespace safenn

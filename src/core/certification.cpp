@@ -1,0 +1,92 @@
+#include "core/certification.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "core/hints.hpp"
+
+namespace safenn::core {
+
+CertificationArtifacts run_certification(const CertificationConfig& config) {
+  Stopwatch clock;
+  CertificationArtifacts artifacts;
+  highway::SceneEncoder encoder;
+
+  // 1. Data generation + validation (specification validity).
+  const highway::BuiltDataset raw =
+      highway::build_highway_dataset(encoder, config.dataset);
+  data::Validator validator;
+  validator.add_rule(highway::no_risky_left_move_rule(
+      encoder, config.risky_label_threshold));
+  validator.add_rule(data::Validator::target_bound(
+      "lateral-velocity-physical", highway::kActionLateral,
+      -config.risky_label_threshold, config.risky_label_threshold));
+  auto [clean, report] = validator.sanitize(raw.data);
+  artifacts.validation = std::move(report);
+  artifacts.samples_before_sanitize = raw.data.size();
+  artifacts.samples_after_sanitize = clean.size();
+
+  // 2. Training (optionally with the Sec. IV(iii) safety hint).
+  PredictorConfig pc = config.predictor;
+  if (config.use_hints) {
+    const nn::MdnHead head(pc.mixture_components, highway::kActionDims);
+    pc.train.regularizer = make_lateral_velocity_hint(
+        encoder, head, config.property_threshold);
+    pc.train.regularizer_weight = config.hint_weight;
+  }
+  artifacts.predictor = train_motion_predictor(clean, pc);
+
+  // 3. Understandability: neuron-to-feature traceability over probes.
+  std::vector<linalg::Vector> probes;
+  const std::size_t probe_count =
+      std::min(config.probe_count, clean.size());
+  for (std::size_t i = 0; i < probe_count; ++i) {
+    probes.push_back(clean.input(i * clean.size() / probe_count));
+  }
+  artifacts.traceability =
+      explain::analyze_traceability(artifacts.predictor.network, probes);
+
+  // 4. Correctness, testing side: MC/DC accounting + random campaign.
+  artifacts.mcdc = coverage::analyze_mcdc(artifacts.predictor.network);
+  Rng coverage_rng(config.dataset.seed + 17);
+  artifacts.coverage = coverage::run_coverage_campaign(
+      artifacts.predictor.network, encoder.domain_box(),
+      config.probe_count, coverage_rng);
+
+  // 5. Correctness, formal side: MILP verification of the property over
+  // the observed data domain (the predictor's operational envelope).
+  verify::VerifierOptions vopts;
+  vopts.time_limit_seconds = config.verification_time_limit;
+  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(clean, encoder));
+  artifacts.verification = verify_max_lateral_velocity(
+      artifacts.predictor, encoder, vopts, &region);
+  if (artifacts.verification.exact) {
+    artifacts.verdict = artifacts.verification.max_lateral_velocity <=
+                                config.property_threshold
+                            ? verify::Verdict::kProved
+                            : verify::Verdict::kViolated;
+  } else {
+    // Fall back to the dual bound when some component timed out.
+    double worst_upper = 0.0;
+    bool have_upper = true;
+    for (const auto& r : artifacts.verification.per_component) {
+      if (!std::isfinite(r.upper_bound)) have_upper = false;
+      worst_upper = std::max(worst_upper, r.upper_bound);
+    }
+    if (have_upper && worst_upper <= config.property_threshold) {
+      artifacts.verdict = verify::Verdict::kProved;
+    } else if (artifacts.verification.max_lateral_velocity >
+               config.property_threshold) {
+      artifacts.verdict = verify::Verdict::kViolated;
+    } else {
+      artifacts.verdict = verify::Verdict::kUnknown;
+    }
+  }
+
+  artifacts.total_seconds = clock.seconds();
+  return artifacts;
+}
+
+}  // namespace safenn::core

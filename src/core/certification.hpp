@@ -1,0 +1,62 @@
+// The certification methodology (paper Sec. II, Table I), end to end.
+//
+// One CertificationCase run produces evidence for all three pillars:
+//   Specification validity   -> data validation report (Sec. II(C))
+//   Implementation           -> neuron-to-feature traceability report
+//     understandability         (Sec. II(A))
+//   Implementation            -> MC/DC accounting (why testing fails) and
+//     correctness                formal verification verdict (Sec. II(B))
+#pragma once
+
+#include <cstdint>
+
+#include "coverage/mcdc.hpp"
+#include "core/pipeline.hpp"
+#include "data/validation.hpp"
+#include "explain/traceability.hpp"
+#include "highway/dataset_builder.hpp"
+
+namespace safenn::core {
+
+struct CertificationConfig {
+  PredictorConfig predictor;
+  highway::DatasetBuildConfig dataset;
+  /// Labels with lateral velocity above this are "risky driving" and must
+  /// not survive sanitization (m/s; normal lane changes stay below it).
+  double risky_label_threshold = 2.0;
+  /// The verified safety bound on predicted mean lateral velocity (m/s).
+  double property_threshold = 2.0;
+  double verification_time_limit = 60.0;  // seconds, per component
+  bool use_hints = false;
+  double hint_weight = 25.0;
+  /// Probe count for traceability and coverage measurements.
+  std::size_t probe_count = 400;
+};
+
+struct CertificationArtifacts {
+  // Pillar: specification validity.
+  data::ValidationReport validation;
+  std::size_t samples_before_sanitize = 0;
+  std::size_t samples_after_sanitize = 0;
+
+  // The trained artifact.
+  TrainedPredictor predictor;
+
+  // Pillar: implementation understandability.
+  explain::TraceabilityReport traceability;
+
+  // Pillar: implementation correctness.
+  coverage::McdcAnalysis mcdc;
+  coverage::CoverageCampaignResult coverage;
+  PredictorVerification verification;
+  verify::Verdict verdict = verify::Verdict::kUnknown;
+
+  double total_seconds = 0.0;
+};
+
+/// Runs the full methodology: generate data -> validate & sanitize ->
+/// train (optionally with hints) -> traceability -> coverage accounting
+/// -> formal verification.
+CertificationArtifacts run_certification(const CertificationConfig& config);
+
+}  // namespace safenn::core

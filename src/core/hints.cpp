@@ -1,0 +1,43 @@
+#include "core/hints.hpp"
+
+#include "highway/safety_rules.hpp"
+
+#include <algorithm>
+
+namespace safenn::core {
+
+nn::OutputRegularizer make_property_hint(verify::SafetyProperty property) {
+  return [property = std::move(property)](const linalg::Vector& input,
+                                          const linalg::Vector& output,
+                                          linalg::Vector& grad_out) {
+    if (!property.region.contains(input)) return 0.0;
+    const double excess =
+        property.expr.evaluate(output) - property.threshold;
+    if (excess <= 0.0) return 0.0;
+    for (const auto& [idx, coef] : property.expr.terms) {
+      grad_out[static_cast<std::size_t>(idx)] += 2.0 * excess * coef;
+    }
+    return excess * excess;
+  };
+}
+
+nn::OutputRegularizer make_lateral_velocity_hint(
+    const highway::SceneEncoder& encoder, const nn::MdnHead& head,
+    double threshold) {
+  std::vector<nn::OutputRegularizer> hints;
+  hints.reserve(head.components());
+  for (std::size_t k = 0; k < head.components(); ++k) {
+    hints.push_back(make_property_hint(
+        highway::component_lateral_velocity_property(encoder, head, k,
+                                                     threshold)));
+  }
+  return [hints = std::move(hints)](const linalg::Vector& input,
+                                    const linalg::Vector& output,
+                                    linalg::Vector& grad_out) {
+    double total = 0.0;
+    for (const auto& hint : hints) total += hint(input, output, grad_out);
+    return total;
+  };
+}
+
+}  // namespace safenn::core

@@ -1,0 +1,28 @@
+// Hint training (paper Sec. IV(iii)).
+//
+// "Apart from verification, another important direction is to consider
+// training under known properties on the target function (known as
+// hints [Abu-Mostafa 1995]), such as safety rules." Implemented as an
+// output regularizer: when a training sample's scene satisfies the
+// property's assumption region, any excess of the constrained output
+// expression over the threshold is penalized quadratically.
+#pragma once
+
+#include "highway/scene_encoder.hpp"
+#include "nn/mdn.hpp"
+#include "nn/trainer.hpp"
+#include "verify/property.hpp"
+
+namespace safenn::core {
+
+/// Regularizer enforcing expr(output) <= threshold whenever the input is
+/// in the property's region. Penalty: max(0, expr - threshold)^2.
+nn::OutputRegularizer make_property_hint(verify::SafetyProperty property);
+
+/// Hint covering every mixture component's mean lateral velocity of an
+/// MDN motion predictor under the vehicle-on-left region.
+nn::OutputRegularizer make_lateral_velocity_hint(
+    const highway::SceneEncoder& encoder, const nn::MdnHead& head,
+    double threshold);
+
+}  // namespace safenn::core

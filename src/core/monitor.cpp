@@ -1,0 +1,26 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+#include "highway/scene_encoder.hpp"
+
+namespace safenn::core {
+
+SafetyMonitor::SafetyMonitor(verify::InputRegion region,
+                             double lateral_threshold)
+    : region_(std::move(region)), lateral_threshold_(lateral_threshold) {}
+
+linalg::Vector SafetyMonitor::guarded_action(const TrainedPredictor& predictor,
+                                             const linalg::Vector& scene) {
+  ++stats_.queries;
+  linalg::Vector action = predictor.predict(scene).mean();
+  if (!region_.contains(scene)) return action;
+  ++stats_.assumption_hits;
+  if (action[highway::kActionLateral] > lateral_threshold_) {
+    ++stats_.interventions;
+    action[highway::kActionLateral] = lateral_threshold_;
+  }
+  return action;
+}
+
+}  // namespace safenn::core

@@ -1,0 +1,54 @@
+// Runtime safety monitor (runtime assurance / simplex-architecture
+// pattern).
+//
+// Offline verification (Sec. II(B)) proves properties over a region;
+// a deployed system additionally guards the network at runtime: when the
+// property's assumption holds for the current scene, the suggested action
+// is checked against the guarantee and clamped to a safe fallback if it
+// would violate it. Every intervention is counted — the intervention
+// rate is itself certification evidence (a verified network should show
+// zero interventions inside the verified region).
+#pragma once
+
+#include <cstddef>
+
+#include "core/pipeline.hpp"
+#include "verify/property.hpp"
+
+namespace safenn::core {
+
+struct MonitorStats {
+  std::size_t queries = 0;
+  std::size_t assumption_hits = 0;  // scenes inside the property region
+  std::size_t interventions = 0;    // actions clamped
+
+  double intervention_rate() const {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(interventions) /
+                     static_cast<double>(queries);
+  }
+};
+
+/// Guards an MDN motion predictor with the lateral-velocity property:
+/// when the scene satisfies the region (vehicle on the left) and the
+/// suggested mean lateral velocity exceeds the threshold, the lateral
+/// component is clamped to the threshold.
+class SafetyMonitor {
+ public:
+  SafetyMonitor(verify::InputRegion region, double lateral_threshold);
+
+  /// Returns the (possibly clamped) mean action for the scene.
+  linalg::Vector guarded_action(const TrainedPredictor& predictor,
+                                const linalg::Vector& scene);
+
+  const MonitorStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MonitorStats{}; }
+
+ private:
+  verify::InputRegion region_;
+  double lateral_threshold_;
+  MonitorStats stats_;
+};
+
+}  // namespace safenn::core

@@ -1,0 +1,87 @@
+#include "core/repair.hpp"
+
+#include "common/error.hpp"
+#include "core/hints.hpp"
+
+namespace safenn::core {
+
+RepairResult counterexample_guided_repair(
+    const TrainedPredictor& initial, const data::Dataset& training_data,
+    const highway::SceneEncoder& encoder, const verify::InputRegion& region,
+    const PredictorConfig& train_config, const RepairOptions& options) {
+  require(options.max_iterations > 0,
+          "counterexample_guided_repair: need at least one iteration");
+
+  RepairResult result;
+  result.predictor = initial;
+  data::Dataset augmented = training_data;
+
+  for (int round = 0; round < options.max_iterations; ++round) {
+    const PredictorVerification v = verify_max_lateral_velocity(
+        result.predictor, encoder, options.verifier, &region);
+
+    RepairRound rr;
+    rr.max_lateral_velocity = v.max_lateral_velocity;
+    rr.exact = v.exact;
+
+    // Property decision for this round.
+    const bool violated =
+        v.max_lateral_velocity > options.property_threshold;
+    if (!violated && v.exact) {
+      rr.verdict = verify::Verdict::kProved;
+      result.rounds.push_back(rr);
+      result.repaired = true;
+      return result;
+    }
+    rr.verdict = violated ? verify::Verdict::kViolated
+                          : verify::Verdict::kUnknown;
+
+    if (!violated) {
+      // Unknown (time limit) without a witness above the bound: nothing
+      // concrete to learn from; stop honestly.
+      result.rounds.push_back(rr);
+      return result;
+    }
+
+    // Harvest witnesses above the threshold from every component.
+    linalg::Vector safe_action(highway::kActionDims);
+    safe_action[highway::kActionLateral] = options.safe_lateral_velocity;
+    safe_action[highway::kActionAccel] = 0.0;
+    for (const auto& comp : v.per_component) {
+      if (!comp.has_value ||
+          comp.max_value <= options.property_threshold) {
+        continue;
+      }
+      for (int copy = 0; copy < options.counterexample_weight; ++copy) {
+        augmented.add(comp.witness, safe_action);
+      }
+      ++rr.counterexamples_added;
+    }
+    result.rounds.push_back(rr);
+
+    // Retrain with the property hint active.
+    PredictorConfig cfg = train_config;
+    cfg.train.regularizer = make_lateral_velocity_hint(
+        encoder, result.predictor.head, options.property_threshold);
+    cfg.train.regularizer_weight = options.hint_weight;
+    result.predictor = train_motion_predictor(augmented, cfg);
+  }
+
+  // Final verification after the last retrain.
+  const PredictorVerification v = verify_max_lateral_velocity(
+      result.predictor, encoder, options.verifier, &region);
+  RepairRound rr;
+  rr.max_lateral_velocity = v.max_lateral_velocity;
+  rr.exact = v.exact;
+  rr.verdict = (v.exact &&
+                v.max_lateral_velocity <= options.property_threshold)
+                   ? verify::Verdict::kProved
+               : v.max_lateral_velocity > options.property_threshold
+                   ? verify::Verdict::kViolated
+                   : verify::Verdict::kUnknown;
+  result.rounds.push_back(rr);
+  result.repaired = rr.verdict == verify::Verdict::kProved;
+  return result;
+}
+
+}  // namespace safenn::core

@@ -1,0 +1,48 @@
+// Counterexample-guided repair: closing the loop between verification
+// (Sec. II(B)) and hint training (Sec. IV(iii)).
+//
+// When formal verification refutes the safety property, the produced
+// counterexample is a concrete scene on which the predictor misbehaves.
+// Repair augments the training set with such scenes (labelled with a safe
+// action), retrains with the property hint, and re-verifies — iterating
+// until the property is proved or the budget is exhausted. This is the
+// natural composition of the paper's "formal analysis" and "training
+// under known properties" directions.
+#pragma once
+
+#include "core/pipeline.hpp"
+
+namespace safenn::core {
+
+struct RepairOptions {
+  int max_iterations = 5;
+  /// Copies of each counterexample added per round (emphasis).
+  int counterexample_weight = 25;
+  /// Safe lateral velocity used to label counterexample scenes.
+  double safe_lateral_velocity = 0.0;
+  double hint_weight = 50.0;
+  verify::VerifierOptions verifier;
+  double property_threshold = 1.0;
+};
+
+struct RepairRound {
+  double max_lateral_velocity = 0.0;
+  bool exact = false;
+  verify::Verdict verdict = verify::Verdict::kUnknown;
+  std::size_t counterexamples_added = 0;
+};
+
+struct RepairResult {
+  TrainedPredictor predictor;           // final (possibly repaired) model
+  std::vector<RepairRound> rounds;      // one entry per verification round
+  bool repaired = false;                // property proved at the end
+};
+
+/// Iteratively repairs `initial` against the vehicle-on-left lateral
+/// velocity property over `region`.
+RepairResult counterexample_guided_repair(
+    const TrainedPredictor& initial, const data::Dataset& training_data,
+    const highway::SceneEncoder& encoder, const verify::InputRegion& region,
+    const PredictorConfig& train_config, const RepairOptions& options);
+
+}  // namespace safenn::core

@@ -1,0 +1,97 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace safenn::core {
+
+std::string render_certification_report(const CertificationArtifacts& a,
+                                        const CertificationConfig& config) {
+  std::ostringstream os;
+  os << "=== safenn certification report ===\n";
+  os << "artifact: " << a.predictor.network.describe() << " (MDN, "
+     << a.predictor.head.components() << " components)\n\n";
+
+  os << "[1] specification validity (data as specification)\n";
+  os << "    raw samples:       " << a.samples_before_sanitize << '\n';
+  os << "    sanitized samples: " << a.samples_after_sanitize << '\n';
+  os << "    " << a.validation.render();
+  os << '\n';
+
+  os << "[2] implementation understandability (neuron-to-feature)\n";
+  os << "    hidden neurons analyzed: " << a.traceability.neurons.size()
+     << '\n';
+  os << "    traceable fraction:      " << std::fixed << std::setprecision(2)
+     << a.traceability.traceable_fraction * 100.0 << "%\n\n";
+
+  os << "[3] implementation correctness\n";
+  os << "    MC/DC decisions (ReLU neurons): " << a.mcdc.decisions << '\n';
+  os << "    branch combinations:            2^" << a.mcdc.decisions << '\n';
+  os << "    random campaign: " << a.coverage.tests_generated
+     << " tests -> " << std::setprecision(1)
+     << a.coverage.both_phase_coverage * 100.0 << "% both-phase coverage, "
+     << a.coverage.distinct_patterns << " distinct patterns\n";
+  os << "    formal verification (vehicle-on-left):\n";
+  os << "      max mean lateral velocity: " << std::setprecision(6)
+     << a.verification.max_lateral_velocity
+     << (a.verification.exact ? "" : " (not proven optimal: time limit)")
+     << '\n';
+  os << "      verification time: " << std::setprecision(1)
+     << a.verification.seconds << "s over " << a.verification.nodes
+     << " branch-and-bound nodes\n";
+  os << "      property (<= " << config.property_threshold
+     << " m/s): " << verify::to_string(a.verdict) << '\n';
+  return os.str();
+}
+
+TableTwoRow make_table_two_row(const std::string& ann_name,
+                               const PredictorVerification& verification) {
+  TableTwoRow row;
+  row.ann_name = ann_name;
+  row.seconds = verification.seconds;
+  row.timed_out = !verification.exact;
+  bool any_value = false;
+  for (const auto& r : verification.per_component) {
+    if (r.has_value) any_value = true;
+  }
+  row.has_value = any_value;
+  row.max_lateral_velocity = verification.max_lateral_velocity;
+  return row;
+}
+
+std::string render_table_two(const std::vector<TableTwoRow>& rows) {
+  std::ostringstream os;
+  os << "ANN      | max lateral velocity (vehicle on left) | verification time\n";
+  os << "---------+----------------------------------------+------------------\n";
+  for (const auto& row : rows) {
+    os << std::left << std::setw(8) << row.ann_name << " | ";
+    std::ostringstream value;
+    if (!row.has_value) {
+      value << "n.a. (unable to find maximum)";
+    } else {
+      value << std::fixed << std::setprecision(6) << row.max_lateral_velocity;
+      if (row.timed_out) value << " (best found)";
+    }
+    os << std::left << std::setw(38) << value.str() << " | ";
+    if (row.timed_out) {
+      os << "time-out (" << std::fixed << std::setprecision(1) << row.seconds
+         << "s)";
+    } else {
+      os << std::fixed << std::setprecision(1) << row.seconds << 's';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void table_two_csv(const std::vector<TableTwoRow>& rows, CsvWriter& csv) {
+  csv.set_header({"ann", "max_lateral_velocity", "timed_out", "seconds"});
+  for (const auto& row : rows) {
+    csv.add_row({row.ann_name,
+                 row.has_value ? CsvWriter::cell(row.max_lateral_velocity)
+                               : "n.a.",
+                 row.timed_out ? "1" : "0", CsvWriter::cell(row.seconds, 4)});
+  }
+}
+
+}  // namespace safenn::core

@@ -1,0 +1,35 @@
+// Certification report rendering (Table I / Table II shapes).
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "core/certification.hpp"
+
+namespace safenn::core {
+
+/// Full human-readable certification report: the three Table I pillars
+/// with their evidence, ending in the verification verdict.
+std::string render_certification_report(const CertificationArtifacts& a,
+                                        const CertificationConfig& config);
+
+/// One Table II row: "ANN | maximum lateral velocity, when exists a
+/// vehicle in the left | verification time".
+struct TableTwoRow {
+  std::string ann_name;        // e.g. "I4x10"
+  bool has_value = false;
+  double max_lateral_velocity = 0.0;
+  bool timed_out = false;
+  double seconds = 0.0;
+};
+
+TableTwoRow make_table_two_row(const std::string& ann_name,
+                               const PredictorVerification& verification);
+
+/// Renders rows in the paper's Table II format.
+std::string render_table_two(const std::vector<TableTwoRow>& rows);
+
+/// CSV form of Table II (for EXPERIMENTS.md artifacts).
+void table_two_csv(const std::vector<TableTwoRow>& rows, CsvWriter& csv);
+
+}  // namespace safenn::core

@@ -1,0 +1,65 @@
+#include "coverage/mcdc.hpp"
+
+#include "common/error.hpp"
+
+namespace safenn::coverage {
+
+McdcAnalysis analyze_mcdc(const nn::Network& net) {
+  McdcAnalysis a;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    a.decisions += static_cast<std::size_t>(
+                       nn::branch_count(net.layer(li).activation())) *
+                   net.layer(li).out_size();
+  }
+  a.log2_branch_combinations = static_cast<double>(a.decisions);
+  a.trivially_satisfiable = (a.decisions == 0);
+  // For n independent single-condition decisions, MC/DC needs each
+  // condition observed in both phases; n+1 tests is the classical lower
+  // bound shape, and 1 suffices when there are no decisions at all.
+  a.min_tests_lower_bound = a.trivially_satisfiable ? 1 : a.decisions + 1;
+  return a;
+}
+
+CoverageCampaignResult run_coverage_campaign(const nn::Network& net,
+                                             const verify::Box& box,
+                                             std::size_t max_tests,
+                                             Rng& rng) {
+  require(box.size() == net.input_size(),
+          "run_coverage_campaign: box dimension mismatch");
+  CoverageTracker tracker(net);
+  const McdcAnalysis mcdc = analyze_mcdc(net);
+
+  CoverageCampaignResult result;
+  result.log2_total_patterns = mcdc.log2_branch_combinations;
+
+  double last_coverage = -1.0;
+  std::size_t stall = 0;
+  for (std::size_t t = 0; t < max_tests; ++t) {
+    linalg::Vector x(net.input_size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = rng.uniform(box[i].lo, box[i].hi);
+    }
+    tracker.record_input(net, x);
+    ++result.tests_generated;
+
+    if (t % 64 == 63) {
+      const double cov = tracker.both_phase_coverage();
+      if (cov >= 1.0) break;
+      if (cov <= last_coverage) {
+        if (++stall >= 8) break;  // coverage has plateaued
+      } else {
+        stall = 0;
+      }
+      last_coverage = cov;
+    }
+  }
+
+  result.both_phase_coverage = tracker.both_phase_coverage();
+  result.distinct_patterns = tracker.distinct_patterns();
+  for (const auto& o : tracker.observations()) {
+    if (!o.both_phases()) ++result.uncovered_neurons;
+  }
+  return result;
+}
+
+}  // namespace safenn::coverage

@@ -1,0 +1,51 @@
+// MC/DC accounting for neural networks (paper Table I / Sec. II).
+//
+// The paper's observation, made computable:
+//  (i)  With smooth activations (atan) a neuron has no if-then-else, so
+//       MC/DC over the implementation is satisfied by a single test case.
+//  (ii) With ReLU every neuron is a decision; the number of structural
+//       branch combinations is 2^(#neurons), and achieving MC/DC on all
+//       of them is intractable.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "coverage/neuron_coverage.hpp"
+#include "nn/network.hpp"
+#include "verify/interval.hpp"
+
+namespace safenn::coverage {
+
+/// Static MC/DC obligations of a network's implementation.
+struct McdcAnalysis {
+  std::size_t decisions = 0;           // ReLU neurons (1 condition each)
+  double log2_branch_combinations = 0; // log2(2^decisions) = decisions
+  /// Minimum number of tests when there are no decisions (the paper's
+  /// "one test case satisfies MC/DC" for atan networks), else a lower
+  /// bound of 2 tests per decision pair handled jointly (n+1 typical).
+  std::size_t min_tests_lower_bound = 1;
+  bool trivially_satisfiable = false;  // no decisions at all
+};
+
+McdcAnalysis analyze_mcdc(const nn::Network& net);
+
+/// Result of attempting MC/DC-style coverage with random test generation.
+struct CoverageCampaignResult {
+  std::size_t tests_generated = 0;
+  double both_phase_coverage = 0.0;   // MC/DC proxy achieved
+  std::size_t distinct_patterns = 0;  // observed branch combinations
+  double log2_total_patterns = 0.0;   // 2^decisions to compare against
+  /// Neurons that no random test could drive into both phases.
+  std::size_t uncovered_neurons = 0;
+};
+
+/// Samples inputs uniformly from `box` until both-phase coverage stops
+/// improving (or `max_tests` is hit), measuring how far random testing
+/// gets against the exponential pattern space.
+CoverageCampaignResult run_coverage_campaign(const nn::Network& net,
+                                             const verify::Box& box,
+                                             std::size_t max_tests,
+                                             Rng& rng);
+
+}  // namespace safenn::coverage

@@ -1,0 +1,81 @@
+#include "coverage/neuron_coverage.hpp"
+
+#include "common/error.hpp"
+
+namespace safenn::coverage {
+
+std::vector<bool> activation_signature(const nn::Network& net,
+                                       const linalg::Vector& x) {
+  const nn::ForwardTrace trace = net.forward_trace(x);
+  std::vector<bool> signature;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    if (net.layer(li).activation() != nn::Activation::kRelu) continue;
+    for (std::size_t r = 0; r < net.layer(li).out_size(); ++r) {
+      signature.push_back(trace.pre_activations[li][r] > 0.0);
+    }
+  }
+  return signature;
+}
+
+CoverageTracker::CoverageTracker(const nn::Network& net) {
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    if (net.layer(li).activation() != nn::Activation::kRelu) continue;
+    for (std::size_t r = 0; r < net.layer(li).out_size(); ++r) {
+      relu_index_.emplace_back(li, r);
+    }
+  }
+  observations_.assign(relu_index_.size(), NeuronObservation{});
+}
+
+void CoverageTracker::record(const nn::ForwardTrace& trace) {
+  require(!relu_index_.empty() || observations_.empty(),
+          "CoverageTracker::record: tracker not initialized");
+  std::vector<bool> signature;
+  signature.reserve(relu_index_.size());
+  for (std::size_t k = 0; k < relu_index_.size(); ++k) {
+    const auto [li, r] = relu_index_[k];
+    require(li < trace.pre_activations.size() &&
+                r < trace.pre_activations[li].size(),
+            "CoverageTracker::record: trace does not match network");
+    const bool active = trace.pre_activations[li][r] > 0.0;
+    signature.push_back(active);
+    if (active) {
+      observations_[k].seen_active = true;
+    } else {
+      observations_[k].seen_inactive = true;
+    }
+  }
+  patterns_.insert(std::move(signature));
+  ++tests_;
+}
+
+void CoverageTracker::record_input(const nn::Network& net,
+                                   const linalg::Vector& x) {
+  record(net.forward_trace(x));
+}
+
+double CoverageTracker::activation_coverage() const {
+  if (observations_.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& o : observations_) {
+    if (o.seen_active) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(observations_.size());
+}
+
+double CoverageTracker::both_phase_coverage() const {
+  if (observations_.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& o : observations_) {
+    if (o.both_phases()) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(observations_.size());
+}
+
+void CoverageTracker::reset() {
+  observations_.assign(relu_index_.size(), NeuronObservation{});
+  patterns_.clear();
+  tests_ = 0;
+}
+
+}  // namespace safenn::coverage

@@ -1,0 +1,65 @@
+// Neuron-level structural coverage of a test suite.
+//
+// Supports the paper's Sec. II argument that classical coverage-based
+// testing transfers poorly to ANNs: for ReLU networks each neuron is an
+// if-then-else, so we can measure which neurons a test suite has driven
+// into each phase — and observe how the number of distinct activation
+// patterns explodes while per-neuron coverage saturates.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace safenn::coverage {
+
+/// Phase observations for one ReLU neuron across a test suite.
+struct NeuronObservation {
+  bool seen_active = false;    // pre-activation > 0 observed
+  bool seen_inactive = false;  // pre-activation <= 0 observed
+
+  bool both_phases() const { return seen_active && seen_inactive; }
+};
+
+/// The ReLU activation pattern of one input: one bit per ReLU neuron.
+std::vector<bool> activation_signature(const nn::Network& net,
+                                       const linalg::Vector& x);
+
+/// Accumulates coverage over recorded executions.
+class CoverageTracker {
+ public:
+  explicit CoverageTracker(const nn::Network& net);
+
+  /// Records one execution.
+  void record(const nn::ForwardTrace& trace);
+  void record_input(const nn::Network& net, const linalg::Vector& x);
+
+  std::size_t num_relu_neurons() const { return observations_.size(); }
+  std::size_t tests_recorded() const { return tests_; }
+
+  /// Fraction of ReLU neurons observed active at least once.
+  double activation_coverage() const;
+
+  /// Fraction of ReLU neurons observed in BOTH phases — the MC/DC
+  /// satisfaction criterion for single-condition decisions.
+  double both_phase_coverage() const;
+
+  /// Number of distinct whole-network activation patterns observed.
+  std::size_t distinct_patterns() const { return patterns_.size(); }
+
+  const std::vector<NeuronObservation>& observations() const {
+    return observations_;
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::pair<std::size_t, std::size_t>> relu_index_;  // layer,row
+  std::vector<NeuronObservation> observations_;
+  std::set<std::vector<bool>> patterns_;
+  std::size_t tests_ = 0;
+};
+
+}  // namespace safenn::coverage

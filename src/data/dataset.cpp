@@ -1,0 +1,81 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace safenn::data {
+
+Dataset::Dataset(std::size_t input_dim, std::size_t target_dim)
+    : input_dim_(input_dim), target_dim_(target_dim) {
+  require(input_dim > 0 && target_dim > 0, "Dataset: zero dimensions");
+}
+
+void Dataset::add(linalg::Vector input, linalg::Vector target) {
+  require(input_dim_ > 0, "Dataset::add: dataset not dimensioned");
+  require(input.size() == input_dim_, "Dataset::add: input dim mismatch");
+  require(target.size() == target_dim_, "Dataset::add: target dim mismatch");
+  inputs_.push_back(std::move(input));
+  targets_.push_back(std::move(target));
+}
+
+const linalg::Vector& Dataset::input(std::size_t i) const {
+  require(i < inputs_.size(), "Dataset::input: index out of range");
+  return inputs_[i];
+}
+
+const linalg::Vector& Dataset::target(std::size_t i) const {
+  require(i < targets_.size(), "Dataset::target: index out of range");
+  return targets_[i];
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  require(train_fraction > 0.0 && train_fraction <= 1.0,
+          "Dataset::split: fraction must be in (0, 1]");
+  const std::size_t cut = static_cast<std::size_t>(
+      static_cast<double>(size()) * train_fraction);
+  Dataset train(input_dim_, target_dim_), test(input_dim_, target_dim_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    (i < cut ? train : test).add(inputs_[i], targets_[i]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void Dataset::shuffle(Rng& rng) {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<linalg::Vector> in2, tg2;
+  in2.reserve(size());
+  tg2.reserve(size());
+  for (std::size_t idx : order) {
+    in2.push_back(std::move(inputs_[idx]));
+    tg2.push_back(std::move(targets_[idx]));
+  }
+  inputs_ = std::move(in2);
+  targets_ = std::move(tg2);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(input_dim_, target_dim_);
+  for (std::size_t idx : indices) {
+    require(idx < size(), "Dataset::subset: index out of range");
+    out.add(inputs_[idx], targets_[idx]);
+  }
+  return out;
+}
+
+std::pair<linalg::Vector, linalg::Vector> Dataset::input_range() const {
+  require(!empty(), "Dataset::input_range: empty dataset");
+  linalg::Vector lo = inputs_.front(), hi = inputs_.front();
+  for (const auto& x : inputs_) {
+    for (std::size_t i = 0; i < input_dim_; ++i) {
+      lo[i] = std::min(lo[i], x[i]);
+      hi[i] = std::max(hi[i], x[i]);
+    }
+  }
+  return {std::move(lo), std::move(hi)};
+}
+
+}  // namespace safenn::data

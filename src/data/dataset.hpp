@@ -1,0 +1,49 @@
+// Supervised dataset container.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/vector.hpp"
+
+namespace safenn::data {
+
+/// Paired (input, target) samples with uniform dimensions.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::size_t input_dim, std::size_t target_dim);
+
+  void add(linalg::Vector input, linalg::Vector target);
+
+  std::size_t size() const { return inputs_.size(); }
+  bool empty() const { return inputs_.empty(); }
+  std::size_t input_dim() const { return input_dim_; }
+  std::size_t target_dim() const { return target_dim_; }
+
+  const linalg::Vector& input(std::size_t i) const;
+  const linalg::Vector& target(std::size_t i) const;
+  const std::vector<linalg::Vector>& inputs() const { return inputs_; }
+  const std::vector<linalg::Vector>& targets() const { return targets_; }
+
+  /// Splits off the last `fraction` of samples as a held-out set.
+  std::pair<Dataset, Dataset> split(double train_fraction) const;
+
+  /// Deterministic in-place shuffle (inputs and targets stay paired).
+  void shuffle(Rng& rng);
+
+  /// Keeps only samples at the given indices (sorted, unique).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Per-input-dimension observed [min, max]; requires non-empty.
+  std::pair<linalg::Vector, linalg::Vector> input_range() const;
+
+ private:
+  std::size_t input_dim_ = 0;
+  std::size_t target_dim_ = 0;
+  std::vector<linalg::Vector> inputs_;
+  std::vector<linalg::Vector> targets_;
+};
+
+}  // namespace safenn::data

@@ -1,0 +1,103 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace safenn::data {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // The writer emits plain numeric cells (no quoting needed).
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+void save_dataset_csv(std::ostream& os, const Dataset& data,
+                      const FeatureSchema* schema) {
+  // Header.
+  for (std::size_t i = 0; i < data.input_dim(); ++i) {
+    if (i) os << ',';
+    if (schema && schema->size() == data.input_dim()) {
+      os << schema->at(i).name;
+    } else {
+      os << 'x' << i;
+    }
+  }
+  for (std::size_t j = 0; j < data.target_dim(); ++j) {
+    os << ",y" << j;
+  }
+  os << '\n';
+  os << std::setprecision(17);
+  for (std::size_t s = 0; s < data.size(); ++s) {
+    const linalg::Vector& x = data.input(s);
+    const linalg::Vector& y = data.target(s);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (i) os << ',';
+      os << x[i];
+    }
+    for (std::size_t j = 0; j < y.size(); ++j) os << ',' << y[j];
+    os << '\n';
+  }
+}
+
+Dataset load_dataset_csv(std::istream& is, std::size_t target_dim) {
+  std::string line;
+  require(static_cast<bool>(std::getline(is, line)),
+          "load_dataset_csv: empty stream");
+  const std::size_t total_cols = split_csv_line(line).size();
+  require(total_cols > target_dim,
+          "load_dataset_csv: fewer columns than targets");
+  const std::size_t input_dim = total_cols - target_dim;
+
+  Dataset data(input_dim, target_dim);
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    require(cells.size() == total_cols,
+            "load_dataset_csv: ragged row at line " +
+                std::to_string(line_no));
+    linalg::Vector x(input_dim), y(target_dim);
+    for (std::size_t i = 0; i < total_cols; ++i) {
+      char* end = nullptr;
+      const double v = std::strtod(cells[i].c_str(), &end);
+      require(end != cells[i].c_str(),
+              "load_dataset_csv: non-numeric cell at line " +
+                  std::to_string(line_no));
+      if (i < input_dim) {
+        x[i] = v;
+      } else {
+        y[i - input_dim] = v;
+      }
+    }
+    data.add(std::move(x), std::move(y));
+  }
+  return data;
+}
+
+void save_dataset_csv_file(const std::string& path, const Dataset& data,
+                           const FeatureSchema* schema) {
+  std::ofstream os(path);
+  require(os.is_open(), "save_dataset_csv_file: cannot open '" + path + "'");
+  save_dataset_csv(os, data, schema);
+  require(os.good(), "save_dataset_csv_file: write failure");
+}
+
+Dataset load_dataset_csv_file(const std::string& path,
+                              std::size_t target_dim) {
+  std::ifstream is(path);
+  require(is.is_open(), "load_dataset_csv_file: cannot open '" + path + "'");
+  return load_dataset_csv(is, target_dim);
+}
+
+}  // namespace safenn::data

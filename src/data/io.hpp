@@ -1,0 +1,29 @@
+// Dataset (de)serialization as CSV — the auditable artifact format for
+// certification: the exact sanitized dataset a verified network was
+// trained on can be pinned, diffed and reviewed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "data/schema.hpp"
+
+namespace safenn::data {
+
+/// Writes the dataset as CSV: input columns (named from `schema` when it
+/// matches, else x0..xN) then target columns y0..yM.
+void save_dataset_csv(std::ostream& os, const Dataset& data,
+                      const FeatureSchema* schema = nullptr);
+
+/// Parses a dataset written by save_dataset_csv. `target_dim` tells the
+/// loader how many trailing columns are targets. Throws safenn::Error on
+/// malformed content.
+Dataset load_dataset_csv(std::istream& is, std::size_t target_dim);
+
+void save_dataset_csv_file(const std::string& path, const Dataset& data,
+                           const FeatureSchema* schema = nullptr);
+Dataset load_dataset_csv_file(const std::string& path,
+                              std::size_t target_dim);
+
+}  // namespace safenn::data

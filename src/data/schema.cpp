@@ -1,0 +1,49 @@
+#include "data/schema.hpp"
+
+#include "common/error.hpp"
+
+namespace safenn::data {
+
+std::size_t FeatureSchema::add(std::string name, std::string group) {
+  require(!name.empty(), "FeatureSchema::add: empty name");
+  require(!contains(name), "FeatureSchema::add: duplicate name '" + name + "'");
+  features_.push_back(FeatureInfo{std::move(name), std::move(group)});
+  return features_.size() - 1;
+}
+
+const FeatureInfo& FeatureSchema::at(std::size_t i) const {
+  require(i < features_.size(), "FeatureSchema::at: index out of range");
+  return features_[i];
+}
+
+std::size_t FeatureSchema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].name == name) return i;
+  }
+  throw Error("FeatureSchema::index_of: unknown feature '" + name + "'");
+}
+
+bool FeatureSchema::contains(const std::string& name) const {
+  for (const auto& f : features_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> FeatureSchema::names() const {
+  std::vector<std::string> out;
+  out.reserve(features_.size());
+  for (const auto& f : features_) out.push_back(f.name);
+  return out;
+}
+
+std::vector<std::size_t> FeatureSchema::group_indices(
+    const std::string& group) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].group == group) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace safenn::data

@@ -1,0 +1,42 @@
+// Feature schema: names and groups for dataset columns.
+//
+// Certification evidence must reference features by meaning ("left-front
+// gap"), not by column index; the schema is the bridge between encoded
+// vectors and the reviewable reports (traceability, validation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace safenn::data {
+
+struct FeatureInfo {
+  std::string name;
+  std::string group;  // e.g. "ego", "neighbor.left_front", "road"
+};
+
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+
+  /// Appends a feature; returns its column index.
+  std::size_t add(std::string name, std::string group);
+
+  std::size_t size() const { return features_.size(); }
+  const FeatureInfo& at(std::size_t i) const;
+
+  /// Index of a feature by exact name; throws when absent.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// All feature names, in column order.
+  std::vector<std::string> names() const;
+
+  /// Indices whose group matches exactly.
+  std::vector<std::size_t> group_indices(const std::string& group) const;
+
+ private:
+  std::vector<FeatureInfo> features_;
+};
+
+}  // namespace safenn::data

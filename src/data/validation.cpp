@@ -1,0 +1,109 @@
+#include "data/validation.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safenn::data {
+
+std::size_t ValidationReport::total_violations() const {
+  std::size_t n = 0;
+  for (const auto& r : rules) n += r.violations;
+  return n;
+}
+
+std::string ValidationReport::render() const {
+  std::ostringstream os;
+  os << "data validation: " << samples_clean << '/' << samples_checked
+     << " samples clean\n";
+  for (const auto& r : rules) {
+    os << "  [" << (r.violations == 0 ? "PASS" : "FAIL") << "] "
+       << r.rule_name << ": " << r.violations << " violation(s)\n";
+  }
+  return os.str();
+}
+
+Validator::Validator(std::size_t max_recorded_indices)
+    : max_recorded_(max_recorded_indices) {}
+
+void Validator::add_rule(ValidationRule rule) {
+  require(!rule.name.empty(), "Validator::add_rule: rule needs a name");
+  require(static_cast<bool>(rule.violates),
+          "Validator::add_rule: rule needs a predicate");
+  rules_.push_back(std::move(rule));
+}
+
+ValidationRule Validator::target_bound(std::string name, std::size_t dim,
+                                       double lo, double hi) {
+  return ValidationRule{
+      std::move(name),
+      "target[" + std::to_string(dim) + "] must be within bounds",
+      [dim, lo, hi](const linalg::Vector&, const linalg::Vector& target) {
+        return target[dim] < lo || target[dim] > hi;
+      }};
+}
+
+ValidationRule Validator::input_bound(std::string name, std::size_t dim,
+                                      double lo, double hi) {
+  return ValidationRule{
+      std::move(name),
+      "input[" + std::to_string(dim) + "] must be within bounds",
+      [dim, lo, hi](const linalg::Vector& input, const linalg::Vector&) {
+        return input[dim] < lo || input[dim] > hi;
+      }};
+}
+
+ValidationRule Validator::conditional_target_max(
+    std::string name, std::function<bool(const linalg::Vector&)> condition,
+    std::size_t target_dim, double max_value) {
+  return ValidationRule{
+      std::move(name),
+      "conditional bound on target[" + std::to_string(target_dim) + "]",
+      [condition = std::move(condition), target_dim, max_value](
+          const linalg::Vector& input, const linalg::Vector& target) {
+        return condition(input) && target[target_dim] > max_value;
+      }};
+}
+
+ValidationReport Validator::validate(const Dataset& data) const {
+  ValidationReport report;
+  report.samples_checked = data.size();
+  report.rules.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    report.rules.push_back(RuleReport{rule.name, 0, {}});
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bool clean = true;
+    for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+      if (rules_[ri].violates(data.input(i), data.target(i))) {
+        clean = false;
+        ++report.rules[ri].violations;
+        if (report.rules[ri].violating_indices.size() < max_recorded_) {
+          report.rules[ri].violating_indices.push_back(i);
+        }
+      }
+    }
+    if (clean) ++report.samples_clean;
+  }
+  return report;
+}
+
+std::pair<Dataset, ValidationReport> Validator::sanitize(
+    const Dataset& data) const {
+  const ValidationReport report = validate(data);
+  std::vector<std::size_t> keep;
+  keep.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bool clean = true;
+    for (const auto& rule : rules_) {
+      if (rule.violates(data.input(i), data.target(i))) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) keep.push_back(i);
+  }
+  return {data.subset(keep), report};
+}
+
+}  // namespace safenn::data

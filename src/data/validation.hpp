@@ -1,0 +1,87 @@
+// Data validation: "validating data as a new type of specification"
+// (paper Sec. II(C), Table I row 3).
+//
+// Training data implicitly specifies behaviour; certification therefore
+// requires evidence that only sanitized data was used — e.g. "no data
+// containing risky driving has been introduced for training the maneuver
+// of vehicles". A Validator holds named rules (predicates over samples),
+// produces an auditable report, and can emit the sanitized dataset.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace safenn::data {
+
+/// Returns true when the sample VIOLATES the rule.
+using SamplePredicate = std::function<bool(const linalg::Vector& input,
+                                           const linalg::Vector& target)>;
+
+struct ValidationRule {
+  std::string name;
+  std::string description;
+  SamplePredicate violates;
+};
+
+/// Per-rule outcome of a validation pass.
+struct RuleReport {
+  std::string rule_name;
+  std::size_t violations = 0;
+  std::vector<std::size_t> violating_indices;  // capped (see Validator)
+};
+
+struct ValidationReport {
+  std::size_t samples_checked = 0;
+  std::size_t samples_clean = 0;
+  std::vector<RuleReport> rules;
+
+  bool all_clean() const { return samples_clean == samples_checked; }
+  std::size_t total_violations() const;
+
+  /// Human-readable summary (one line per rule).
+  std::string render() const;
+};
+
+class Validator {
+ public:
+  /// Caps how many violating indices each rule records (report size).
+  explicit Validator(std::size_t max_recorded_indices = 32);
+
+  void add_rule(ValidationRule rule);
+
+  /// Declarative helpers -------------------------------------------------
+
+  /// Target component `dim` must stay within [lo, hi].
+  static ValidationRule target_bound(std::string name, std::size_t dim,
+                                     double lo, double hi);
+
+  /// Input feature `dim` must stay within [lo, hi].
+  static ValidationRule input_bound(std::string name, std::size_t dim,
+                                    double lo, double hi);
+
+  /// Conditional rule: when `condition(input)` holds, target `dim` must be
+  /// <= `max_value`. This is the paper's rule shape: "when a vehicle is on
+  /// the left, the labelled lateral velocity must not be a large left
+  /// move".
+  static ValidationRule conditional_target_max(
+      std::string name, std::function<bool(const linalg::Vector&)> condition,
+      std::size_t target_dim, double max_value);
+
+  /// Runs all rules over the dataset.
+  ValidationReport validate(const Dataset& data) const;
+
+  /// Removes every sample violating any rule; the report documents what
+  /// was removed (the audit trail certification requires).
+  std::pair<Dataset, ValidationReport> sanitize(const Dataset& data) const;
+
+  std::size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::vector<ValidationRule> rules_;
+  std::size_t max_recorded_;
+};
+
+}  // namespace safenn::data

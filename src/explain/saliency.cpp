@@ -1,0 +1,55 @@
+#include "explain/saliency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace safenn::explain {
+
+linalg::Vector saliency(const nn::Network& net, const linalg::Vector& x,
+                        std::size_t out_index) {
+  const linalg::Vector grad = net.input_gradient(x, out_index);
+  return linalg::hadamard(grad, x);
+}
+
+linalg::Vector mean_abs_saliency(const nn::Network& net,
+                                 const std::vector<linalg::Vector>& probes,
+                                 std::size_t out_index) {
+  require(!probes.empty(), "mean_abs_saliency: no probes");
+  linalg::Vector acc(net.input_size());
+  for (const auto& p : probes) {
+    const linalg::Vector s = saliency(net, p, out_index);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += std::abs(s[i]);
+  }
+  acc *= 1.0 / static_cast<double>(probes.size());
+  return acc;
+}
+
+std::vector<std::size_t> top_k_features(const linalg::Vector& attribution,
+                                        std::size_t k) {
+  std::vector<std::size_t> idx(attribution.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(attribution[a]) > std::abs(attribution[b]);
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+double attribution_concentration(const linalg::Vector& attribution,
+                                 std::size_t k) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < attribution.size(); ++i) {
+    total += std::abs(attribution[i]);
+  }
+  if (total == 0.0) return 0.0;
+  double top = 0.0;
+  for (std::size_t i : top_k_features(attribution, k)) {
+    top += std::abs(attribution[i]);
+  }
+  return top / total;
+}
+
+}  // namespace safenn::explain

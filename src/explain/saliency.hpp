@@ -1,0 +1,34 @@
+// Gradient-based feature attribution.
+//
+// Complements correlation traceability with a local explanation: which
+// input features drive a particular output at a particular scene. The
+// paper notes (Sec. IV(i)) that understandability "can only be partially
+// achieved" by such techniques — the traceable_fraction and attribution
+// concentration metrics below quantify that partiality.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace safenn::explain {
+
+/// gradient x input attribution of output `out_index` at `x`.
+linalg::Vector saliency(const nn::Network& net, const linalg::Vector& x,
+                        std::size_t out_index);
+
+/// Mean |gradient x input| over a probe set: a global importance ranking.
+linalg::Vector mean_abs_saliency(const nn::Network& net,
+                                 const std::vector<linalg::Vector>& probes,
+                                 std::size_t out_index);
+
+/// Indices of the k largest-magnitude entries of an attribution vector.
+std::vector<std::size_t> top_k_features(const linalg::Vector& attribution,
+                                        std::size_t k);
+
+/// Fraction of total |attribution| mass carried by the top-k features —
+/// near 1.0 means the output is explainable by few features.
+double attribution_concentration(const linalg::Vector& attribution,
+                                 std::size_t k);
+
+}  // namespace safenn::explain

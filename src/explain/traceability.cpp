@@ -1,0 +1,127 @@
+#include "explain/traceability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safenn::explain {
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size() && !a.empty(), "pearson: bad sample sizes");
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+TraceabilityReport analyze_traceability(const nn::Network& net,
+                                        const std::vector<linalg::Vector>& probes,
+                                        const TraceabilityOptions& options) {
+  require(!probes.empty(), "analyze_traceability: no probe inputs");
+  const std::size_t in_dim = net.input_size();
+  for (const auto& p : probes) {
+    require(p.size() == in_dim, "analyze_traceability: probe dim mismatch");
+  }
+
+  // Gather activations: per hidden layer, per neuron, per probe.
+  std::vector<nn::ForwardTrace> traces;
+  traces.reserve(probes.size());
+  for (const auto& p : probes) traces.push_back(net.forward_trace(p));
+
+  // Feature columns.
+  std::vector<std::vector<double>> feature_cols(
+      in_dim, std::vector<double>(probes.size()));
+  for (std::size_t s = 0; s < probes.size(); ++s) {
+    for (std::size_t f = 0; f < in_dim; ++f) feature_cols[f][s] = probes[s][f];
+  }
+
+  TraceabilityReport report;
+  std::size_t traceable = 0;
+  std::size_t total = 0;
+  // Hidden layers only (the output layer traces to the spec directly).
+  for (std::size_t li = 0; li + 1 < net.num_layers(); ++li) {
+    const std::size_t width = net.layer(li).out_size();
+    for (std::size_t r = 0; r < width; ++r) {
+      NeuronTrace trace;
+      trace.layer = li;
+      trace.neuron = r;
+      std::vector<double> acts(probes.size());
+      std::size_t active = 0;
+      for (std::size_t s = 0; s < probes.size(); ++s) {
+        acts[s] = traces[s].post_activations[li][r];
+        if (acts[s] > 0.0) ++active;
+      }
+      trace.activation_rate =
+          static_cast<double>(active) / static_cast<double>(probes.size());
+
+      std::vector<std::pair<std::size_t, double>> corrs;
+      corrs.reserve(in_dim);
+      for (std::size_t f = 0; f < in_dim; ++f) {
+        const double c = pearson(acts, feature_cols[f]);
+        if (c != 0.0) corrs.emplace_back(f, c);
+      }
+      std::sort(corrs.begin(), corrs.end(), [](const auto& x, const auto& y) {
+        return std::abs(x.second) > std::abs(y.second);
+      });
+      if (corrs.size() > options.top_k) corrs.resize(options.top_k);
+      trace.top_features = std::move(corrs);
+
+      ++total;
+      if (!trace.top_features.empty() &&
+          std::abs(trace.top_features.front().second) >=
+              options.traceable_min_corr) {
+        ++traceable;
+      }
+      report.neurons.push_back(std::move(trace));
+    }
+  }
+  report.traceable_fraction =
+      total == 0 ? 1.0
+                 : static_cast<double>(traceable) / static_cast<double>(total);
+  return report;
+}
+
+std::string render_traceability(const TraceabilityReport& report,
+                                const std::vector<std::string>& feature_names) {
+  std::ostringstream os;
+  os << "neuron-to-feature traceability ("
+     << report.neurons.size() << " neurons, "
+     << static_cast<int>(report.traceable_fraction * 100.0)
+     << "% traceable)\n";
+  for (const NeuronTrace& t : report.neurons) {
+    os << "  L" << t.layer << "/n" << t.neuron << " (active "
+       << static_cast<int>(t.activation_rate * 100.0) << "%):";
+    if (t.top_features.empty()) {
+      os << " <dead or constant>";
+    }
+    for (const auto& [f, c] : t.top_features) {
+      os << ' ';
+      if (f < feature_names.size()) {
+        os << feature_names[f];
+      } else {
+        os << 'x' << f;
+      }
+      os << '(' << (c >= 0 ? '+' : '-') << static_cast<int>(std::abs(c) * 100)
+         << "%)";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace safenn::explain

@@ -1,0 +1,40 @@
+#include "highway/dataset_builder.hpp"
+
+namespace safenn::highway {
+
+BuiltDataset build_highway_dataset(const SceneEncoder& encoder,
+                                   const DatasetBuildConfig& config) {
+  BuiltDataset out;
+  out.data = data::Dataset(kSceneFeatures, kActionDims);
+
+  const auto scenarios =
+      standard_scenario_battery(config.seed, config.risky_probability);
+  for (const Scenario& scenario : scenarios) {
+    HighwaySim sim(scenario.sim);
+    sim.run(config.warmup_steps);
+    for (int step = 0; step < config.sample_steps; ++step) {
+      sim.step();
+      if (step % config.sample_every != 0) continue;
+      for (const VehicleState& ego : sim.vehicles()) {
+        const linalg::Vector x = encoder.encode(sim, ego.id);
+        linalg::Vector action(kActionDims);
+        action[kActionLateral] = ego.lateral_velocity;
+        action[kActionAccel] = ego.a;
+
+        const bool lane_change_now =
+            ego.changing_lane && ego.lateral_progress <= 0.11;
+        const bool risky = sim.was_risky(ego.id);
+        if (risky) ++out.risky_samples;
+        if (lane_change_now) ++out.lane_change_samples;
+
+        const int repeats = lane_change_now ? config.lane_change_repeat : 1;
+        for (int rep = 0; rep < repeats; ++rep) {
+          out.data.add(x, action);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace safenn::highway

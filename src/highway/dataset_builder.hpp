@@ -1,0 +1,39 @@
+// Training data generation for the motion predictor.
+//
+// Rolls the simulator forward and, at sampled instants, records
+// (encoded scene, executed action) pairs — the action is the lateral
+// velocity and longitudinal acceleration the simulated driver actually
+// took. With risky_probability > 0 the raw data contains the unsafe
+// left-moves that Sec. II(C) data validation must detect and remove.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "highway/scenario.hpp"
+#include "highway/scene_encoder.hpp"
+
+namespace safenn::highway {
+
+struct DatasetBuildConfig {
+  int warmup_steps = 50;      // let traffic settle before sampling
+  int sample_steps = 400;     // steps sampled per scenario
+  int sample_every = 2;       // record every n-th step
+  double risky_probability = 0.0;
+  std::uint64_t seed = 7;
+  /// Over-sample lane-change instants by this factor (they are rare but
+  /// are exactly what the predictor must learn).
+  int lane_change_repeat = 5;
+};
+
+struct BuiltDataset {
+  data::Dataset data;
+  std::size_t lane_change_samples = 0;
+  std::size_t risky_samples = 0;  // ground-truth count of injected risk
+};
+
+/// Builds a dataset over the standard scenario battery.
+BuiltDataset build_highway_dataset(const SceneEncoder& encoder,
+                                   const DatasetBuildConfig& config);
+
+}  // namespace safenn::highway

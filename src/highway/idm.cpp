@@ -1,0 +1,28 @@
+#include "highway/idm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace safenn::highway {
+
+double idm_free_acceleration(const IdmParams& p, double v) {
+  const double ratio = std::max(0.0, v) / p.desired_speed;
+  return p.max_accel * (1.0 - std::pow(ratio, p.accel_exponent));
+}
+
+double idm_acceleration(const IdmParams& p, double v, double gap,
+                        double closing) {
+  const double safe_gap = std::max(gap, 0.1);
+  const double s_star =
+      p.min_gap + std::max(0.0, v * p.time_headway +
+                                    v * closing /
+                                        (2.0 * std::sqrt(p.max_accel *
+                                                         p.comfortable_decel)));
+  const double interaction = s_star / safe_gap;
+  const double accel =
+      idm_free_acceleration(p, v) - p.max_accel * interaction * interaction;
+  // Physical clamp: no stronger than emergency braking, no reversing push.
+  return std::clamp(accel, -4.0 * p.comfortable_decel, p.max_accel);
+}
+
+}  // namespace safenn::highway

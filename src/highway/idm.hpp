@@ -1,0 +1,28 @@
+// Intelligent Driver Model (IDM) longitudinal dynamics.
+//
+// Standard car-following model (Treiber et al.) used as the surrounding-
+// traffic substrate; the paper's predictor was trained on real highway
+// scenes, which we replace with IDM traffic per DESIGN.md.
+#pragma once
+
+namespace safenn::highway {
+
+struct IdmParams {
+  double desired_speed = 30.0;      // v0 [m/s]
+  double time_headway = 1.5;        // T [s]
+  double max_accel = 1.5;           // a [m/s^2]
+  double comfortable_decel = 2.0;   // b [m/s^2]
+  double min_gap = 2.0;             // s0 [m]
+  double accel_exponent = 4.0;      // delta
+};
+
+/// IDM acceleration for a vehicle at speed `v` with bumper gap `gap` to
+/// its leader and closing speed `closing` (= v - v_leader). Pass a huge
+/// gap when no leader exists.
+double idm_acceleration(const IdmParams& p, double v, double gap,
+                        double closing);
+
+/// Free-road acceleration (no leader).
+double idm_free_acceleration(const IdmParams& p, double v);
+
+}  // namespace safenn::highway

@@ -1,0 +1,52 @@
+#include "highway/lane_change.hpp"
+
+#include <algorithm>
+
+namespace safenn::highway {
+
+double lane_change_lateral_speed(const LaneChangeParams& p) {
+  return kLaneWidth / p.duration;
+}
+
+bool lane_change_safe(const LaneChangeParams& p, const TargetLaneGaps& gaps) {
+  if (!gaps.lane_exists) return false;
+  if (gaps.front.present && gaps.front.gap < p.min_front_gap) return false;
+  if (gaps.rear.present && gaps.rear.gap < p.min_rear_gap) return false;
+  return true;
+}
+
+double lane_change_incentive(const IdmParams& idm, double v,
+                             const NeighborObservation& current_front,
+                             const TargetLaneGaps& target) {
+  const double huge_gap = 1e4;
+  const double current_accel = idm_acceleration(
+      idm, v, current_front.present ? current_front.gap : huge_gap,
+      current_front.present ? -current_front.rel_speed : 0.0);
+  const double target_accel = idm_acceleration(
+      idm, v, target.front.present ? target.front.gap : huge_gap,
+      target.front.present ? -target.front.rel_speed : 0.0);
+  return target_accel - current_accel;
+}
+
+LaneChangeDecision decide_lane_change(const IdmParams& idm,
+                                      const LaneChangeParams& p, double v,
+                                      const NeighborObservation& current_front,
+                                      const TargetLaneGaps& left,
+                                      const TargetLaneGaps& right,
+                                      bool ignore_safety) {
+  double left_gain = -1e9, right_gain = -1e9;
+  const bool left_ok =
+      left.lane_exists && (ignore_safety || lane_change_safe(p, left));
+  const bool right_ok =
+      right.lane_exists && (ignore_safety || lane_change_safe(p, right));
+  if (left_ok) left_gain = lane_change_incentive(idm, v, current_front, left);
+  if (right_ok)
+    right_gain = lane_change_incentive(idm, v, current_front, right);
+
+  const double best = std::max(left_gain, right_gain);
+  if (best < p.incentive_threshold) return LaneChangeDecision::kStay;
+  return left_gain >= right_gain ? LaneChangeDecision::kLeft
+                                 : LaneChangeDecision::kRight;
+}
+
+}  // namespace safenn::highway

@@ -1,0 +1,51 @@
+// Rule-based lane-change decisions (MOBIL-flavoured).
+//
+// A change is considered when the incentive (IDM acceleration gain in the
+// target lane) exceeds a threshold, and executed only when the target-
+// lane gaps are safe. The *risky* variant skips the safety check — it
+// generates the contaminated training episodes that the Sec. II(C) data
+// validation must catch.
+#pragma once
+
+#include "highway/idm.hpp"
+#include "highway/vehicle.hpp"
+
+namespace safenn::highway {
+
+struct LaneChangeParams {
+  double min_front_gap = 8.0;        // m, required ahead in target lane
+  double min_rear_gap = 6.0;         // m, required behind in target lane
+  double incentive_threshold = 0.3;  // m/s^2 gain required
+  double duration = 2.0;             // s to cross one lane
+};
+
+/// Lateral speed while executing a normal lane change.
+double lane_change_lateral_speed(const LaneChangeParams& p);
+
+enum class LaneChangeDecision { kStay, kLeft, kRight };
+
+/// Gap situation in a candidate target lane.
+struct TargetLaneGaps {
+  bool lane_exists = false;
+  NeighborObservation front;
+  NeighborObservation rear;
+};
+
+/// Safety check for moving into the given lane.
+bool lane_change_safe(const LaneChangeParams& p, const TargetLaneGaps& gaps);
+
+/// Incentive: IDM acceleration the vehicle would enjoy behind the target
+/// lane's front vehicle, minus its current acceleration.
+double lane_change_incentive(const IdmParams& idm, double v,
+                             const NeighborObservation& current_front,
+                             const TargetLaneGaps& target);
+
+/// Full decision given both side options; prefers the larger incentive.
+LaneChangeDecision decide_lane_change(const IdmParams& idm,
+                                      const LaneChangeParams& p, double v,
+                                      const NeighborObservation& current_front,
+                                      const TargetLaneGaps& left,
+                                      const TargetLaneGaps& right,
+                                      bool ignore_safety = false);
+
+}  // namespace safenn::highway

@@ -1,0 +1,72 @@
+#include "highway/safety_rules.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace safenn::highway {
+
+verify::InputRegion make_vehicle_on_left_region(const SceneEncoder& encoder) {
+  return make_vehicle_on_left_region(encoder, encoder.domain_box());
+}
+
+verify::InputRegion make_vehicle_on_left_region(const SceneEncoder& encoder,
+                                                verify::Box base_box) {
+  verify::InputRegion region;
+  region.box = std::move(base_box);
+  // Pin: vehicle present in the left-front slot, close.
+  const std::size_t presence =
+      encoder.presence_index(NeighborSlot::kLeftFront);
+  const std::size_t gap = encoder.gap_index(NeighborSlot::kLeftFront);
+  region.box[presence] = verify::Interval{1.0, 1.0};
+  region.box[gap] = verify::Interval{
+      0.0, std::min(kLeftOccupiedMaxGap, region.box[gap].hi)};
+  return region;
+}
+
+verify::Box data_domain_box(const data::Dataset& data,
+                            const SceneEncoder& encoder, double padding) {
+  const auto [lo, hi] = data.input_range();
+  verify::Box box = encoder.domain_box();
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    box[i].lo = std::max(box[i].lo, lo[i] - padding);
+    box[i].hi = std::min(box[i].hi, hi[i] + padding);
+    if (box[i].lo > box[i].hi) box[i].lo = box[i].hi;
+  }
+  return box;
+}
+
+bool vehicle_on_left(const SceneEncoder& encoder, const linalg::Vector& x) {
+  const std::size_t presence =
+      encoder.presence_index(NeighborSlot::kLeftFront);
+  const std::size_t gap = encoder.gap_index(NeighborSlot::kLeftFront);
+  return x[presence] >= 0.5 && x[gap] <= kLeftOccupiedMaxGap;
+}
+
+data::ValidationRule no_risky_left_move_rule(const SceneEncoder& encoder,
+                                             double max_left_velocity) {
+  // Capture indices by value so the rule outlives the encoder.
+  const std::size_t presence =
+      encoder.presence_index(NeighborSlot::kLeftFront);
+  const std::size_t gap = encoder.gap_index(NeighborSlot::kLeftFront);
+  return data::Validator::conditional_target_max(
+      "no-risky-left-move",
+      [presence, gap](const linalg::Vector& x) {
+        return x[presence] >= 0.5 && x[gap] <= kLeftOccupiedMaxGap;
+      },
+      kActionLateral, max_left_velocity);
+}
+
+verify::SafetyProperty component_lateral_velocity_property(
+    const SceneEncoder& encoder, const nn::MdnHead& head, std::size_t k,
+    double threshold) {
+  verify::SafetyProperty prop;
+  prop.name = "lateral-velocity-mean[k=" + std::to_string(k) +
+              "]<=" + std::to_string(threshold);
+  prop.region = make_vehicle_on_left_region(encoder);
+  prop.expr.terms = {
+      {static_cast<int>(head.mean_index(k, kActionLateral)), 1.0}};
+  prop.threshold = threshold;
+  return prop;
+}
+
+}  // namespace safenn::highway

@@ -1,0 +1,58 @@
+// Safety rules connecting the highway domain to verification and data
+// validation.
+//
+// The case-study property (paper Sec. III): "if there is a vehicle in the
+// left of the ego vehicle, the predictor never suggests a large left
+// velocity". Here that sentence is turned into (a) an InputRegion for the
+// MILP/interval verifiers, (b) a SamplePredicate for the data validator,
+// and (c) a ready-made SafetyProperty against an MDN predictor's
+// component-mean outputs.
+#pragma once
+
+#include "data/validation.hpp"
+#include "highway/scene_encoder.hpp"
+#include "nn/mdn.hpp"
+#include "verify/property.hpp"
+
+namespace safenn::highway {
+
+/// Gap (normalized) below which a left-lane vehicle counts as "in the
+/// left of the ego vehicle".
+constexpr double kLeftOccupiedMaxGap = 0.25;  // 25 m at kGapScale=100
+
+/// Input region: a vehicle present in the left-front slot within the
+/// occupied gap, everything else free over the encoder's domain.
+verify::InputRegion make_vehicle_on_left_region(const SceneEncoder& encoder);
+
+/// Same condition over a caller-provided base box (e.g. the observed data
+/// domain) instead of the full encoder domain. The left-front presence
+/// and gap dimensions are pinned regardless of the base box.
+verify::InputRegion make_vehicle_on_left_region(const SceneEncoder& encoder,
+                                                verify::Box base_box);
+
+/// Feature-wise [min, max] of a dataset's inputs, padded by `padding` and
+/// intersected with the encoder domain. Verifying over the observed data
+/// domain (rather than every encodable vector) is the standard input-
+/// region choice in NN verification and keeps the MILP tractable.
+verify::Box data_domain_box(const data::Dataset& data,
+                            const SceneEncoder& encoder,
+                            double padding = 0.02);
+
+/// Point predicate version of the same condition (for data validation
+/// and runtime monitoring).
+bool vehicle_on_left(const SceneEncoder& encoder, const linalg::Vector& x);
+
+/// Validation rule: when a vehicle is on the left, the labelled lateral
+/// velocity must not exceed `max_left_velocity` (m/s, + = left). This is
+/// the paper's "no risky driving in the training data" rule.
+data::ValidationRule no_risky_left_move_rule(const SceneEncoder& encoder,
+                                             double max_left_velocity);
+
+/// Safety property for one mixture component k of an MDN predictor:
+/// mean lateral velocity of component k stays <= threshold over the
+/// vehicle-on-left region.
+verify::SafetyProperty component_lateral_velocity_property(
+    const SceneEncoder& encoder, const nn::MdnHead& head, std::size_t k,
+    double threshold);
+
+}  // namespace safenn::highway

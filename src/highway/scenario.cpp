@@ -1,0 +1,56 @@
+#include "highway/scenario.hpp"
+
+namespace safenn::highway {
+
+Scenario make_scenario(TrafficDensity density, std::uint64_t seed,
+                       double risky_probability) {
+  Scenario sc;
+  sc.sim.num_lanes = 3;
+  sc.sim.road_length = 1000.0;
+  sc.sim.seed = seed;
+  sc.sim.risky_probability = risky_probability;
+  switch (density) {
+    case TrafficDensity::kLight:
+      sc.name = "light";
+      sc.sim.num_vehicles = 12;
+      sc.sim.min_speed = 26.0;
+      sc.sim.max_speed = 36.0;
+      break;
+    case TrafficDensity::kMedium:
+      sc.name = "medium";
+      sc.sim.num_vehicles = 24;
+      sc.sim.min_speed = 24.0;
+      sc.sim.max_speed = 34.0;
+      break;
+    case TrafficDensity::kDense:
+      sc.name = "dense";
+      sc.sim.num_vehicles = 42;
+      sc.sim.min_speed = 20.0;
+      sc.sim.max_speed = 30.0;
+      break;
+  }
+  return sc;
+}
+
+std::vector<Scenario> standard_scenario_battery(std::uint64_t seed,
+                                                double risky_probability) {
+  std::vector<Scenario> out;
+  int k = 0;
+  for (TrafficDensity d : {TrafficDensity::kLight, TrafficDensity::kMedium,
+                           TrafficDensity::kDense}) {
+    Scenario sc = make_scenario(d, seed + static_cast<std::uint64_t>(k),
+                                risky_probability);
+    out.push_back(sc);
+    // A wet-road variant of each density.
+    Scenario wet = sc;
+    wet.name += "-wet";
+    wet.sim.seed = seed + static_cast<std::uint64_t>(k) + 100;
+    wet.sim.road.friction = 0.6;
+    wet.sim.road.speed_limit = 27.0;
+    out.push_back(std::move(wet));
+    ++k;
+  }
+  return out;
+}
+
+}  // namespace safenn::highway

@@ -1,0 +1,28 @@
+// Scenario presets for simulation and data generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "highway/simulator.hpp"
+
+namespace safenn::highway {
+
+enum class TrafficDensity { kLight, kMedium, kDense };
+
+/// Named scenario: a SimConfig plus metadata for reports.
+struct Scenario {
+  std::string name;
+  SimConfig sim;
+};
+
+/// Standard scenario matching the case study: 3-lane highway.
+Scenario make_scenario(TrafficDensity density, std::uint64_t seed,
+                       double risky_probability = 0.0);
+
+/// A battery of scenarios spanning densities and road conditions, used by
+/// the dataset builder to diversify training data.
+std::vector<Scenario> standard_scenario_battery(std::uint64_t seed,
+                                                double risky_probability = 0.0);
+
+}  // namespace safenn::highway

@@ -1,0 +1,148 @@
+#include "highway/scene_encoder.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace safenn::highway {
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+double clamp_sym(double x) { return std::clamp(x, -1.0, 1.0); }
+
+}  // namespace
+
+SceneEncoder::SceneEncoder() {
+  // Ego block.
+  for (std::size_t k = 0; k < kSpeedHistory; ++k) {
+    schema_.add("ego.speed[t-" + std::to_string(k) + "]", "ego");
+  }
+  for (std::size_t k = 0; k < kAccelHistory; ++k) {
+    schema_.add("ego.accel[t-" + std::to_string(k) + "]", "ego");
+  }
+  for (std::size_t k = 0; k < kMaxLanesEncoded; ++k) {
+    schema_.add("ego.lane" + std::to_string(k), "ego");
+  }
+  // Neighbor blocks.
+  for (std::size_t s = 0; s < kNumNeighborSlots; ++s) {
+    const std::string slot =
+        neighbor_slot_name(static_cast<NeighborSlot>(s));
+    const std::string group = "neighbor." + slot;
+    neighbor_base_[s] = schema_.size();
+    schema_.add(slot + ".presence", group);
+    schema_.add(slot + ".gap", group);
+    schema_.add(slot + ".rel_speed", group);
+    schema_.add(slot + ".abs_speed", group);
+    schema_.add(slot + ".accel", group);
+    schema_.add(slot + ".inv_ttc", group);
+    schema_.add(slot + ".lateral_offset", group);
+    schema_.add(slot + ".length", group);
+    schema_.add(slot + ".closing", group);
+    schema_.add(slot + ".gap_ratio", group);
+  }
+  // Road block.
+  schema_.add("road.friction", "road");
+  schema_.add("road.curvature", "road");
+  schema_.add("road.speed_limit", "road");
+  for (std::size_t k = 0; k < kMaxLanesEncoded; ++k) {
+    schema_.add("road.lanes" + std::to_string(k + 1), "road");
+  }
+  require(schema_.size() == kSceneFeatures,
+          "SceneEncoder: schema does not total 84 features");
+}
+
+std::size_t SceneEncoder::presence_index(NeighborSlot slot) const {
+  return neighbor_base_[static_cast<std::size_t>(slot)] + 0;
+}
+std::size_t SceneEncoder::gap_index(NeighborSlot slot) const {
+  return neighbor_base_[static_cast<std::size_t>(slot)] + 1;
+}
+std::size_t SceneEncoder::rel_speed_index(NeighborSlot slot) const {
+  return neighbor_base_[static_cast<std::size_t>(slot)] + 2;
+}
+
+linalg::Vector SceneEncoder::encode(const HighwaySim& sim, int ego_id) const {
+  const VehicleState& ego = sim.vehicle(ego_id);
+  linalg::Vector x(kSceneFeatures);
+  std::size_t i = 0;
+
+  const auto& speeds = sim.speed_history(ego_id);
+  for (std::size_t k = 0; k < kSpeedHistory; ++k) {
+    x[i++] = clamp01(speeds[k] / kSpeedScale);
+  }
+  const auto& accels = sim.accel_history(ego_id);
+  for (std::size_t k = 0; k < kAccelHistory; ++k) {
+    x[i++] = clamp_sym(accels[k] / kAccelScale);
+  }
+  for (std::size_t k = 0; k < kMaxLanesEncoded; ++k) {
+    x[i++] = (static_cast<std::size_t>(std::max(0, ego.lane)) == k) ? 1.0 : 0.0;
+  }
+
+  const auto obs = sim.neighbors(ego_id);
+  for (std::size_t s = 0; s < kNumNeighborSlots; ++s) {
+    const NeighborObservation& o = obs[s];
+    const double lateral_offset =
+        (s <= 1) ? 1.0 : (s >= 4 ? -1.0 : 0.0);  // left/same/right
+    if (!o.present) {
+      x[i++] = 0.0;          // presence
+      x[i++] = 1.0;          // gap: "far away"
+      x[i++] = 0.0;          // rel speed
+      x[i++] = 0.0;          // abs speed
+      x[i++] = 0.0;          // accel
+      x[i++] = 0.0;          // inv ttc
+      x[i++] = lateral_offset;
+      x[i++] = 0.0;          // length
+      x[i++] = 0.0;          // closing
+      x[i++] = 1.0;          // gap ratio
+      continue;
+    }
+    const double gap_n = clamp01(o.gap / kGapScale);
+    // Time-to-collision: ego closing on a front vehicle (or rear vehicle
+    // closing on ego); use |closing speed| / gap, clamped.
+    const double closing_speed = -o.rel_speed;  // >0 when gap shrinks (front)
+    const double inv_ttc =
+        clamp01(std::max(0.0, closing_speed) / std::max(o.gap, 1.0) * 10.0);
+    x[i++] = 1.0;
+    x[i++] = gap_n;
+    x[i++] = clamp_sym(o.rel_speed / kSpeedScale);
+    x[i++] = clamp01(o.abs_speed / kSpeedScale);
+    x[i++] = clamp_sym(o.accel / kAccelScale);
+    x[i++] = inv_ttc;
+    x[i++] = lateral_offset;
+    x[i++] = clamp01(o.length / kLengthScale);
+    x[i++] = closing_speed > 0.0 ? 1.0 : 0.0;
+    x[i++] = gap_n;  // gap ratio mirrors gap for present vehicles
+  }
+
+  const RoadCondition& road = sim.config().road;
+  x[i++] = clamp01(road.friction);
+  x[i++] = clamp_sym(road.curvature);
+  x[i++] = clamp01(road.speed_limit / kSpeedScale);
+  const std::size_t lanes = static_cast<std::size_t>(
+      std::clamp(sim.config().num_lanes, 1, static_cast<int>(kMaxLanesEncoded)));
+  for (std::size_t k = 0; k < kMaxLanesEncoded; ++k) {
+    x[i++] = (lanes == k + 1) ? 1.0 : 0.0;
+  }
+  require(i == kSceneFeatures, "SceneEncoder::encode: layout drift");
+  return x;
+}
+
+verify::Box SceneEncoder::domain_box() const {
+  verify::Box box(kSceneFeatures, verify::Interval{0.0, 1.0});
+  // Signed features get symmetric ranges.
+  for (std::size_t k = 0; k < kAccelHistory; ++k) {
+    box[kSpeedHistory + k] = verify::Interval{-1.0, 1.0};
+  }
+  for (std::size_t s = 0; s < kNumNeighborSlots; ++s) {
+    const std::size_t base = neighbor_base_[s];
+    box[base + 2] = verify::Interval{-1.0, 1.0};  // rel_speed
+    box[base + 4] = verify::Interval{-1.0, 1.0};  // accel
+    box[base + 6] = verify::Interval{-1.0, 1.0};  // lateral_offset
+  }
+  const std::size_t road_base = kSceneFeatures - 6;
+  box[road_base + 1] = verify::Interval{-1.0, 1.0};  // curvature
+  return box;
+}
+
+}  // namespace safenn::highway

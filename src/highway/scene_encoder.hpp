@@ -1,0 +1,68 @@
+// Scene encoding: simulator state -> the predictor's 84-dim input vector.
+//
+// Mirrors the paper's three input categories: "(i) its own speed profile,
+// (ii) parameters of its nearest surrounding vehicles for each
+// orientation, and (iii) the road condition. The total number of input
+// variables to the network is 84."
+//
+// Layout (84 = 18 + 60 + 6):
+//   ego (18):       speed history x10, accel history x5, lane one-hot x3
+//   neighbors (60): 6 slots x 10 features
+//                   (presence, gap, rel_speed, abs_speed, accel,
+//                    inv_ttc, lateral_offset, length, closing, gap_ratio)
+//   road (6):       friction, curvature, speed_limit, lane-count one-hot x3
+//
+// All features are normalized to roughly [-1, 1] / [0, 1]; the constants
+// are part of the public contract because verification regions and data
+// validation rules are written against them.
+#pragma once
+
+#include "data/schema.hpp"
+#include "highway/simulator.hpp"
+#include "linalg/vector.hpp"
+#include "verify/interval.hpp"
+
+namespace safenn::highway {
+
+/// Normalization constants (public: regions/rules depend on them).
+constexpr double kSpeedScale = 40.0;   // m/s
+constexpr double kAccelScale = 4.0;    // m/s^2
+constexpr double kGapScale = 100.0;    // m
+constexpr double kLengthScale = 20.0;  // m
+constexpr std::size_t kSpeedHistory = 10;
+constexpr std::size_t kAccelHistory = 5;
+constexpr std::size_t kMaxLanesEncoded = 3;
+constexpr std::size_t kNeighborFeatures = 10;
+constexpr std::size_t kSceneFeatures = 84;
+
+class SceneEncoder {
+ public:
+  SceneEncoder();
+
+  /// Column names/groups for all 84 features.
+  const data::FeatureSchema& schema() const { return schema_; }
+
+  /// Encodes the scene around `ego_id`.
+  linalg::Vector encode(const HighwaySim& sim, int ego_id) const;
+
+  /// Feature indices needed by safety rules and verification regions.
+  std::size_t presence_index(NeighborSlot slot) const;
+  std::size_t gap_index(NeighborSlot slot) const;
+  std::size_t rel_speed_index(NeighborSlot slot) const;
+
+  /// The natural domain box of the encoding (sound feature-wise ranges);
+  /// verification regions start from this and pin/narrow dimensions.
+  verify::Box domain_box() const;
+
+ private:
+  data::FeatureSchema schema_;
+  std::size_t neighbor_base_[kNumNeighborSlots] = {};
+};
+
+/// The action/label vector is 2-D: [lateral velocity (m/s, + = left),
+/// longitudinal acceleration (m/s^2)]. Indices for readability.
+constexpr std::size_t kActionLateral = 0;
+constexpr std::size_t kActionAccel = 1;
+constexpr std::size_t kActionDims = 2;
+
+}  // namespace safenn::highway

@@ -1,0 +1,264 @@
+#include "highway/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safenn::highway {
+
+HighwaySim::HighwaySim(SimConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  require(config_.num_lanes >= 1, "HighwaySim: need at least one lane");
+  require(config_.num_vehicles >= 1, "HighwaySim: need at least one vehicle");
+  require(config_.road_length >
+              config_.num_vehicles * 2.0 * kDefaultVehicleLength /
+                  config_.num_lanes,
+          "HighwaySim: road too short for the requested traffic");
+
+  // Place vehicles round-robin across lanes with jittered spacing.
+  const int per_lane =
+      (config_.num_vehicles + config_.num_lanes - 1) / config_.num_lanes;
+  int id = 0;
+  for (int lane = 0; lane < config_.num_lanes && id < config_.num_vehicles;
+       ++lane) {
+    const double spacing = config_.road_length / per_lane;
+    for (int k = 0; k < per_lane && id < config_.num_vehicles; ++k) {
+      VehicleState v;
+      v.id = id;
+      v.lane = lane;
+      v.target_lane = lane;
+      v.s = std::fmod(k * spacing + rng_.uniform(0.0, spacing * 0.3),
+                      config_.road_length);
+      v.v = rng_.uniform(config_.min_speed, config_.max_speed);
+      v.length = kDefaultVehicleLength + rng_.uniform(-0.5, 1.5);
+      vehicles_.push_back(v);
+      ++id;
+    }
+  }
+  speed_hist_.assign(vehicles_.size(),
+                     std::vector<double>(kHistoryLength, 0.0));
+  accel_hist_.assign(vehicles_.size(),
+                     std::vector<double>(kHistoryLength, 0.0));
+  risky_flag_.assign(vehicles_.size(), 0);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    std::fill(speed_hist_[i].begin(), speed_hist_[i].end(), vehicles_[i].v);
+  }
+}
+
+double HighwaySim::forward_distance(double from_s, double to_s) const {
+  double d = to_s - from_s;
+  while (d < 0.0) d += config_.road_length;
+  while (d >= config_.road_length) d -= config_.road_length;
+  return d;
+}
+
+const VehicleState* HighwaySim::front_vehicle(const VehicleState& ego,
+                                              int lane,
+                                              double* gap_out) const {
+  const VehicleState* best = nullptr;
+  double best_d = 1e18;
+  for (const VehicleState& other : vehicles_) {
+    if (other.id == ego.id || other.lane != lane) continue;
+    const double d = forward_distance(ego.s, other.s);
+    if (d > 0.0 && d < best_d) {
+      best_d = d;
+      best = &other;
+    }
+  }
+  if (best && gap_out) {
+    *gap_out = best_d - 0.5 * (ego.length + best->length);
+  }
+  return best;
+}
+
+const VehicleState* HighwaySim::rear_vehicle(const VehicleState& ego,
+                                             int lane,
+                                             double* gap_out) const {
+  const VehicleState* best = nullptr;
+  double best_d = 1e18;
+  for (const VehicleState& other : vehicles_) {
+    if (other.id == ego.id || other.lane != lane) continue;
+    const double d = forward_distance(other.s, ego.s);
+    if (d > 0.0 && d < best_d) {
+      best_d = d;
+      best = &other;
+    }
+  }
+  if (best && gap_out) {
+    *gap_out = best_d - 0.5 * (ego.length + best->length);
+  }
+  return best;
+}
+
+NeighborObservation HighwaySim::observe(const VehicleState& ego,
+                                        const VehicleState* other,
+                                        double gap) const {
+  NeighborObservation obs;
+  if (!other) return obs;
+  obs.present = true;
+  obs.gap = std::max(0.0, gap);
+  obs.rel_speed = other->v - ego.v;
+  obs.abs_speed = other->v;
+  obs.accel = other->a;
+  obs.length = other->length;
+  return obs;
+}
+
+std::vector<NeighborObservation> HighwaySim::neighbors(int ego_id) const {
+  const VehicleState& ego = vehicle(ego_id);
+  std::vector<NeighborObservation> out(kNumNeighborSlots);
+  const int lanes[3] = {ego.lane + 1, ego.lane, ego.lane - 1};
+  const NeighborSlot front_slots[3] = {NeighborSlot::kLeftFront,
+                                       NeighborSlot::kSameFront,
+                                       NeighborSlot::kRightFront};
+  const NeighborSlot rear_slots[3] = {NeighborSlot::kLeftRear,
+                                      NeighborSlot::kSameRear,
+                                      NeighborSlot::kRightRear};
+  for (int k = 0; k < 3; ++k) {
+    if (lanes[k] < 0 || lanes[k] >= config_.num_lanes) continue;
+    double gap = 0.0;
+    const VehicleState* f = front_vehicle(ego, lanes[k], &gap);
+    out[static_cast<std::size_t>(front_slots[k])] = observe(ego, f, gap);
+    const VehicleState* r = rear_vehicle(ego, lanes[k], &gap);
+    out[static_cast<std::size_t>(rear_slots[k])] = observe(ego, r, gap);
+  }
+  return out;
+}
+
+TargetLaneGaps HighwaySim::target_lane_gaps(int ego_id, int direction) const {
+  const VehicleState& ego = vehicle(ego_id);
+  TargetLaneGaps gaps;
+  const int lane = ego.lane + direction;
+  if (lane < 0 || lane >= config_.num_lanes) return gaps;
+  gaps.lane_exists = true;
+  double gap = 0.0;
+  const VehicleState* f = front_vehicle(ego, lane, &gap);
+  gaps.front = observe(ego, f, gap);
+  const VehicleState* r = rear_vehicle(ego, lane, &gap);
+  gaps.rear = observe(ego, r, gap);
+  return gaps;
+}
+
+const VehicleState& HighwaySim::vehicle(int id) const {
+  require(id >= 0 && static_cast<std::size_t>(id) < vehicles_.size(),
+          "HighwaySim::vehicle: unknown id");
+  return vehicles_[static_cast<std::size_t>(id)];
+}
+
+void HighwaySim::step() {
+  const double dt = config_.dt;
+  std::vector<VehicleState> next = vehicles_;
+
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const VehicleState& ego = vehicles_[i];
+    VehicleState& upd = next[i];
+    risky_flag_[i] = 0;
+
+    // Longitudinal: IDM against the same-lane leader, scaled by friction.
+    double gap = 0.0;
+    const VehicleState* leader = front_vehicle(ego, ego.lane, &gap);
+    double accel =
+        leader
+            ? idm_acceleration(config_.idm, ego.v, gap, ego.v - leader->v)
+            : idm_free_acceleration(config_.idm, ego.v);
+    accel *= config_.road.friction;
+    // Respect the speed limit.
+    if (ego.v > config_.road.speed_limit) {
+      accel = std::min(accel, -0.5);
+    }
+    upd.a = accel;
+    upd.v = std::max(0.0, ego.v + accel * dt);
+    upd.s = std::fmod(ego.s + upd.v * dt, config_.road_length);
+
+    // Lateral: continue an ongoing change or consider starting one.
+    if (ego.changing_lane) {
+      const double rate = dt / config_.lane_change.duration;
+      upd.lateral_progress = ego.lateral_progress + rate;
+      if (upd.lateral_progress >= 1.0) {
+        upd.changing_lane = false;
+        upd.lateral_progress = 0.0;
+        upd.lane = ego.target_lane;
+        upd.lateral_velocity = 0.0;
+      }
+      continue;
+    }
+
+    const NeighborObservation current_front = observe(ego, leader, gap);
+    const TargetLaneGaps left = target_lane_gaps(ego.id, +1);
+    const TargetLaneGaps right = target_lane_gaps(ego.id, -1);
+
+    const bool risky = config_.risky_probability > 0.0 &&
+                       rng_.bernoulli(config_.risky_probability);
+    LaneChangeDecision decision;
+    if (risky) {
+      // Force a left change into possibly occupied space when possible.
+      decision = left.lane_exists ? LaneChangeDecision::kLeft
+                                  : LaneChangeDecision::kStay;
+    } else {
+      decision = decide_lane_change(config_.idm, config_.lane_change, ego.v,
+                                    current_front, left, right);
+    }
+    if (decision == LaneChangeDecision::kStay) {
+      upd.lateral_velocity = 0.0;
+      continue;
+    }
+    const int dir = decision == LaneChangeDecision::kLeft ? +1 : -1;
+    upd.changing_lane = true;
+    upd.target_lane = ego.lane + dir;
+    upd.lateral_progress = 0.0;
+    const double base = lane_change_lateral_speed(config_.lane_change);
+    upd.lateral_velocity =
+        dir * base * (risky ? config_.risky_lateral_factor : 1.0);
+    if (risky) risky_flag_[i] = 1;
+  }
+
+  vehicles_ = std::move(next);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    auto& sh = speed_hist_[i];
+    sh.insert(sh.begin(), vehicles_[i].v);
+    sh.resize(kHistoryLength);
+    auto& ah = accel_hist_[i];
+    ah.insert(ah.begin(), vehicles_[i].a);
+    ah.resize(kHistoryLength);
+  }
+  ++steps_;
+}
+
+void HighwaySim::run(int n) {
+  for (int i = 0; i < n; ++i) step();
+}
+
+bool HighwaySim::any_collision() const {
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    for (std::size_t j = i + 1; j < vehicles_.size(); ++j) {
+      const VehicleState& a = vehicles_[i];
+      const VehicleState& b = vehicles_[j];
+      if (a.lane != b.lane) continue;
+      const double d = std::min(forward_distance(a.s, b.s),
+                                forward_distance(b.s, a.s));
+      if (d < 0.5 * (a.length + b.length)) return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<double>& HighwaySim::speed_history(int id) const {
+  require(id >= 0 && static_cast<std::size_t>(id) < speed_hist_.size(),
+          "HighwaySim::speed_history: unknown id");
+  return speed_hist_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<double>& HighwaySim::accel_history(int id) const {
+  require(id >= 0 && static_cast<std::size_t>(id) < accel_hist_.size(),
+          "HighwaySim::accel_history: unknown id");
+  return accel_hist_[static_cast<std::size_t>(id)];
+}
+
+bool HighwaySim::was_risky(int id) const {
+  require(id >= 0 && static_cast<std::size_t>(id) < risky_flag_.size(),
+          "HighwaySim::was_risky: unknown id");
+  return risky_flag_[static_cast<std::size_t>(id)] != 0;
+}
+
+}  // namespace safenn::highway

@@ -1,0 +1,98 @@
+// Multi-lane ring-road highway simulator.
+//
+// Deterministic (seeded) traffic: IDM longitudinal dynamics per vehicle,
+// rule-based lane changes executed over a finite duration, neighbor
+// queries per orientation (the paper predictor's "parameters of its
+// nearest surrounding vehicles for each orientation"), and optional
+// risky-maneuver injection for the data-validation experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "highway/idm.hpp"
+#include "highway/lane_change.hpp"
+#include "highway/vehicle.hpp"
+
+namespace safenn::highway {
+
+struct RoadCondition {
+  double friction = 1.0;      // 0..1 (1 = dry)
+  double curvature = 0.0;     // -1..1 (signed, normalized)
+  double speed_limit = 33.0;  // m/s
+};
+
+struct SimConfig {
+  int num_lanes = 3;
+  double road_length = 1000.0;  // m (ring)
+  int num_vehicles = 24;
+  double dt = 0.1;  // s
+  double min_speed = 22.0, max_speed = 36.0;  // initial speeds
+  IdmParams idm;
+  LaneChangeParams lane_change;
+  RoadCondition road;
+  /// Per-step probability that a vehicle attempts an unsafe ("risky")
+  /// lane change, ignoring the safety gaps. 0 disables.
+  double risky_probability = 0.0;
+  /// Lateral speed multiplier for risky maneuvers (they are abrupt).
+  double risky_lateral_factor = 2.0;
+  std::uint64_t seed = 1;
+};
+
+class HighwaySim {
+ public:
+  explicit HighwaySim(SimConfig config);
+
+  /// Advances the world by one dt.
+  void step();
+
+  /// Advances by n steps.
+  void run(int n);
+
+  const SimConfig& config() const { return config_; }
+  const std::vector<VehicleState>& vehicles() const { return vehicles_; }
+  const VehicleState& vehicle(int id) const;
+  std::size_t step_count() const { return steps_; }
+
+  /// Nearest neighbors of `ego_id` in all six orientations.
+  std::vector<NeighborObservation> neighbors(int ego_id) const;
+
+  /// Gap situation in the lane `ego.lane + direction` (+1 = left).
+  TargetLaneGaps target_lane_gaps(int ego_id, int direction) const;
+
+  /// Signed ring distance from a to b going forward (0 <= d < length).
+  double forward_distance(double from_s, double to_s) const;
+
+  /// True when any two vehicles in the same lane overlap longitudinally
+  /// (collision) — simulation health check used by tests.
+  bool any_collision() const;
+
+  /// Recent speed/accel history of a vehicle (most recent first). Sized
+  /// by the encoder's history lengths; zero-padded early in the run.
+  const std::vector<double>& speed_history(int id) const;
+  const std::vector<double>& accel_history(int id) const;
+
+  /// True when the vehicle executed a risky maneuver on the latest step.
+  bool was_risky(int id) const;
+
+ private:
+  static constexpr std::size_t kHistoryLength = 16;
+
+  SimConfig config_;
+  Rng rng_;
+  std::vector<VehicleState> vehicles_;
+  std::vector<std::vector<double>> speed_hist_;
+  std::vector<std::vector<double>> accel_hist_;
+  std::vector<char> risky_flag_;
+  std::size_t steps_ = 0;
+
+  const VehicleState* front_vehicle(const VehicleState& ego, int lane,
+                                    double* gap_out) const;
+  const VehicleState* rear_vehicle(const VehicleState& ego, int lane,
+                                   double* gap_out) const;
+  NeighborObservation observe(const VehicleState& ego,
+                              const VehicleState* other, double gap) const;
+};
+
+}  // namespace safenn::highway

@@ -1,0 +1,17 @@
+#include "highway/vehicle.hpp"
+
+namespace safenn::highway {
+
+const char* neighbor_slot_name(NeighborSlot slot) {
+  switch (slot) {
+    case NeighborSlot::kLeftFront: return "left_front";
+    case NeighborSlot::kLeftRear: return "left_rear";
+    case NeighborSlot::kSameFront: return "same_front";
+    case NeighborSlot::kSameRear: return "same_rear";
+    case NeighborSlot::kRightFront: return "right_front";
+    case NeighborSlot::kRightRear: return "right_rear";
+  }
+  return "?";
+}
+
+}  // namespace safenn::highway

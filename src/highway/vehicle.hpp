@@ -1,0 +1,55 @@
+// Vehicle state for the highway simulation.
+#pragma once
+
+#include <cstddef>
+
+namespace safenn::highway {
+
+/// Physical/layout constants shared across the simulator and encoder.
+constexpr double kLaneWidth = 3.5;          // m
+constexpr double kDefaultVehicleLength = 4.5;  // m
+
+/// One vehicle on the ring road. Longitudinal position `s` wraps at the
+/// road length; `lane` is integral with a continuous `lateral` offset
+/// during lane changes.
+struct VehicleState {
+  int id = -1;
+  int lane = 0;              // current lane index (0 = rightmost)
+  double s = 0.0;            // longitudinal position [m]
+  double v = 0.0;            // speed [m/s]
+  double a = 0.0;            // longitudinal acceleration [m/s^2]
+  double length = kDefaultVehicleLength;
+
+  // Lane-change execution state.
+  bool changing_lane = false;
+  int target_lane = 0;
+  double lateral_progress = 0.0;  // 0..1 within the maneuver
+  double lateral_velocity = 0.0;  // m/s, positive = toward higher lane (left)
+};
+
+/// Neighbor slots around an ego vehicle, paper Fig. 1 style: the nearest
+/// vehicle for each orientation.
+enum class NeighborSlot : std::size_t {
+  kLeftFront = 0,
+  kLeftRear = 1,
+  kSameFront = 2,
+  kSameRear = 3,
+  kRightFront = 4,
+  kRightRear = 5,
+};
+
+constexpr std::size_t kNumNeighborSlots = 6;
+
+const char* neighbor_slot_name(NeighborSlot slot);
+
+/// Relative observation of one neighbor (absent when `present` is false).
+struct NeighborObservation {
+  bool present = false;
+  double gap = 0.0;        // bumper-to-bumper longitudinal gap [m]
+  double rel_speed = 0.0;  // v_other - v_ego [m/s]
+  double abs_speed = 0.0;  // [m/s]
+  double accel = 0.0;      // [m/s^2]
+  double length = 0.0;     // [m]
+};
+
+}  // namespace safenn::highway

@@ -1,0 +1,67 @@
+// Dense row-major double matrix.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace safenn::linalg {
+
+/// Dense row-major matrix with the operations needed by layers (matvec,
+/// outer product, transpose-matvec) and by the simplex tableau.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Row-by-row construction, e.g. Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked access for hot loops.
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// y = A x.
+  Vector matvec(const Vector& x) const;
+  /// y = A^T x.
+  Vector matvec_transposed(const Vector& x) const;
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  /// this += s * rhs.
+  Matrix& add_scaled(double s, const Matrix& rhs);
+
+  /// this += s * a b^T (rank-1 update used by backprop).
+  Matrix& add_outer(double s, const Vector& a, const Vector& b);
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+
+  void fill(double value);
+  static Matrix identity(std::size_t n);
+
+  double norm_inf() const;  ///< Max absolute entry.
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace safenn::linalg

@@ -1,0 +1,110 @@
+#include "linalg/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safenn::linalg {
+
+Vector::Vector(std::size_t n, double fill) : data_(n, fill) {}
+
+Vector::Vector(std::initializer_list<double> values) : data_(values) {}
+
+Vector::Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+double& Vector::operator[](std::size_t i) {
+  require(i < data_.size(), "Vector: index out of range");
+  return data_[i];
+}
+
+double Vector::operator[](std::size_t i) const {
+  require(i < data_.size(), "Vector: index out of range");
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  require(size() == rhs.size(), "Vector+=: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  require(size() == rhs.size(), "Vector-=: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector& Vector::add_scaled(double s, const Vector& rhs) {
+  require(size() == rhs.size(), "Vector::add_scaled: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+  return *this;
+}
+
+double Vector::dot(const Vector& rhs) const {
+  require(size() == rhs.size(), "Vector::dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * rhs.data_[i];
+  return acc;
+}
+
+double Vector::norm2() const { return std::sqrt(dot(*this)); }
+
+double Vector::norm_inf() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Vector::sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Vector::max() const {
+  require(!data_.empty(), "Vector::max: empty vector");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Vector::min() const {
+  require(!data_.empty(), "Vector::min: empty vector");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+std::size_t Vector::argmax() const {
+  require(!data_.empty(), "Vector::argmax: empty vector");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+void Vector::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(double s, Vector v) { return v *= s; }
+Vector operator*(Vector v, double s) { return v *= s; }
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "hadamard: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace safenn::linalg

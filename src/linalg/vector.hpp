@@ -1,0 +1,67 @@
+// Dense double-precision vector used throughout nn/verify/highway.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace safenn::linalg {
+
+/// Dense vector of doubles with checked element access and the handful of
+/// BLAS-1 operations the library needs. Value semantics throughout.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, double fill = 0.0);
+  Vector(std::initializer_list<double> values);
+  explicit Vector(std::vector<double> values);
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i);
+  double operator[](std::size_t i) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  const std::vector<double>& values() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+
+  /// this += s * rhs (axpy).
+  Vector& add_scaled(double s, const Vector& rhs);
+
+  double dot(const Vector& rhs) const;
+  double norm2() const;       ///< Euclidean norm.
+  double norm_inf() const;    ///< Max absolute entry.
+  double sum() const;
+  double max() const;         ///< Requires non-empty.
+  double min() const;         ///< Requires non-empty.
+  std::size_t argmax() const; ///< Requires non-empty.
+
+  void fill(double value);
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(double s, Vector v);
+Vector operator*(Vector v, double s);
+
+/// Element-wise product.
+Vector hadamard(const Vector& a, const Vector& b);
+
+/// True when all entries differ by at most `tol`.
+bool approx_equal(const Vector& a, const Vector& b, double tol = 1e-9);
+
+}  // namespace safenn::linalg

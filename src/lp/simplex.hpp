@@ -1,0 +1,54 @@
+// Two-phase primal simplex for LPs with bounded variables.
+//
+// Dense tableau implementation sized for the LP relaxations produced by
+// the MILP encoding of ReLU networks (hundreds to a few thousand
+// columns). Bounded-variable pivoting with bound flips, Dantzig pricing
+// with a Bland's-rule anti-cycling fallback, and Phase-1 artificial
+// variables for a feasible start.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace safenn::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the problem's own sense (max problems report the max).
+  double objective = 0.0;
+  /// Values of the structural variables (empty unless kOptimal).
+  std::vector<double> values;
+  long iterations = 0;
+};
+
+struct SimplexOptions {
+  long max_iterations = 200000;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-9;
+  /// Switch to Bland's rule after this many consecutive degenerate pivots.
+  long degenerate_switch = 200;
+  /// Recompute basic values from scratch every N pivots (numerical hygiene).
+  long refresh_interval = 128;
+};
+
+/// Solves an LP. Stateless; safe to reuse across problems.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {});
+
+  Solution solve(const Problem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace safenn::lp

@@ -1,0 +1,34 @@
+#include "nn/loss.hpp"
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+
+double Loss::value(const linalg::Vector& output,
+                   const linalg::Vector& target) const {
+  linalg::Vector scratch;
+  return value_and_grad(output, target, scratch);
+}
+
+double MseLoss::value_and_grad(const linalg::Vector& output,
+                               const linalg::Vector& target,
+                               linalg::Vector& grad_out) const {
+  require(output.size() == target.size(), "MseLoss: size mismatch");
+  const double n = static_cast<double>(output.size());
+  grad_out = linalg::Vector(output.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const double d = output[i] - target[i];
+    loss += d * d;
+    grad_out[i] = 2.0 * d / n;
+  }
+  return loss / n;
+}
+
+double MdnLoss::value_and_grad(const linalg::Vector& output,
+                               const linalg::Vector& target,
+                               linalg::Vector& grad_out) const {
+  return head_.nll(output, target, &grad_out);
+}
+
+}  // namespace safenn::nn

@@ -1,0 +1,50 @@
+// Loss functions for training.
+#pragma once
+
+#include <memory>
+
+#include "linalg/vector.hpp"
+#include "nn/mdn.hpp"
+
+namespace safenn::nn {
+
+/// Differentiable loss over (network raw output, target).
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Returns the loss value and writes dL/d(output) into `grad_out`.
+  virtual double value_and_grad(const linalg::Vector& output,
+                                const linalg::Vector& target,
+                                linalg::Vector& grad_out) const = 0;
+
+  /// Loss value only.
+  double value(const linalg::Vector& output,
+               const linalg::Vector& target) const;
+};
+
+/// Mean squared error: (1/n) * sum (o_i - t_i)^2.
+class MseLoss final : public Loss {
+ public:
+  double value_and_grad(const linalg::Vector& output,
+                        const linalg::Vector& target,
+                        linalg::Vector& grad_out) const override;
+};
+
+/// Negative log-likelihood of the target action under the MDN head's
+/// Gaussian mixture (the case-study predictor's training loss).
+class MdnLoss final : public Loss {
+ public:
+  explicit MdnLoss(MdnHead head) : head_(std::move(head)) {}
+
+  double value_and_grad(const linalg::Vector& output,
+                        const linalg::Vector& target,
+                        linalg::Vector& grad_out) const override;
+
+  const MdnHead& head() const { return head_; }
+
+ private:
+  MdnHead head_;
+};
+
+}  // namespace safenn::nn

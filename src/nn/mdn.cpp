@@ -1,0 +1,140 @@
+#include "nn/mdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+
+}  // namespace
+
+double GaussianMixture::density(const linalg::Vector& x) const {
+  require(x.size() == dims(), "GaussianMixture::density: dimension mismatch");
+  double total = 0.0;
+  for (std::size_t k = 0; k < components(); ++k) {
+    double log_pdf = 0.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      const double z = (x[d] - means[k][d]) / sigmas[k][d];
+      log_pdf += -0.5 * (z * z + kLog2Pi) - std::log(sigmas[k][d]);
+    }
+    total += weights[k] * std::exp(log_pdf);
+  }
+  return total;
+}
+
+linalg::Vector GaussianMixture::mean() const {
+  linalg::Vector m(dims());
+  for (std::size_t k = 0; k < components(); ++k)
+    m.add_scaled(weights[k], means[k]);
+  return m;
+}
+
+std::size_t GaussianMixture::dominant_component() const {
+  require(!weights.empty(), "GaussianMixture: empty mixture");
+  return static_cast<std::size_t>(
+      std::max_element(weights.begin(), weights.end()) - weights.begin());
+}
+
+MdnHead::MdnHead(std::size_t components, std::size_t dims)
+    : components_(components), dims_(dims) {
+  require(components > 0 && dims > 0, "MdnHead: need >=1 component and dim");
+}
+
+std::size_t MdnHead::raw_output_size() const {
+  return components_ + 2 * components_ * dims_;
+}
+
+std::size_t MdnHead::logit_index(std::size_t k) const {
+  require(k < components_, "MdnHead::logit_index: out of range");
+  return k;
+}
+
+std::size_t MdnHead::mean_index(std::size_t k, std::size_t d) const {
+  require(k < components_ && d < dims_, "MdnHead::mean_index: out of range");
+  return components_ + k * dims_ + d;
+}
+
+std::size_t MdnHead::log_sigma_index(std::size_t k, std::size_t d) const {
+  require(k < components_ && d < dims_,
+          "MdnHead::log_sigma_index: out of range");
+  return components_ + components_ * dims_ + k * dims_ + d;
+}
+
+GaussianMixture MdnHead::parse(const linalg::Vector& raw) const {
+  require(raw.size() == raw_output_size(),
+          "MdnHead::parse: raw output width mismatch");
+  GaussianMixture gm;
+  gm.weights.resize(components_);
+  gm.means.assign(components_, linalg::Vector(dims_));
+  gm.sigmas.assign(components_, linalg::Vector(dims_));
+
+  // Stable softmax over logits.
+  double max_logit = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < components_; ++k)
+    max_logit = std::max(max_logit, raw[logit_index(k)]);
+  double z = 0.0;
+  for (std::size_t k = 0; k < components_; ++k) {
+    gm.weights[k] = std::exp(raw[logit_index(k)] - max_logit);
+    z += gm.weights[k];
+  }
+  for (double& w : gm.weights) w /= z;
+
+  for (std::size_t k = 0; k < components_; ++k) {
+    for (std::size_t d = 0; d < dims_; ++d) {
+      gm.means[k][d] = raw[mean_index(k, d)];
+      const double s = std::clamp(raw[log_sigma_index(k, d)],
+                                  -kMaxAbsLogSigma, kMaxAbsLogSigma);
+      gm.sigmas[k][d] = std::max(std::exp(s), kMinSigma);
+    }
+  }
+  return gm;
+}
+
+double MdnHead::nll(const linalg::Vector& raw, const linalg::Vector& target,
+                    linalg::Vector* grad_out) const {
+  require(target.size() == dims_, "MdnHead::nll: target dimension mismatch");
+  const GaussianMixture gm = parse(raw);
+
+  // log N_k(target) per component, combined by log-sum-exp.
+  std::vector<double> log_comp(components_);
+  for (std::size_t k = 0; k < components_; ++k) {
+    double lp = std::log(gm.weights[k]);
+    for (std::size_t d = 0; d < dims_; ++d) {
+      const double z = (target[d] - gm.means[k][d]) / gm.sigmas[k][d];
+      lp += -0.5 * (z * z + kLog2Pi) - std::log(gm.sigmas[k][d]);
+    }
+    log_comp[k] = lp;
+  }
+  const double m = *std::max_element(log_comp.begin(), log_comp.end());
+  double sum = 0.0;
+  for (double lc : log_comp) sum += std::exp(lc - m);
+  const double log_likelihood = m + std::log(sum);
+  const double loss = -log_likelihood;
+
+  if (grad_out) {
+    linalg::Vector grad(raw_output_size());
+    // Posterior responsibilities.
+    std::vector<double> resp(components_);
+    for (std::size_t k = 0; k < components_; ++k)
+      resp[k] = std::exp(log_comp[k] - log_likelihood);
+    for (std::size_t k = 0; k < components_; ++k) {
+      grad[logit_index(k)] = gm.weights[k] - resp[k];
+      for (std::size_t d = 0; d < dims_; ++d) {
+        const double sigma = gm.sigmas[k][d];
+        const double diff = gm.means[k][d] - target[d];
+        grad[mean_index(k, d)] = resp[k] * diff / (sigma * sigma);
+        grad[log_sigma_index(k, d)] =
+            resp[k] * (1.0 - (diff * diff) / (sigma * sigma));
+      }
+    }
+    *grad_out = std::move(grad);
+  }
+  return loss;
+}
+
+}  // namespace safenn::nn

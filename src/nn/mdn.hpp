@@ -1,0 +1,76 @@
+// Mixture density network (MDN) head.
+//
+// The case-study predictor (Lenz et al., IV'17) outputs "the probability
+// distribution over all possible actions ... characterized as a Gaussian
+// mixture model". We reproduce this with a standard MDN head: the network
+// emits raw values that are interpreted as K mixture logits, K*D component
+// means, and K*D log standard deviations for a D-dimensional action space
+// (D = 2: lateral velocity, longitudinal acceleration).
+//
+// Verification surface: the component means are affine functions of the
+// last hidden layer, so safety bounds on the *predicted lateral velocity*
+// are linear objectives over the raw output neurons (see
+// verify/milp_encoder.hpp).
+#pragma once
+
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "nn/network.hpp"
+
+namespace safenn::nn {
+
+/// A diagonal-covariance Gaussian mixture over a D-dimensional space.
+struct GaussianMixture {
+  std::vector<double> weights;               // K, sums to 1
+  std::vector<linalg::Vector> means;         // K vectors of size D
+  std::vector<linalg::Vector> sigmas;        // K vectors of size D (>0)
+
+  std::size_t components() const { return weights.size(); }
+  std::size_t dims() const { return means.empty() ? 0 : means[0].size(); }
+
+  /// Probability density at `x`.
+  double density(const linalg::Vector& x) const;
+
+  /// Mixture mean: sum_k w_k mu_k.
+  linalg::Vector mean() const;
+
+  /// Index of the highest-weight component.
+  std::size_t dominant_component() const;
+};
+
+/// Layout of the raw network output implementing an MDN head.
+class MdnHead {
+ public:
+  MdnHead(std::size_t components, std::size_t dims);
+
+  std::size_t components() const { return components_; }
+  std::size_t dims() const { return dims_; }
+
+  /// Required width of the network's raw output: K + 2*K*D.
+  std::size_t raw_output_size() const;
+
+  /// Raw output index of the mixture logit for component k.
+  std::size_t logit_index(std::size_t k) const;
+  /// Raw output index of mean dimension d of component k.
+  std::size_t mean_index(std::size_t k, std::size_t d) const;
+  /// Raw output index of log-sigma dimension d of component k.
+  std::size_t log_sigma_index(std::size_t k, std::size_t d) const;
+
+  /// Interprets a raw output vector as a mixture (softmax over logits,
+  /// exp over log-sigmas, sigmas clamped to [min_sigma, +inf)).
+  GaussianMixture parse(const linalg::Vector& raw) const;
+
+  /// Negative log-likelihood of `target` under the mixture encoded by
+  /// `raw`, and (optionally) its gradient w.r.t. `raw`.
+  double nll(const linalg::Vector& raw, const linalg::Vector& target,
+             linalg::Vector* grad_out = nullptr) const;
+
+ private:
+  std::size_t components_;
+  std::size_t dims_;
+  static constexpr double kMinSigma = 1e-3;
+  static constexpr double kMaxAbsLogSigma = 7.0;
+};
+
+}  // namespace safenn::nn

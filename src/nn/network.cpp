@@ -1,0 +1,175 @@
+#include "nn/network.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+
+void Gradients::add_scaled(double s, const Gradients& rhs) {
+  require(weight_grads.size() == rhs.weight_grads.size(),
+          "Gradients::add_scaled: layer count mismatch");
+  for (std::size_t i = 0; i < weight_grads.size(); ++i) {
+    weight_grads[i].add_scaled(s, rhs.weight_grads[i]);
+    bias_grads[i].add_scaled(s, rhs.bias_grads[i]);
+  }
+}
+
+void Gradients::scale(double s) {
+  for (auto& w : weight_grads) w *= s;
+  for (auto& b : bias_grads) b *= s;
+}
+
+void Network::add_layer(DenseLayer layer) {
+  if (!layers_.empty()) {
+    require(layer.in_size() == layers_.back().out_size(),
+            "Network::add_layer: width mismatch with previous layer");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Network Network::make_i4xn(std::size_t inputs, std::size_t hidden,
+                           std::size_t outputs, Activation hidden_act,
+                           Rng& rng) {
+  std::vector<std::size_t> widths{inputs, hidden, hidden, hidden, hidden,
+                                  outputs};
+  return make_mlp(widths, hidden_act, Activation::kIdentity, rng);
+}
+
+Network Network::make_mlp(const std::vector<std::size_t>& widths,
+                          Activation hidden_act, Activation output_act,
+                          Rng& rng) {
+  require(widths.size() >= 2, "Network::make_mlp: need at least in+out widths");
+  Network net;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    const bool is_output = (i + 2 == widths.size());
+    DenseLayer layer(widths[i], widths[i + 1],
+                     is_output ? output_act : hidden_act);
+    layer.init_weights(rng);
+    net.add_layer(std::move(layer));
+  }
+  return net;
+}
+
+const DenseLayer& Network::layer(std::size_t i) const {
+  require(i < layers_.size(), "Network::layer: index out of range");
+  return layers_[i];
+}
+
+DenseLayer& Network::layer(std::size_t i) {
+  require(i < layers_.size(), "Network::layer: index out of range");
+  return layers_[i];
+}
+
+std::size_t Network::input_size() const {
+  require(!layers_.empty(), "Network::input_size: empty network");
+  return layers_.front().in_size();
+}
+
+std::size_t Network::output_size() const {
+  require(!layers_.empty(), "Network::output_size: empty network");
+  return layers_.back().out_size();
+}
+
+std::size_t Network::num_neurons() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.out_size();
+  return n;
+}
+
+linalg::Vector Network::forward(const linalg::Vector& x) const {
+  require(!layers_.empty(), "Network::forward: empty network");
+  linalg::Vector v = x;
+  for (const auto& l : layers_) v = l.forward(v);
+  return v;
+}
+
+ForwardTrace Network::forward_trace(const linalg::Vector& x) const {
+  require(!layers_.empty(), "Network::forward_trace: empty network");
+  ForwardTrace trace;
+  trace.input = x;
+  trace.pre_activations.reserve(layers_.size());
+  trace.post_activations.reserve(layers_.size());
+  linalg::Vector v = x;
+  for (const auto& l : layers_) {
+    linalg::Vector z = l.pre_activation(v);
+    v = activate(l.activation(), z);
+    trace.pre_activations.push_back(std::move(z));
+    trace.post_activations.push_back(v);
+  }
+  return trace;
+}
+
+Gradients Network::backward(const ForwardTrace& trace,
+                            const linalg::Vector& output_grad) const {
+  require(trace.pre_activations.size() == layers_.size(),
+          "Network::backward: trace does not match network depth");
+  Gradients grads = zero_gradients();
+  // delta = dL/dz for the current layer, starting from the output.
+  linalg::Vector delta = hadamard(
+      output_grad,
+      activate_derivative(layers_.back().activation(),
+                          trace.pre_activations.back()));
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const linalg::Vector& layer_input =
+        (li == 0) ? trace.input : trace.post_activations[li - 1];
+    grads.weight_grads[li].add_outer(1.0, delta, layer_input);
+    grads.bias_grads[li] += delta;
+    if (li > 0) {
+      linalg::Vector upstream = layers_[li].weights().matvec_transposed(delta);
+      delta = hadamard(upstream,
+                       activate_derivative(layers_[li - 1].activation(),
+                                           trace.pre_activations[li - 1]));
+    }
+  }
+  return grads;
+}
+
+linalg::Vector Network::input_gradient(const linalg::Vector& x,
+                                       std::size_t out_index) const {
+  require(out_index < output_size(),
+          "Network::input_gradient: output index out of range");
+  const ForwardTrace trace = forward_trace(x);
+  linalg::Vector delta(output_size());
+  delta[out_index] = 1.0;
+  delta = hadamard(delta, activate_derivative(layers_.back().activation(),
+                                              trace.pre_activations.back()));
+  for (std::size_t li = layers_.size(); li-- > 1;) {
+    linalg::Vector upstream = layers_[li].weights().matvec_transposed(delta);
+    delta = hadamard(upstream,
+                     activate_derivative(layers_[li - 1].activation(),
+                                         trace.pre_activations[li - 1]));
+  }
+  return layers_.front().weights().matvec_transposed(delta);
+}
+
+Gradients Network::zero_gradients() const {
+  Gradients g;
+  g.weight_grads.reserve(layers_.size());
+  g.bias_grads.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    g.weight_grads.emplace_back(l.out_size(), l.in_size());
+    g.bias_grads.emplace_back(l.out_size());
+  }
+  return g;
+}
+
+void Network::apply_gradients(const Gradients& grads, double step) {
+  require(grads.weight_grads.size() == layers_.size(),
+          "Network::apply_gradients: layer count mismatch");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].weights().add_scaled(-step, grads.weight_grads[i]);
+    layers_[i].biases().add_scaled(-step, grads.bias_grads[i]);
+  }
+}
+
+std::string Network::describe() const {
+  std::ostringstream os;
+  if (layers_.empty()) return "<empty>";
+  os << layers_.front().in_size();
+  for (const auto& l : layers_) os << '-' << l.out_size();
+  os << " (" << to_string(layers_.front().activation()) << ')';
+  return os.str();
+}
+
+}  // namespace safenn::nn

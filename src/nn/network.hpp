@@ -1,0 +1,89 @@
+// Feed-forward network: the unit of training, verification, coverage
+// analysis and traceability throughout the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace safenn::nn {
+
+/// Per-layer record of one forward pass; consumed by backprop, coverage
+/// instrumentation (sign of pre-activations = ReLU branch decisions) and
+/// neuron-to-feature traceability.
+struct ForwardTrace {
+  linalg::Vector input;
+  std::vector<linalg::Vector> pre_activations;   // one per layer
+  std::vector<linalg::Vector> post_activations;  // one per layer
+};
+
+/// Per-layer parameter gradients produced by backprop.
+struct Gradients {
+  std::vector<linalg::Matrix> weight_grads;
+  std::vector<linalg::Vector> bias_grads;
+
+  void add_scaled(double s, const Gradients& rhs);
+  void scale(double s);
+};
+
+/// Sequential fully-connected network.
+class Network {
+ public:
+  Network() = default;
+
+  /// Appends a layer; its input width must match the current output width.
+  void add_layer(DenseLayer layer);
+
+  /// Builds the paper's I4xN topology: `inputs` -> 4 hidden ReLU layers of
+  /// width `hidden` -> `outputs` linear. ("I4x60" = inputs, 4 layers of 60.)
+  static Network make_i4xn(std::size_t inputs, std::size_t hidden,
+                           std::size_t outputs, Activation hidden_act,
+                           Rng& rng);
+
+  /// Fully-general MLP builder: widths = {in, h1, ..., out}.
+  static Network make_mlp(const std::vector<std::size_t>& widths,
+                          Activation hidden_act, Activation output_act,
+                          Rng& rng);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const;
+  DenseLayer& layer(std::size_t i);
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+
+  /// Total number of hidden+output neurons (rows across all layers).
+  std::size_t num_neurons() const;
+
+  /// Plain inference.
+  linalg::Vector forward(const linalg::Vector& x) const;
+
+  /// Inference that records all intermediate values.
+  ForwardTrace forward_trace(const linalg::Vector& x) const;
+
+  /// Backpropagates dL/d(output) through the recorded trace and returns
+  /// parameter gradients.
+  Gradients backward(const ForwardTrace& trace,
+                     const linalg::Vector& output_grad) const;
+
+  /// Gradient of output component `out_index` w.r.t. the input vector
+  /// (used by saliency-based traceability).
+  linalg::Vector input_gradient(const linalg::Vector& x,
+                                std::size_t out_index) const;
+
+  /// Zero-shaped gradients matching this topology.
+  Gradients zero_gradients() const;
+
+  /// Applies `grads` scaled by `-step` to the parameters.
+  void apply_gradients(const Gradients& grads, double step);
+
+  /// Human-readable topology, e.g. "84-60-60-60-60-15 (relu)".
+  std::string describe() const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace safenn::nn

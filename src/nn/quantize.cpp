@@ -1,0 +1,143 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+
+QuantizedNetwork::QuantizedNetwork(int frac_bits,
+                                   std::vector<QuantizedLayer> layers)
+    : frac_bits_(frac_bits), layers_(std::move(layers)) {
+  require(frac_bits_ > 0 && frac_bits_ <= 24,
+          "QuantizedNetwork: frac_bits must be in [1, 24]");
+  require(!layers_.empty(), "QuantizedNetwork: no layers");
+}
+
+QuantizedNetwork QuantizedNetwork::quantize(const Network& net,
+                                            int frac_bits) {
+  require(frac_bits > 0 && frac_bits <= 24,
+          "QuantizedNetwork::quantize: frac_bits must be in [1, 24]");
+  const double scale = std::ldexp(1.0, frac_bits);        // 2^F
+  const double bias_scale = std::ldexp(1.0, 2 * frac_bits);  // 2^2F
+  std::vector<QuantizedLayer> layers;
+  layers.reserve(net.num_layers());
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const DenseLayer& l = net.layer(li);
+    require(is_piecewise_linear(l.activation()),
+            "QuantizedNetwork::quantize: only ReLU/identity layers "
+            "admit exact bit-vector encodings");
+    QuantizedLayer ql;
+    ql.activation = l.activation();
+    ql.weights.assign(l.out_size(),
+                      std::vector<std::int64_t>(l.in_size(), 0));
+    ql.biases.assign(l.out_size(), 0);
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      for (std::size_t c = 0; c < l.in_size(); ++c) {
+        ql.weights[r][c] =
+            static_cast<std::int64_t>(std::llround(l.weights()(r, c) * scale));
+      }
+      ql.biases[r] =
+          static_cast<std::int64_t>(std::llround(l.biases()[r] * bias_scale));
+    }
+    layers.push_back(std::move(ql));
+  }
+  return QuantizedNetwork(frac_bits, std::move(layers));
+}
+
+const QuantizedLayer& QuantizedNetwork::layer(std::size_t i) const {
+  require(i < layers_.size(), "QuantizedNetwork::layer: index out of range");
+  return layers_[i];
+}
+
+std::size_t QuantizedNetwork::input_size() const {
+  return layers_.front().in_size();
+}
+
+std::size_t QuantizedNetwork::output_size() const {
+  return layers_.back().out_size();
+}
+
+std::vector<std::int64_t> QuantizedNetwork::forward_fixed(
+    const std::vector<std::int64_t>& input) const {
+  require(input.size() == input_size(),
+          "QuantizedNetwork::forward_fixed: input width mismatch");
+  std::vector<std::int64_t> v = input;
+  for (const QuantizedLayer& l : layers_) {
+    std::vector<std::int64_t> next(l.out_size());
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      std::int64_t acc = l.biases[r];
+      for (std::size_t c = 0; c < l.in_size(); ++c) {
+        acc += l.weights[r][c] * v[c];
+      }
+      // Arithmetic right shift (floor division by 2^F); C++20 defines
+      // >> on signed negatives as arithmetic.
+      std::int64_t z = acc >> frac_bits_;
+      if (l.activation == Activation::kRelu && z < 0) z = 0;
+      next[r] = z;
+    }
+    v = std::move(next);
+  }
+  return v;
+}
+
+linalg::Vector QuantizedNetwork::forward_real(const linalg::Vector& x) const {
+  std::vector<std::int64_t> q(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) q[i] = to_fixed(x[i]);
+  const std::vector<std::int64_t> out = forward_fixed(q);
+  linalg::Vector y(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) y[i] = from_fixed(out[i]);
+  return y;
+}
+
+std::int64_t QuantizedNetwork::to_fixed(double x) const {
+  return static_cast<std::int64_t>(
+      std::llround(x * std::ldexp(1.0, frac_bits_)));
+}
+
+double QuantizedNetwork::from_fixed(std::int64_t q) const {
+  return static_cast<double>(q) * std::ldexp(1.0, -frac_bits_);
+}
+
+std::vector<std::int64_t> QuantizedNetwork::accumulator_bounds(
+    std::int64_t input_bound) const {
+  require(input_bound > 0,
+          "QuantizedNetwork::accumulator_bounds: bound must be positive");
+  std::vector<std::int64_t> bounds;
+  bounds.reserve(layers_.size());
+  std::int64_t value_bound = input_bound;  // |x_j| bound in frac_bits units
+  for (const QuantizedLayer& l : layers_) {
+    std::int64_t layer_acc_bound = 0;
+    std::int64_t next_value_bound = 0;
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      std::int64_t acc = std::llabs(l.biases[r]);
+      for (std::size_t c = 0; c < l.in_size(); ++c) {
+        acc += std::llabs(l.weights[r][c]) * value_bound;
+      }
+      layer_acc_bound = std::max(layer_acc_bound, acc);
+      next_value_bound =
+          std::max(next_value_bound, acc >> frac_bits_);
+    }
+    bounds.push_back(layer_acc_bound);
+    value_bound = std::max<std::int64_t>(next_value_bound, 1);
+  }
+  return bounds;
+}
+
+double QuantizedNetwork::quantization_error(
+    const Network& reference,
+    const std::vector<linalg::Vector>& samples) const {
+  require(!samples.empty(), "quantization_error: no samples");
+  double total = 0.0;
+  for (const auto& x : samples) {
+    const linalg::Vector exact = reference.forward(x);
+    const linalg::Vector quant = forward_real(x);
+    double err = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i)
+      err += std::abs(exact[i] - quant[i]);
+    total += err / static_cast<double>(exact.size());
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace safenn::nn

@@ -1,0 +1,78 @@
+// Fixed-point quantization of networks (paper Sec. IV(ii)).
+//
+// The paper suggests that quantized networks [Hubara et al.] could make
+// verification more scalable "via an encoding to bitvector theories in
+// SMT". We implement that pipeline: a network is quantized to two's
+// complement fixed point, inference is exact integer arithmetic, and
+// smt/qnn_encoder.hpp compiles the very same semantics to a CNF formula.
+//
+// Number format: signed fixed point with `frac_bits` fractional bits,
+// value = q * 2^-frac_bits. A layer computes
+//   acc_i = sum_j W_ij * x_j + B_i        (accumulator: 2*frac_bits)
+//   z_i   = acc_i >> frac_bits            (arithmetic shift, floor)
+//   y_i   = relu(z_i) or z_i
+// which is what the bit-vector circuit reproduces gate-for-gate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "nn/network.hpp"
+
+namespace safenn::nn {
+
+/// One quantized dense layer. Biases are pre-scaled to the accumulator's
+/// 2*frac_bits format so they add directly into the product sum.
+struct QuantizedLayer {
+  std::vector<std::vector<std::int64_t>> weights;  // out x in, frac_bits
+  std::vector<std::int64_t> biases;                // 2*frac_bits
+  Activation activation = Activation::kIdentity;   // kRelu or kIdentity
+
+  std::size_t in_size() const { return weights.empty() ? 0 : weights[0].size(); }
+  std::size_t out_size() const { return weights.size(); }
+};
+
+/// A fixed-point network with exact, replayable integer semantics.
+class QuantizedNetwork {
+ public:
+  QuantizedNetwork(int frac_bits, std::vector<QuantizedLayer> layers);
+
+  /// Quantizes a trained real-valued network (round-to-nearest). Only
+  /// ReLU/identity activations are supported — the piecewise-linear
+  /// fragment that admits exact bit-vector encodings.
+  static QuantizedNetwork quantize(const Network& net, int frac_bits);
+
+  int frac_bits() const { return frac_bits_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  const QuantizedLayer& layer(std::size_t i) const;
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+
+  /// Exact fixed-point inference (inputs and outputs in frac_bits format).
+  std::vector<std::int64_t> forward_fixed(
+      const std::vector<std::int64_t>& input) const;
+
+  /// Convenience: quantize a real input, run fixed-point inference, and
+  /// de-quantize the result.
+  linalg::Vector forward_real(const linalg::Vector& x) const;
+
+  std::int64_t to_fixed(double x) const;
+  double from_fixed(std::int64_t q) const;
+
+  /// Worst-case absolute accumulator value per layer given inputs bounded
+  /// by |x| <= input_bound (fixed-point units); used to size bit-vector
+  /// word widths so the CNF encoding cannot overflow.
+  std::vector<std::int64_t> accumulator_bounds(
+      std::int64_t input_bound) const;
+
+  /// Mean absolute output error vs. the real network over given samples.
+  double quantization_error(const Network& reference,
+                            const std::vector<linalg::Vector>& samples) const;
+
+ private:
+  int frac_bits_;
+  std::vector<QuantizedLayer> layers_;
+};
+
+}  // namespace safenn::nn

@@ -1,0 +1,83 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+
+void save_network(std::ostream& os, const Network& net) {
+  os << "safenn-network v1\n";
+  os << "layers " << net.num_layers() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const DenseLayer& l = net.layer(li);
+    os << "layer " << l.in_size() << ' ' << l.out_size() << ' '
+       << to_string(l.activation()) << '\n';
+    for (std::size_t i = 0; i < l.out_size(); ++i) {
+      os << l.biases()[i];
+      os << (i + 1 == l.out_size() ? '\n' : ' ');
+    }
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      for (std::size_t c = 0; c < l.in_size(); ++c) {
+        os << l.weights()(r, c);
+        os << (c + 1 == l.in_size() ? '\n' : ' ');
+      }
+    }
+  }
+}
+
+Network load_network(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  require(is.good() && magic == "safenn-network" && version == "v1",
+          "load_network: bad header");
+
+  std::string token;
+  is >> token;
+  require(token == "layers", "load_network: expected 'layers'");
+  std::size_t num_layers = 0;
+  is >> num_layers;
+  require(is.good() && num_layers > 0, "load_network: bad layer count");
+
+  Network net;
+  for (std::size_t li = 0; li < num_layers; ++li) {
+    is >> token;
+    require(token == "layer", "load_network: expected 'layer'");
+    std::size_t in = 0, out = 0;
+    std::string act_name;
+    is >> in >> out >> act_name;
+    require(is.good() && in > 0 && out > 0, "load_network: bad layer shape");
+    DenseLayer layer(in, out, activation_from_string(act_name));
+    for (std::size_t i = 0; i < out; ++i) {
+      is >> layer.biases()[i];
+    }
+    for (std::size_t r = 0; r < out; ++r) {
+      for (std::size_t c = 0; c < in; ++c) {
+        is >> layer.weights()(r, c);
+      }
+    }
+    require(is.good() || is.eof(), "load_network: truncated parameters");
+    require(!is.fail(), "load_network: malformed parameter value");
+    net.add_layer(std::move(layer));
+  }
+  return net;
+}
+
+void save_network_file(const std::string& path, const Network& net) {
+  std::ofstream os(path);
+  require(os.is_open(), "save_network_file: cannot open '" + path + "'");
+  save_network(os, net);
+  require(os.good(), "save_network_file: write failure on '" + path + "'");
+}
+
+Network load_network_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.is_open(), "load_network_file: cannot open '" + path + "'");
+  return load_network(is);
+}
+
+}  // namespace safenn::nn

@@ -1,0 +1,25 @@
+// Plain-text (de)serialization of networks.
+//
+// Certification workflows must pin the exact artifact that was verified;
+// a human-diffable text format makes the verified network auditable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace safenn::nn {
+
+/// Writes `net` in the "safenn-network v1" text format.
+void save_network(std::ostream& os, const Network& net);
+
+/// Parses a network written by save_network. Throws safenn::Error on any
+/// malformed input.
+Network load_network(std::istream& is);
+
+/// File-path conveniences.
+void save_network_file(const std::string& path, const Network& net);
+Network load_network_file(const std::string& path);
+
+}  // namespace safenn::nn

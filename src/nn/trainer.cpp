@@ -1,0 +1,179 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+namespace {
+
+/// Adam / momentum state, one slot per layer.
+struct OptimizerState {
+  Gradients m;  // first moment (or velocity for momentum)
+  Gradients v;  // second moment (Adam only)
+  std::size_t step = 0;
+};
+
+double grad_norm_inf(const Gradients& g) {
+  double m = 0.0;
+  for (const auto& w : g.weight_grads) m = std::max(m, w.norm_inf());
+  for (const auto& b : g.bias_grads) m = std::max(m, b.norm_inf());
+  return m;
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainConfig config) : config_(std::move(config)) {
+  require(config_.epochs > 0, "Trainer: epochs must be positive");
+  require(config_.batch_size > 0, "Trainer: batch_size must be positive");
+  require(config_.learning_rate > 0.0, "Trainer: learning_rate must be > 0");
+}
+
+double Trainer::train(Network& net, const Loss& loss,
+                      const std::vector<linalg::Vector>& inputs,
+                      const std::vector<linalg::Vector>& targets) {
+  require(inputs.size() == targets.size(), "Trainer: inputs/targets mismatch");
+  require(!inputs.empty(), "Trainer: empty training set");
+
+  Rng shuffle_rng(config_.shuffle_seed);
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  OptimizerState state;
+  state.m = net.zero_gradients();
+  state.v = net.zero_gradients();
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      Gradients batch_grads = net.zero_gradients();
+      double batch_loss = 0.0;
+
+      for (std::size_t oi = start; oi < end; ++oi) {
+        const std::size_t idx = order[oi];
+        const ForwardTrace trace = net.forward_trace(inputs[idx]);
+        const linalg::Vector& output = trace.post_activations.back();
+
+        linalg::Vector out_grad;
+        double sample_loss =
+            loss.value_and_grad(output, targets[idx], out_grad);
+
+        if (config_.regularizer) {
+          linalg::Vector reg_grad(output.size());
+          const double penalty =
+              config_.regularizer(inputs[idx], output, reg_grad);
+          sample_loss += config_.regularizer_weight * penalty;
+          out_grad.add_scaled(config_.regularizer_weight, reg_grad);
+        }
+
+        batch_loss += sample_loss;
+        const Gradients sample_grads = net.backward(trace, out_grad);
+        batch_grads.add_scaled(1.0, sample_grads);
+      }
+
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      batch_grads.scale(inv_batch);
+      epoch_loss += batch_loss;
+
+      if (config_.grad_clip > 0.0) {
+        const double norm = grad_norm_inf(batch_grads);
+        if (norm > config_.grad_clip)
+          batch_grads.scale(config_.grad_clip / norm);
+      }
+
+      switch (config_.optimizer) {
+        case Optimizer::kSgd:
+          net.apply_gradients(batch_grads, config_.learning_rate);
+          break;
+        case Optimizer::kMomentum: {
+          state.m.scale(config_.momentum);
+          state.m.add_scaled(1.0, batch_grads);
+          net.apply_gradients(state.m, config_.learning_rate);
+          break;
+        }
+        case Optimizer::kAdam: {
+          ++state.step;
+          // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2, applied per entry.
+          for (std::size_t li = 0; li < state.m.weight_grads.size(); ++li) {
+            auto update = [&](linalg::Matrix& m, linalg::Matrix& v,
+                              const linalg::Matrix& g, linalg::Matrix& out) {
+              for (std::size_t r = 0; r < m.rows(); ++r) {
+                for (std::size_t c = 0; c < m.cols(); ++c) {
+                  m(r, c) = config_.beta1 * m(r, c) +
+                            (1.0 - config_.beta1) * g(r, c);
+                  v(r, c) = config_.beta2 * v(r, c) +
+                            (1.0 - config_.beta2) * g(r, c) * g(r, c);
+                  const double mh =
+                      m(r, c) /
+                      (1.0 - std::pow(config_.beta1,
+                                      static_cast<double>(state.step)));
+                  const double vh =
+                      v(r, c) /
+                      (1.0 - std::pow(config_.beta2,
+                                      static_cast<double>(state.step)));
+                  out(r, c) = mh / (std::sqrt(vh) + config_.adam_eps);
+                }
+              }
+            };
+            auto update_vec = [&](linalg::Vector& m, linalg::Vector& v,
+                                  const linalg::Vector& g,
+                                  linalg::Vector& out) {
+              for (std::size_t i = 0; i < m.size(); ++i) {
+                m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g[i];
+                v[i] =
+                    config_.beta2 * v[i] + (1.0 - config_.beta2) * g[i] * g[i];
+                const double mh =
+                    m[i] / (1.0 - std::pow(config_.beta1,
+                                           static_cast<double>(state.step)));
+                const double vh =
+                    v[i] / (1.0 - std::pow(config_.beta2,
+                                           static_cast<double>(state.step)));
+                out[i] = mh / (std::sqrt(vh) + config_.adam_eps);
+              }
+            };
+            linalg::Matrix step_w(batch_grads.weight_grads[li].rows(),
+                                  batch_grads.weight_grads[li].cols());
+            linalg::Vector step_b(batch_grads.bias_grads[li].size());
+            update(state.m.weight_grads[li], state.v.weight_grads[li],
+                   batch_grads.weight_grads[li], step_w);
+            update_vec(state.m.bias_grads[li], state.v.bias_grads[li],
+                       batch_grads.bias_grads[li], step_b);
+            batch_grads.weight_grads[li] = std::move(step_w);
+            batch_grads.bias_grads[li] = std::move(step_b);
+          }
+          net.apply_gradients(batch_grads, config_.learning_rate);
+          break;
+        }
+      }
+    }
+
+    last_epoch_loss = epoch_loss / static_cast<double>(inputs.size());
+    if (config_.on_epoch) {
+      config_.on_epoch(EpochStats{epoch, last_epoch_loss});
+    }
+  }
+  return last_epoch_loss;
+}
+
+double Trainer::evaluate(const Network& net, const Loss& loss,
+                         const std::vector<linalg::Vector>& inputs,
+                         const std::vector<linalg::Vector>& targets) {
+  require(inputs.size() == targets.size(),
+          "Trainer::evaluate: inputs/targets mismatch");
+  require(!inputs.empty(), "Trainer::evaluate: empty sample set");
+  double total = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    total += loss.value(net.forward(inputs[i]), targets[i]);
+  }
+  return total / static_cast<double>(inputs.size());
+}
+
+}  // namespace safenn::nn

@@ -1,0 +1,28 @@
+#include "sat/cnf.hpp"
+
+#include "common/error.hpp"
+
+namespace safenn::sat {
+
+Var Cnf::new_var() { return ++num_vars_; }
+
+Var Cnf::new_vars(int n) {
+  require(n > 0, "Cnf::new_vars: n must be positive");
+  const Var first = num_vars_ + 1;
+  num_vars_ += n;
+  return first;
+}
+
+void Cnf::add_clause(std::vector<Lit> lits) {
+  for (Lit l : lits) {
+    require(l != 0 && lit_var(l) <= num_vars_,
+            "Cnf::add_clause: literal references unknown variable");
+  }
+  clauses_.push_back(std::move(lits));
+}
+
+void Cnf::add_unit(Lit a) { add_clause({a}); }
+void Cnf::add_binary(Lit a, Lit b) { add_clause({a, b}); }
+void Cnf::add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+}  // namespace safenn::sat

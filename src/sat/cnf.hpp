@@ -1,0 +1,44 @@
+// CNF formula container (DIMACS-style signed-integer literals).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace safenn::sat {
+
+/// Boolean variable, 1-based (DIMACS convention).
+using Var = int;
+/// Literal: +v for the variable, -v for its negation.
+using Lit = int;
+
+inline Var lit_var(Lit l) { return l > 0 ? l : -l; }
+inline bool lit_sign(Lit l) { return l < 0; }  // true = negated
+
+/// Clause database under construction. Clauses are disjunctions of
+/// literals; the formula is their conjunction.
+class Cnf {
+ public:
+  /// Allocates a fresh variable and returns it.
+  Var new_var();
+
+  /// Allocates `n` fresh variables, returning the first.
+  Var new_vars(int n);
+
+  /// Adds a clause. Empty clauses are allowed (formula trivially UNSAT).
+  void add_clause(std::vector<Lit> lits);
+
+  /// Convenience for short clauses.
+  void add_unit(Lit a);
+  void add_binary(Lit a, Lit b);
+  void add_ternary(Lit a, Lit b, Lit c);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+
+ private:
+  int num_vars_ = 0;
+  std::vector<std::vector<Lit>> clauses_;
+};
+
+}  // namespace safenn::sat

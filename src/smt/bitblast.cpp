@@ -1,0 +1,71 @@
+#include "smt/bitblast.hpp"
+
+namespace safenn::smt {
+
+using sat::Lit;
+
+GateBuilder::GateBuilder(sat::Cnf& cnf) : cnf_(cnf) {
+  true_lit_ = cnf_.new_var();
+  cnf_.add_unit(true_lit_);
+}
+
+Lit GateBuilder::land(Lit a, Lit b) {
+  if (is_const(a)) return const_value(a) ? b : false_lit();
+  if (is_const(b)) return const_value(b) ? a : false_lit();
+  if (a == b) return a;
+  if (a == -b) return false_lit();
+  const Lit x = cnf_.new_var();
+  cnf_.add_binary(-x, a);
+  cnf_.add_binary(-x, b);
+  cnf_.add_ternary(-a, -b, x);
+  return x;
+}
+
+Lit GateBuilder::lor(Lit a, Lit b) { return -land(-a, -b); }
+
+Lit GateBuilder::lxor(Lit a, Lit b) {
+  if (is_const(a)) return const_value(a) ? -b : b;
+  if (is_const(b)) return const_value(b) ? -a : a;
+  if (a == b) return false_lit();
+  if (a == -b) return true_lit();
+  const Lit x = cnf_.new_var();
+  cnf_.add_ternary(-a, -b, -x);
+  cnf_.add_ternary(a, b, -x);
+  cnf_.add_ternary(a, -b, x);
+  cnf_.add_ternary(-a, b, x);
+  return x;
+}
+
+Lit GateBuilder::majority(Lit a, Lit b, Lit c) {
+  // Fold constants: maj(1,b,c) = b|c; maj(0,b,c) = b&c.
+  if (is_const(a)) return const_value(a) ? lor(b, c) : land(b, c);
+  if (is_const(b)) return const_value(b) ? lor(a, c) : land(a, c);
+  if (is_const(c)) return const_value(c) ? lor(a, b) : land(a, b);
+  const Lit x = cnf_.new_var();
+  cnf_.add_ternary(-a, -b, x);
+  cnf_.add_ternary(-a, -c, x);
+  cnf_.add_ternary(-b, -c, x);
+  cnf_.add_ternary(a, b, -x);
+  cnf_.add_ternary(a, c, -x);
+  cnf_.add_ternary(b, c, -x);
+  return x;
+}
+
+Lit GateBuilder::parity(Lit a, Lit b, Lit c) { return lxor(lxor(a, b), c); }
+
+Lit GateBuilder::mux(Lit sel, Lit a, Lit b) {
+  if (is_const(sel)) return const_value(sel) ? a : b;
+  if (a == b) return a;
+  // x = (sel & a) | (!sel & b)
+  return lor(land(sel, a), land(-sel, b));
+}
+
+void GateBuilder::assert_true(Lit l) {
+  if (is_const(l)) {
+    if (!const_value(l)) cnf_.add_clause({});  // unsatisfiable
+    return;
+  }
+  cnf_.add_unit(l);
+}
+
+}  // namespace safenn::smt

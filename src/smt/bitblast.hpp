@@ -1,0 +1,49 @@
+// Gate-level Tseitin encoding primitives.
+//
+// Every gate allocates (at most) one fresh CNF variable and the defining
+// clauses. Constant inputs are folded so that multiplying by constant
+// weights — the common case when bit-blasting a quantized network —
+// produces compact formulas.
+#pragma once
+
+#include "sat/cnf.hpp"
+
+namespace safenn::smt {
+
+/// Wraps a Cnf with a constant-true literal and folding gate constructors.
+class GateBuilder {
+ public:
+  explicit GateBuilder(sat::Cnf& cnf);
+
+  sat::Cnf& cnf() { return cnf_; }
+
+  sat::Lit true_lit() const { return true_lit_; }
+  sat::Lit false_lit() const { return -true_lit_; }
+
+  bool is_const(sat::Lit l) const {
+    return l == true_lit_ || l == -true_lit_;
+  }
+  bool const_value(sat::Lit l) const { return l == true_lit_; }
+
+  /// Negation is free.
+  static sat::Lit lnot(sat::Lit a) { return -a; }
+
+  sat::Lit land(sat::Lit a, sat::Lit b);
+  sat::Lit lor(sat::Lit a, sat::Lit b);
+  sat::Lit lxor(sat::Lit a, sat::Lit b);
+  /// Three-input majority (the carry function of a full adder).
+  sat::Lit majority(sat::Lit a, sat::Lit b, sat::Lit c);
+  /// Three-input parity (the sum function of a full adder).
+  sat::Lit parity(sat::Lit a, sat::Lit b, sat::Lit c);
+  /// sel ? a : b.
+  sat::Lit mux(sat::Lit sel, sat::Lit a, sat::Lit b);
+
+  /// Forces `l` true in every model.
+  void assert_true(sat::Lit l);
+
+ private:
+  sat::Cnf& cnf_;
+  sat::Lit true_lit_;
+};
+
+}  // namespace safenn::smt

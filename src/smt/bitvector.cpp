@@ -1,0 +1,180 @@
+#include "smt/bitvector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace safenn::smt {
+
+using sat::Lit;
+
+std::size_t bits_for_magnitude(std::int64_t m) {
+  require(m >= 0, "bits_for_magnitude: magnitude must be non-negative");
+  std::size_t bits = 1;  // sign bit
+  std::uint64_t v = static_cast<std::uint64_t>(m);
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+BitVec BitVecBuilder::input(std::size_t width) {
+  require(width >= 1, "BitVecBuilder::input: zero width");
+  BitVec out;
+  out.bits.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) out.bits.push_back(g_.cnf().new_var());
+  return out;
+}
+
+BitVec BitVecBuilder::constant(std::int64_t value, std::size_t width) {
+  require(width >= 1 && width <= 63, "BitVecBuilder::constant: bad width");
+  // Verify the value fits in `width` signed bits.
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  require(value >= lo && value <= hi,
+          "BitVecBuilder::constant: value does not fit in width");
+  BitVec out;
+  out.bits.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.bits.push_back(((value >> i) & 1) ? g_.true_lit() : g_.false_lit());
+  }
+  return out;
+}
+
+BitVec BitVecBuilder::sign_extend(const BitVec& a, std::size_t width) const {
+  require(width >= a.width(), "BitVecBuilder::sign_extend: narrower target");
+  BitVec out = a;
+  out.bits.resize(width, a.sign());
+  return out;
+}
+
+BitVec BitVecBuilder::add(const BitVec& a, const BitVec& b) {
+  require(a.width() == b.width(), "BitVecBuilder::add: width mismatch");
+  BitVec out;
+  out.bits.reserve(a.width());
+  Lit carry = g_.false_lit();
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    out.bits.push_back(g_.parity(a.bits[i], b.bits[i], carry));
+    carry = g_.majority(a.bits[i], b.bits[i], carry);
+  }
+  return out;
+}
+
+BitVec BitVecBuilder::sub(const BitVec& a, const BitVec& b) {
+  // a - b = a + ~b + 1 via an initial carry of 1.
+  require(a.width() == b.width(), "BitVecBuilder::sub: width mismatch");
+  BitVec out;
+  out.bits.reserve(a.width());
+  Lit carry = g_.true_lit();
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    out.bits.push_back(g_.parity(a.bits[i], -b.bits[i], carry));
+    carry = g_.majority(a.bits[i], -b.bits[i], carry);
+  }
+  return out;
+}
+
+BitVec BitVecBuilder::negate(const BitVec& a) {
+  return sub(constant(0, a.width()), a);
+}
+
+BitVec BitVecBuilder::mul_const(const BitVec& a, std::int64_t c,
+                                std::size_t out_width) {
+  require(out_width >= a.width(), "BitVecBuilder::mul_const: narrow result");
+  if (c == 0) return constant(0, out_width);
+  const bool negative = c < 0;
+  std::uint64_t mag = negative ? static_cast<std::uint64_t>(-c)
+                               : static_cast<std::uint64_t>(c);
+  const BitVec wide = sign_extend(a, out_width);
+  BitVec acc = constant(0, out_width);
+  bool first = true;
+  for (std::size_t k = 0; mag != 0; ++k, mag >>= 1) {
+    if (!(mag & 1)) continue;
+    // wide << k within out_width.
+    BitVec shifted;
+    shifted.bits.assign(k, g_.false_lit());
+    for (std::size_t i = 0; i + k < out_width; ++i) {
+      shifted.bits.push_back(wide.bits[i]);
+    }
+    shifted.bits.resize(out_width, g_.false_lit());
+    if (first) {
+      acc = shifted;
+      first = false;
+    } else {
+      acc = add(acc, shifted);
+    }
+  }
+  return negative ? negate(acc) : acc;
+}
+
+BitVec BitVecBuilder::ashr(const BitVec& a, std::size_t k) const {
+  BitVec out;
+  out.bits.reserve(a.width());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    const std::size_t src = i + k;
+    out.bits.push_back(src < a.width() ? a.bits[src] : a.sign());
+  }
+  return out;
+}
+
+BitVec BitVecBuilder::relu(const BitVec& a) {
+  const Lit nonneg = -a.sign();
+  BitVec out;
+  out.bits.reserve(a.width());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    out.bits.push_back(g_.land(a.bits[i], nonneg));
+  }
+  return out;
+}
+
+Lit BitVecBuilder::less_than(const BitVec& a, const BitVec& b) {
+  // Signed a < b  <=>  sign(a - b) with one extra bit to avoid overflow.
+  const std::size_t w = std::max(a.width(), b.width()) + 1;
+  const BitVec diff = sub(sign_extend(a, w), sign_extend(b, w));
+  return diff.sign();
+}
+
+Lit BitVecBuilder::less_equal(const BitVec& a, const BitVec& b) {
+  return -less_than(b, a);
+}
+
+Lit BitVecBuilder::equal(const BitVec& a, const BitVec& b) {
+  require(a.width() == b.width(), "BitVecBuilder::equal: width mismatch");
+  Lit acc = g_.true_lit();
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    acc = g_.land(acc, -g_.lxor(a.bits[i], b.bits[i]));
+  }
+  return acc;
+}
+
+void BitVecBuilder::assert_in_range(const BitVec& a, std::int64_t lo,
+                                    std::int64_t hi) {
+  require(lo <= hi, "BitVecBuilder::assert_in_range: empty range");
+  const std::size_t w = a.width() + 1;
+  g_.assert_true(less_equal(constant(lo, w), sign_extend(a, w)));
+  g_.assert_true(less_equal(sign_extend(a, w), constant(hi, w)));
+}
+
+std::int64_t BitVecBuilder::decode(const BitVec& a,
+                                   const sat::Solver& solver) const {
+  require(a.width() <= 63, "BitVecBuilder::decode: width too large");
+  std::uint64_t raw = 0;
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    const Lit l = a.bits[i];
+    bool bit;
+    if (g_.is_const(l)) {
+      bit = g_.const_value(l);
+    } else {
+      const bool var_val = solver.model_value(sat::lit_var(l));
+      bit = sat::lit_sign(l) ? !var_val : var_val;
+    }
+    if (bit) raw |= (std::uint64_t{1} << i);
+  }
+  // Sign-extend from a.width() bits.
+  if (raw & (std::uint64_t{1} << (a.width() - 1))) {
+    raw |= ~((std::uint64_t{1} << a.width()) - 1);
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace safenn::smt

@@ -1,0 +1,78 @@
+// Two's-complement bit-vector arithmetic over CNF.
+//
+// The word-level layer of the Sec. IV(ii) pipeline: quantized-network
+// semantics (constant multiply, accumulate, arithmetic shift, ReLU,
+// signed compare) compiled to clauses through GateBuilder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "smt/bitblast.hpp"
+
+namespace safenn::smt {
+
+/// A signed (two's complement) bit-vector; bits are CNF literals, LSB
+/// first. Width is fixed at construction of each value.
+struct BitVec {
+  std::vector<sat::Lit> bits;
+
+  std::size_t width() const { return bits.size(); }
+  sat::Lit sign() const { return bits.back(); }
+};
+
+/// Word-level circuit builder.
+class BitVecBuilder {
+ public:
+  explicit BitVecBuilder(GateBuilder& gates) : g_(gates) {}
+
+  /// Fresh unconstrained input of the given width.
+  BitVec input(std::size_t width);
+
+  /// Constant value (must fit in `width` signed bits; checked).
+  BitVec constant(std::int64_t value, std::size_t width);
+
+  /// Sign extension to a wider width (no-op when equal).
+  BitVec sign_extend(const BitVec& a, std::size_t width) const;
+
+  /// a + b (equal widths; wraps on overflow — size widths to prevent it).
+  BitVec add(const BitVec& a, const BitVec& b);
+
+  /// a - b.
+  BitVec sub(const BitVec& a, const BitVec& b);
+
+  /// Two's complement negation.
+  BitVec negate(const BitVec& a);
+
+  /// a * c for a compile-time constant c (shift-and-add on set bits).
+  /// Result has width `out_width`; caller guarantees no overflow.
+  BitVec mul_const(const BitVec& a, std::int64_t c, std::size_t out_width);
+
+  /// Arithmetic shift right by `k` (floor division by 2^k), width kept.
+  BitVec ashr(const BitVec& a, std::size_t k) const;
+
+  /// max(0, a): zero when the sign bit is set.
+  BitVec relu(const BitVec& a);
+
+  /// Signed comparisons.
+  sat::Lit less_than(const BitVec& a, const BitVec& b);     // a < b
+  sat::Lit less_equal(const BitVec& a, const BitVec& b);    // a <= b
+  sat::Lit equal(const BitVec& a, const BitVec& b);
+
+  /// Asserts lo <= a <= hi (signed constants).
+  void assert_in_range(const BitVec& a, std::int64_t lo, std::int64_t hi);
+
+  GateBuilder& gates() { return g_; }
+
+  /// Decodes a bit-vector value from a satisfying model.
+  std::int64_t decode(const BitVec& a, const sat::Solver& solver) const;
+
+ private:
+  GateBuilder& g_;
+};
+
+/// Number of signed bits needed to represent every value in [-m, m].
+std::size_t bits_for_magnitude(std::int64_t m);
+
+}  // namespace safenn::smt

@@ -1,0 +1,262 @@
+#include "verify/input_split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "lp/simplex.hpp"
+#include "verify/interval.hpp"
+#include "verify/verifier.hpp"
+
+namespace safenn::verify {
+namespace {
+
+/// Triangle-relaxation LP over one box: returns the LP, with the expr
+/// objective already installed (maximize) and the input variables first.
+lp::Problem build_triangle_lp(const nn::Network& net, const Box& box,
+                              const std::vector<InputConstraint>& side,
+                              const std::vector<LayerBounds>& bounds,
+                              const OutputExpr& expr) {
+  lp::Problem p;
+  p.set_maximize(true);
+  std::vector<int> prev;
+  prev.reserve(net.input_size());
+  for (std::size_t i = 0; i < net.input_size(); ++i) {
+    prev.push_back(p.add_variable(box[i].lo, box[i].hi));
+  }
+  for (const InputConstraint& c : side) {
+    lp::LinearTerms terms;
+    for (const auto& [idx, coef] : c.terms) {
+      terms.emplace_back(prev[static_cast<std::size_t>(idx)], coef);
+    }
+    p.add_constraint(std::move(terms), c.relation, c.rhs);
+  }
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const nn::DenseLayer& layer = net.layer(li);
+    std::vector<int> cur(layer.out_size(), -1);
+    for (std::size_t r = 0; r < layer.out_size(); ++r) {
+      const Interval pre = bounds[li].pre[r];
+      lp::LinearTerms z_terms;
+      for (std::size_t c = 0; c < layer.in_size(); ++c) {
+        const double w = layer.weights()(r, c);
+        if (w != 0.0) z_terms.emplace_back(prev[c], w);
+      }
+      const double b = layer.biases()[r];
+      if (layer.activation() == nn::Activation::kIdentity) {
+        const int y = p.add_variable(pre.lo, pre.hi);
+        lp::LinearTerms eq{{y, 1.0}};
+        for (const auto& [var, coef] : z_terms) eq.emplace_back(var, -coef);
+        p.add_constraint(std::move(eq), lp::Relation::kEq, b);
+        cur[r] = y;
+        continue;
+      }
+      if (pre.hi <= 0.0) {
+        cur[r] = p.add_variable(0.0, 0.0);
+        continue;
+      }
+      if (pre.lo >= 0.0) {
+        const int y = p.add_variable(pre.lo, pre.hi);
+        lp::LinearTerms eq{{y, 1.0}};
+        for (const auto& [var, coef] : z_terms) eq.emplace_back(var, -coef);
+        p.add_constraint(std::move(eq), lp::Relation::kEq, b);
+        cur[r] = y;
+        continue;
+      }
+      // Unstable: y >= z, y >= 0 (bound), y <= hi (z - lo) / (hi - lo).
+      const int y = p.add_variable(0.0, pre.hi);
+      lp::LinearTerms ge{{y, 1.0}};
+      for (const auto& [var, coef] : z_terms) ge.emplace_back(var, -coef);
+      p.add_constraint(std::move(ge), lp::Relation::kGe, b);
+      const double slope = pre.hi / (pre.hi - pre.lo);
+      lp::LinearTerms le{{y, 1.0}};
+      for (const auto& [var, coef] : z_terms) {
+        le.emplace_back(var, -slope * coef);
+      }
+      p.add_constraint(std::move(le), lp::Relation::kLe,
+                       slope * (b - pre.lo));
+      cur[r] = y;
+    }
+    prev = cur;
+  }
+  // Objective over the output-layer variables (they are the last widths).
+  for (const auto& [idx, coef] : expr.terms) {
+    require(idx >= 0 && static_cast<std::size_t>(idx) < prev.size(),
+            "build_triangle_lp: output index out of range");
+    p.set_objective(prev[static_cast<std::size_t>(idx)], coef);
+  }
+  return p;
+}
+
+struct BoxNode {
+  Box box;
+  double bound;  // parent/own LP bound (upper)
+  long id;
+};
+
+}  // namespace
+
+InputSplitVerifier::InputSplitVerifier(InputSplitOptions options)
+    : options_(options) {}
+
+InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
+                                              const InputRegion& region,
+                                              const OutputExpr& expr) const {
+  require(region.dims() == net.input_size(),
+          "InputSplitVerifier: region dimension mismatch");
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    require(nn::is_piecewise_linear(net.layer(li).activation()),
+            "InputSplitVerifier: only ReLU/identity networks supported");
+  }
+
+  Stopwatch clock;
+  Deadline deadline(options_.time_limit_seconds);
+  lp::SimplexSolver solver;
+
+  InputSplitResult result;
+  auto cmp = [](const BoxNode& a, const BoxNode& b) {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    return a.id < b.id;
+  };
+  std::priority_queue<BoxNode, std::vector<BoxNode>, decltype(cmp)> open(cmp);
+  long next_id = 0;
+  open.push(BoxNode{region.box, std::numeric_limits<double>::infinity(),
+                    next_id++});
+
+  auto consider_point = [&](const linalg::Vector& x) {
+    if (!region.contains(x)) return;
+    const double val = expr.evaluate(net.forward(x));
+    if (!result.has_value || val > result.max_value) {
+      result.has_value = true;
+      result.max_value = val;
+      result.witness = x;
+    }
+  };
+
+  bool timed_out = false;
+  double global_bound = std::numeric_limits<double>::infinity();
+  while (!open.empty()) {
+    if (deadline.expired() ||
+        (options_.max_boxes > 0 && result.boxes_explored >= options_.max_boxes)) {
+      timed_out = true;
+      break;
+    }
+    BoxNode node = open.top();
+    open.pop();
+    global_bound = node.bound;
+    if (result.has_value &&
+        node.bound <= result.max_value + options_.gap_tol) {
+      global_bound = result.max_value;
+      break;  // nothing left can improve beyond the tolerance
+    }
+    ++result.boxes_explored;
+
+    // Fresh bounds for this box; the LP bound prunes, its argmax seeds
+    // the incumbent.
+    const std::vector<LayerBounds> bounds = propagate_bounds(net, node.box);
+    const lp::Problem relax = build_triangle_lp(
+        net, node.box, region.constraints, bounds, expr);
+    const lp::Solution s = solver.solve(relax);
+    result.lp_iterations += s.iterations;
+    if (s.status == lp::SolveStatus::kInfeasible) continue;
+    if (s.status != lp::SolveStatus::kOptimal) {
+      // Numerical trouble: keep the parent's bound, split anyway.
+    }
+    const double box_bound =
+        s.status == lp::SolveStatus::kOptimal
+            ? std::min(node.bound, s.objective)
+            : node.bound;
+    // Incumbents: LP's input point and box midpoint.
+    if (s.status == lp::SolveStatus::kOptimal) {
+      linalg::Vector x_hat(net.input_size());
+      for (std::size_t i = 0; i < x_hat.size(); ++i) {
+        x_hat[i] = std::clamp(s.values[i], node.box[i].lo, node.box[i].hi);
+      }
+      consider_point(x_hat);
+    }
+    if (result.has_value &&
+        box_bound <= result.max_value + options_.gap_tol) {
+      continue;  // pruned
+    }
+
+    // Split on the input dimension with the largest smear
+    // (width x |d expr / d x_i| at the incumbent-ish point).
+    linalg::Vector probe(net.input_size());
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      probe[i] = 0.5 * (node.box[i].lo + node.box[i].hi);
+    }
+    consider_point(probe);
+    linalg::Vector grad(net.input_size());
+    {
+      // Gradient of expr at probe: sum coef * d out_idx / d x.
+      for (const auto& [idx, coef] : expr.terms) {
+        grad.add_scaled(coef, net.input_gradient(
+                                  probe, static_cast<std::size_t>(idx)));
+      }
+    }
+    std::size_t split_dim = 0;
+    double best_smear = -1.0;
+    for (std::size_t i = 0; i < node.box.size(); ++i) {
+      const double width = node.box[i].width();
+      if (width <= 1e-9) continue;
+      const double smear = width * (std::abs(grad[i]) + 1e-6);
+      if (smear > best_smear) {
+        best_smear = smear;
+        split_dim = i;
+      }
+    }
+    if (best_smear < 0.0) {
+      // Box is a point: its value is already considered; bound is exact.
+      continue;
+    }
+    const double mid =
+        0.5 * (node.box[split_dim].lo + node.box[split_dim].hi);
+    BoxNode left{node.box, box_bound, next_id++};
+    left.box[split_dim].hi = mid;
+    BoxNode right{node.box, box_bound, next_id++};
+    right.box[split_dim].lo = mid;
+    open.push(std::move(left));
+    open.push(std::move(right));
+  }
+
+  result.seconds = clock.seconds();
+  if (timed_out) {
+    result.exact = false;
+    result.upper_bound = open.empty() ? global_bound : open.top().bound;
+    if (!std::isfinite(result.upper_bound)) {
+      result.upper_bound = global_bound;
+    }
+    return result;
+  }
+  if (!result.has_value) {
+    // Queue exhausted with every box infeasible: the region is empty.
+    result.exact = true;
+    result.upper_bound = -std::numeric_limits<double>::infinity();
+    return result;
+  }
+  result.exact = true;
+  result.upper_bound =
+      std::min(global_bound, result.max_value + options_.gap_tol);
+  return result;
+}
+
+Verdict InputSplitVerifier::prove(const nn::Network& net,
+                                  const SafetyProperty& property,
+                                  InputSplitResult* detail) const {
+  const InputSplitResult r =
+      maximize(net, property.region, property.expr);
+  if (detail) *detail = r;
+  if (r.has_value && r.max_value > property.threshold) {
+    return Verdict::kViolated;
+  }
+  if (r.exact || r.upper_bound <= property.threshold) {
+    return r.upper_bound <= property.threshold + 1e-9 ? Verdict::kProved
+                                                      : Verdict::kUnknown;
+  }
+  return Verdict::kUnknown;
+}
+
+}  // namespace safenn::verify

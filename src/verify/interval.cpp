@@ -1,0 +1,102 @@
+#include "verify/interval.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace safenn::verify {
+namespace {
+
+/// Image of [lo, hi] under a monotone non-decreasing activation.
+Interval activate_interval(nn::Activation a, const Interval& z) {
+  return Interval{nn::activate(a, z.lo), nn::activate(a, z.hi)};
+}
+
+}  // namespace
+
+std::vector<LayerBounds> propagate_bounds(const nn::Network& net,
+                                          const Box& input_box) {
+  require(input_box.size() == net.input_size(),
+          "propagate_bounds: box dimension mismatch");
+  for (const Interval& iv : input_box) {
+    require(iv.lo <= iv.hi, "propagate_bounds: empty interval in box");
+  }
+
+  std::vector<LayerBounds> all;
+  all.reserve(net.num_layers());
+  std::vector<Interval> prev = input_box;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const nn::DenseLayer& layer = net.layer(li);
+    LayerBounds lb;
+    lb.pre.resize(layer.out_size());
+    lb.post.resize(layer.out_size());
+    for (std::size_t r = 0; r < layer.out_size(); ++r) {
+      double lo = layer.biases()[r];
+      double hi = lo;
+      for (std::size_t c = 0; c < layer.in_size(); ++c) {
+        const double w = layer.weights()(r, c);
+        if (w >= 0.0) {
+          lo += w * prev[c].lo;
+          hi += w * prev[c].hi;
+        } else {
+          lo += w * prev[c].hi;
+          hi += w * prev[c].lo;
+        }
+      }
+      lb.pre[r] = Interval{lo, hi};
+      lb.post[r] = activate_interval(layer.activation(), lb.pre[r]);
+    }
+    prev = lb.post;
+    all.push_back(std::move(lb));
+  }
+  return all;
+}
+
+std::vector<Interval> output_bounds(const nn::Network& net,
+                                    const Box& input_box) {
+  return propagate_bounds(net, input_box).back().post;
+}
+
+Interval linear_output_bounds(
+    const nn::Network& net, const Box& input_box,
+    const std::vector<std::pair<int, double>>& terms) {
+  const std::vector<Interval> out = output_bounds(net, input_box);
+  Interval acc{0.0, 0.0};
+  for (const auto& [idx, coef] : terms) {
+    require(idx >= 0 && static_cast<std::size_t>(idx) < out.size(),
+            "linear_output_bounds: output index out of range");
+    const Interval& o = out[static_cast<std::size_t>(idx)];
+    if (coef >= 0.0) {
+      acc.lo += coef * o.lo;
+      acc.hi += coef * o.hi;
+    } else {
+      acc.lo += coef * o.hi;
+      acc.hi += coef * o.lo;
+    }
+  }
+  return acc;
+}
+
+NeuronStability classify(const Interval& pre) {
+  if (pre.lo >= 0.0) return NeuronStability::kStableActive;
+  if (pre.hi <= 0.0) return NeuronStability::kStableInactive;
+  return NeuronStability::kUnstable;
+}
+
+StabilityStats stability_stats(const nn::Network& net, const Box& input_box) {
+  const auto bounds = propagate_bounds(net, input_box);
+  StabilityStats stats;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    if (net.layer(li).activation() != nn::Activation::kRelu) continue;
+    for (const Interval& pre : bounds[li].pre) {
+      switch (classify(pre)) {
+        case NeuronStability::kStableActive: ++stats.stable_active; break;
+        case NeuronStability::kStableInactive: ++stats.stable_inactive; break;
+        case NeuronStability::kUnstable: ++stats.unstable; break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace safenn::verify

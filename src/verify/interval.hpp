@@ -1,0 +1,75 @@
+// Interval bound propagation (static analysis of networks).
+//
+// Two roles, both from the paper:
+//  1. It is the "static analysis" instance of Sec. II(B)'s formal methods:
+//     a sound but incomplete verifier that works for any monotone
+//     activation (including atan/tanh where MILP does not apply).
+//  2. It computes per-neuron pre-activation bounds that become the
+//     big-M constants of the MILP encoding; neurons whose interval does
+//     not straddle zero are *stable* and need no binary variable
+//     (the ATVA'17 bound-tightening trick; bench_bigm_ablation measures
+//     how much this matters).
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace safenn::verify {
+
+/// A closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// An axis-aligned input box, one interval per input dimension.
+using Box = std::vector<Interval>;
+
+/// ReLU phase classification under an input region.
+enum class NeuronStability {
+  kStableActive,    // pre-activation always >= 0: ReLU is identity
+  kStableInactive,  // pre-activation always <= 0: output pinned to 0
+  kUnstable,        // straddles 0: needs a branch decision
+};
+
+/// Bounds for one layer of a propagated network.
+struct LayerBounds {
+  std::vector<Interval> pre;   // pre-activation (z) bounds
+  std::vector<Interval> post;  // post-activation (y) bounds
+};
+
+/// Sound per-layer bounds for all neurons given the input box. Works for
+/// every supported activation (all are monotone non-decreasing).
+std::vector<LayerBounds> propagate_bounds(const nn::Network& net,
+                                          const Box& input_box);
+
+/// Bounds on the network outputs over the box.
+std::vector<Interval> output_bounds(const nn::Network& net,
+                                    const Box& input_box);
+
+/// Bounds on a linear functional sum_i terms[i].second * out[terms[i].first]
+/// over the box (computed from output bounds; sound, not tight).
+Interval linear_output_bounds(const nn::Network& net, const Box& input_box,
+                              const std::vector<std::pair<int, double>>& terms);
+
+/// Classifies one neuron's ReLU phase from its pre-activation interval.
+NeuronStability classify(const Interval& pre);
+
+/// Counts of stable/unstable neurons across all ReLU layers.
+struct StabilityStats {
+  std::size_t stable_active = 0;
+  std::size_t stable_inactive = 0;
+  std::size_t unstable = 0;
+
+  std::size_t total() const {
+    return stable_active + stable_inactive + unstable;
+  }
+};
+
+StabilityStats stability_stats(const nn::Network& net, const Box& input_box);
+
+}  // namespace safenn::verify

@@ -1,0 +1,87 @@
+#include "verify/resilience.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace safenn::verify {
+namespace {
+
+/// Box of radius r around the center, clipped to the outer region.
+Box radius_box(const linalg::Vector& center, double r,
+               const std::optional<Box>& clip) {
+  Box box(center.size());
+  for (std::size_t i = 0; i < center.size(); ++i) {
+    box[i] = Interval{center[i] - r, center[i] + r};
+    if (clip) {
+      box[i].lo = std::max(box[i].lo, (*clip)[i].lo);
+      box[i].hi = std::min(box[i].hi, (*clip)[i].hi);
+      if (box[i].lo > box[i].hi) box[i].lo = box[i].hi;
+    }
+  }
+  return box;
+}
+
+}  // namespace
+
+ResilienceResult maximum_resilience(const nn::Network& net,
+                                    const SafetyProperty& property,
+                                    const linalg::Vector& center,
+                                    const ResilienceOptions& options) {
+  require(center.size() == net.input_size(),
+          "maximum_resilience: center dimension mismatch");
+  require(options.radius_lo >= 0.0 &&
+              options.radius_lo <= options.radius_hi,
+          "maximum_resilience: bad radius interval");
+  Stopwatch clock;
+  ResilienceResult result;
+  result.violation_radius = std::numeric_limits<double>::infinity();
+
+  MilpVerifier verifier(options.verifier);
+  auto probe = [&](double r) -> Verdict {
+    SafetyProperty boxed = property;
+    boxed.region.box = radius_box(center, r, options.clip_box);
+    ++result.probes;
+    const ProveResult pr = verifier.prove(net, boxed);
+    if (pr.verdict == Verdict::kViolated && pr.counterexample &&
+        r < result.violation_radius) {
+      result.violation_radius = r;
+      result.counterexample = pr.counterexample;
+    }
+    return pr.verdict;
+  };
+
+  // The property must hold at (or immediately around) the center.
+  double lo = options.radius_lo;
+  double hi = options.radius_hi;
+  if (probe(lo) != Verdict::kProved) {
+    result.seconds = clock.seconds();
+    return result;  // not even the starting radius is provable
+  }
+  result.proved_any = true;
+  result.safe_radius = lo;
+
+  // If the full radius is safe we are done.
+  if (probe(hi) == Verdict::kProved) {
+    result.safe_radius = hi;
+    result.seconds = clock.seconds();
+    return result;
+  }
+
+  // Bisection: lo provably safe, hi not proved.
+  while (hi - lo > options.radius_tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid) == Verdict::kProved) {
+      lo = mid;
+      result.safe_radius = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace safenn::verify

@@ -1,0 +1,46 @@
+// Maximum resilience queries (Cheng, Nührenberg, Ruess — ATVA 2017).
+//
+// The paper's verification methodology cites "Maximum resilience of
+// artificial neural networks" as its engine [3]; the headline query of
+// that work is implemented here: the largest L-infinity perturbation
+// radius around a nominal input within which a safety property provably
+// holds. Computed by bisection over the radius, each probe being one
+// complete prove() call on the boxed region.
+#pragma once
+
+#include "verify/verifier.hpp"
+
+namespace safenn::verify {
+
+struct ResilienceOptions {
+  double radius_lo = 0.0;     // known-safe radius to start from
+  double radius_hi = 1.0;     // upper limit of the search
+  double radius_tol = 1e-3;   // bisection resolution
+  VerifierOptions verifier;   // per-probe verification budget
+  /// Clip each probe box to this outer region when provided (e.g. the
+  /// encoder's domain box), so perturbations stay physically meaningful.
+  std::optional<Box> clip_box;
+};
+
+struct ResilienceResult {
+  /// Largest radius proved safe (>= radius_lo when even that failed
+  /// to prove, see `proved_any`).
+  double safe_radius = 0.0;
+  bool proved_any = false;
+  /// Smallest radius at which a concrete violation was found (infinity
+  /// when none was found up to radius_hi).
+  double violation_radius = 0.0;
+  std::optional<linalg::Vector> counterexample;
+  int probes = 0;
+  double seconds = 0.0;
+};
+
+/// Computes the maximum L-inf resilience of `property` around `center`.
+/// `property.region`'s box is ignored; its side constraints are kept.
+/// The property must hold at `center` itself for the search to begin.
+ResilienceResult maximum_resilience(const nn::Network& net,
+                                    const SafetyProperty& property,
+                                    const linalg::Vector& center,
+                                    const ResilienceOptions& options = {});
+
+}  // namespace safenn::verify

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace safenn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(12);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto idx = rng.uniform_index(7);
+    EXPECT_LT(idx, 7u);
+    seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(13);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.split();
+  // Child stream should not replicate the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndNonConstant) {
+  Rng rng(GetParam());
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  EXPECT_LT(lo, hi);  // stream is not constant
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 12345ull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(sw.seconds(), 0.0);
+  EXPECT_GE(sw.millis(), sw.seconds() * 999.0);
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LE(sw.seconds(), before + 1.0);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  Deadline d(0.0);
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining()));
+}
+
+TEST(Deadline, FarFutureNotExpired) {
+  Deadline d(3600.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 3500.0);
+}
+
+TEST(Deadline, PastDeadlineExpires) {
+  Deadline d(1e-9);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), 0.0);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter w;
+  w.set_header({"name", "value"});
+  w.add_row({"alpha", "1"});
+  w.add_row({"beta", "2"});
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_EQ(os.str(), "name,value\nalpha,1\nbeta,2\n");
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(Csv, RejectsMismatchedRowWidth) {
+  CsvWriter w;
+  w.set_header({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), Error);
+}
+
+TEST(Csv, CellFormatsDoubles) {
+  EXPECT_EQ(CsvWriter::cell(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::cell(0.125, 3), "0.125");
+}
+
+TEST(ErrorHelpers, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  try {
+    require(false, "broken invariant");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "broken invariant");
+  }
+}
+
+}  // namespace
+}  // namespace safenn

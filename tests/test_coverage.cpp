@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "coverage/mcdc.hpp"
+#include "coverage/neuron_coverage.hpp"
+
+namespace safenn::coverage {
+namespace {
+
+using linalg::Vector;
+using nn::Activation;
+using nn::Network;
+
+Network relu_net(std::uint64_t seed, std::vector<std::size_t> widths) {
+  Rng rng(seed);
+  return Network::make_mlp(widths, Activation::kRelu, Activation::kIdentity,
+                           rng);
+}
+
+TEST(ActivationSignature, OneBitPerReluNeuron) {
+  Network net = relu_net(1, {3, 5, 4, 2});
+  const auto sig = activation_signature(net, Vector{0.1, -0.2, 0.3});
+  EXPECT_EQ(sig.size(), 9u);  // 5 + 4 hidden ReLU neurons
+}
+
+TEST(ActivationSignature, MatchesPreActivationSigns) {
+  Network net = relu_net(2, {2, 4, 1});
+  const Vector x{0.5, -0.5};
+  const auto sig = activation_signature(net, x);
+  const nn::ForwardTrace trace = net.forward_trace(x);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(sig[r], trace.pre_activations[0][r] > 0.0);
+  }
+}
+
+TEST(CoverageTracker, EmptyTrackerFullCoverage) {
+  // Network with no ReLU layers: coverage is trivially complete — the
+  // paper's "one test case satisfies MC/DC" for smooth activations.
+  Rng rng(3);
+  Network net = Network::make_mlp({2, 4, 1}, Activation::kAtan,
+                                  Activation::kIdentity, rng);
+  CoverageTracker tracker(net);
+  EXPECT_EQ(tracker.num_relu_neurons(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.activation_coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.both_phase_coverage(), 1.0);
+}
+
+TEST(CoverageTracker, AccumulatesObservations) {
+  Network net = relu_net(4, {2, 6, 1});
+  CoverageTracker tracker(net);
+  EXPECT_EQ(tracker.tests_recorded(), 0u);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    tracker.record_input(net, Vector{rng.uniform(-2, 2), rng.uniform(-2, 2)});
+  }
+  EXPECT_EQ(tracker.tests_recorded(), 50u);
+  EXPECT_GT(tracker.activation_coverage(), 0.0);
+  EXPECT_GE(tracker.activation_coverage(), tracker.both_phase_coverage() - 1e-12);
+  EXPECT_GE(tracker.distinct_patterns(), 1u);
+  EXPECT_LE(tracker.distinct_patterns(), 50u);
+}
+
+TEST(CoverageTracker, ResetClearsState) {
+  Network net = relu_net(6, {2, 4, 1});
+  CoverageTracker tracker(net);
+  tracker.record_input(net, Vector{1.0, 1.0});
+  tracker.reset();
+  EXPECT_EQ(tracker.tests_recorded(), 0u);
+  EXPECT_EQ(tracker.distinct_patterns(), 0u);
+}
+
+TEST(CoverageTracker, SinglePointCannotCoverBothPhases) {
+  Network net = relu_net(7, {2, 8, 1});
+  CoverageTracker tracker(net);
+  tracker.record_input(net, Vector{0.3, 0.4});
+  // One test can see each neuron in only one phase.
+  EXPECT_EQ(tracker.both_phase_coverage(), 0.0);
+}
+
+TEST(Mcdc, AtanNetworkIsTriviallySatisfiable) {
+  // Paper Sec. II: "When one uses tan-1 ... one only needs one test case
+  // to satisfy MC/DC as there is no if-then-else branch in every neuron."
+  Rng rng(8);
+  Network net = Network::make_mlp({84, 60, 60, 60, 60, 15},
+                                  Activation::kAtan, Activation::kIdentity,
+                                  rng);
+  const McdcAnalysis a = analyze_mcdc(net);
+  EXPECT_EQ(a.decisions, 0u);
+  EXPECT_TRUE(a.trivially_satisfiable);
+  EXPECT_EQ(a.min_tests_lower_bound, 1u);
+}
+
+TEST(Mcdc, ReluNetworkBranchesAreExponential) {
+  // "When one uses ReLU ... branching possibilities are exponential to
+  // the number of neurons."
+  Rng rng(9);
+  Network net = Network::make_i4xn(84, 60, 15, Activation::kRelu, rng);
+  const McdcAnalysis a = analyze_mcdc(net);
+  EXPECT_EQ(a.decisions, 240u);  // 4 layers x 60 neurons
+  EXPECT_DOUBLE_EQ(a.log2_branch_combinations, 240.0);
+  EXPECT_FALSE(a.trivially_satisfiable);
+  EXPECT_EQ(a.min_tests_lower_bound, 241u);
+}
+
+TEST(Mcdc, DecisionCountScalesWithWidth) {
+  for (std::size_t width : {10u, 20u, 40u}) {
+    Rng rng(10);
+    Network net = Network::make_i4xn(84, width, 15, Activation::kRelu, rng);
+    EXPECT_EQ(analyze_mcdc(net).decisions, 4 * width);
+  }
+}
+
+TEST(CoverageCampaign, TerminatesAndReportsHonestNumbers) {
+  Network net = relu_net(11, {4, 10, 10, 2});
+  verify::Box box(4, verify::Interval{-1.5, 1.5});
+  Rng rng(12);
+  const CoverageCampaignResult r = run_coverage_campaign(net, box, 2000, rng);
+  EXPECT_GT(r.tests_generated, 0u);
+  EXPECT_LE(r.tests_generated, 2000u);
+  EXPECT_GE(r.both_phase_coverage, 0.0);
+  EXPECT_LE(r.both_phase_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(r.log2_total_patterns, 20.0);
+  // Observed patterns cannot exceed the number of tests.
+  EXPECT_LE(r.distinct_patterns, r.tests_generated);
+}
+
+TEST(CoverageCampaign, DistinctPatternsGrowWithWidthWhileCoverageSaturates) {
+  // The intractability story: pattern space explodes exponentially, so
+  // observed patterns become a vanishing fraction, even as per-neuron
+  // coverage looks healthy.
+  Rng rng(13);
+  verify::Box box(4, verify::Interval{-2.0, 2.0});
+  Network small = relu_net(14, {4, 6, 2});
+  Network large = relu_net(15, {4, 24, 24, 2});
+  Rng rng_a(16), rng_b(16);
+  const auto rs = run_coverage_campaign(small, box, 1500, rng_a);
+  const auto rl = run_coverage_campaign(large, box, 1500, rng_b);
+  // Fraction of the pattern space seen is exponentially smaller for the
+  // larger network.
+  const double small_log_fraction =
+      std::log2(static_cast<double>(rs.distinct_patterns)) -
+      rs.log2_total_patterns;
+  const double large_log_fraction =
+      std::log2(static_cast<double>(rl.distinct_patterns)) -
+      rl.log2_total_patterns;
+  EXPECT_LT(large_log_fraction, small_log_fraction);
+}
+
+TEST(CoverageCampaign, RejectsWrongBox) {
+  Network net = relu_net(17, {3, 4, 1});
+  verify::Box box(2, verify::Interval{0.0, 1.0});
+  Rng rng(18);
+  EXPECT_THROW(run_coverage_campaign(net, box, 10, rng), safenn::Error);
+}
+
+}  // namespace
+}  // namespace safenn::coverage

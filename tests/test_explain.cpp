@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "explain/saliency.hpp"
+#include "explain/traceability.hpp"
+
+namespace safenn::explain {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using nn::Activation;
+using nn::Network;
+
+TEST(Pearson, PerfectAndInverseCorrelation) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  std::vector<double> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, NoVarianceGivesZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, RejectsBadInput) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(pearson(a, b), Error);
+}
+
+TEST(Traceability, HandCraftedNeuronTracesToItsFeature) {
+  // Hidden neuron 0 = relu(x0), neuron 1 = relu(-x1): correlations must
+  // single out the right features with the right signs.
+  Network net;
+  nn::DenseLayer hidden(2, 2, Activation::kRelu);
+  hidden.weights() = Matrix{{1.0, 0.0}, {0.0, -1.0}};
+  hidden.biases() = Vector{0.0, 0.0};
+  net.add_layer(std::move(hidden));
+  nn::DenseLayer out(2, 1, Activation::kIdentity);
+  out.weights() = Matrix{{1.0, 1.0}};
+  out.biases() = Vector{0.0};
+  net.add_layer(std::move(out));
+
+  Rng rng(1);
+  std::vector<Vector> probes;
+  for (int i = 0; i < 300; ++i) {
+    probes.push_back(Vector{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  const TraceabilityReport report = analyze_traceability(net, probes);
+  ASSERT_EQ(report.neurons.size(), 2u);
+  ASSERT_FALSE(report.neurons[0].top_features.empty());
+  EXPECT_EQ(report.neurons[0].top_features[0].first, 0u);
+  EXPECT_GT(report.neurons[0].top_features[0].second, 0.5);
+  ASSERT_FALSE(report.neurons[1].top_features.empty());
+  EXPECT_EQ(report.neurons[1].top_features[0].first, 1u);
+  EXPECT_LT(report.neurons[1].top_features[0].second, -0.5);
+  EXPECT_DOUBLE_EQ(report.traceable_fraction, 1.0);
+}
+
+TEST(Traceability, DeadNeuronReported) {
+  // A neuron with a hugely negative bias never activates.
+  Network net;
+  nn::DenseLayer hidden(1, 1, Activation::kRelu);
+  hidden.weights() = Matrix{{1.0}};
+  hidden.biases() = Vector{-100.0};
+  net.add_layer(std::move(hidden));
+  nn::DenseLayer out(1, 1, Activation::kIdentity);
+  out.weights() = Matrix{{1.0}};
+  net.add_layer(std::move(out));
+  Rng rng(2);
+  std::vector<Vector> probes;
+  for (int i = 0; i < 50; ++i) probes.push_back(Vector{rng.uniform(-1, 1)});
+  const TraceabilityReport report = analyze_traceability(net, probes);
+  ASSERT_EQ(report.neurons.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.neurons[0].activation_rate, 0.0);
+  EXPECT_TRUE(report.neurons[0].top_features.empty());
+  EXPECT_DOUBLE_EQ(report.traceable_fraction, 0.0);
+}
+
+TEST(Traceability, TopKLimitsFeatures) {
+  Rng rng(3);
+  Network net = Network::make_mlp({10, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  std::vector<Vector> probes;
+  for (int i = 0; i < 100; ++i) {
+    Vector x(10);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    probes.push_back(std::move(x));
+  }
+  TraceabilityOptions opts;
+  opts.top_k = 2;
+  const TraceabilityReport report = analyze_traceability(net, probes, opts);
+  for (const auto& n : report.neurons) {
+    EXPECT_LE(n.top_features.size(), 2u);
+  }
+}
+
+TEST(Traceability, RenderNamesFeatures) {
+  Rng rng(4);
+  Network net = Network::make_mlp({2, 2, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  std::vector<Vector> probes;
+  for (int i = 0; i < 60; ++i) {
+    probes.push_back(Vector{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  const TraceabilityReport report = analyze_traceability(net, probes);
+  const std::string text =
+      render_traceability(report, {"speed", "gap"});
+  EXPECT_NE(text.find("traceability"), std::string::npos);
+  // At least one named feature should appear.
+  EXPECT_TRUE(text.find("speed") != std::string::npos ||
+              text.find("gap") != std::string::npos ||
+              text.find("dead") != std::string::npos);
+}
+
+TEST(Saliency, LinearNetworkGradientTimesInput) {
+  // f(x) = 3 x0 - 2 x1 (identity activation): saliency = (3 x0, -2 x1).
+  Network net;
+  nn::DenseLayer out(2, 1, Activation::kIdentity);
+  out.weights() = Matrix{{3.0, -2.0}};
+  net.add_layer(std::move(out));
+  const Vector s = saliency(net, Vector{2.0, 5.0}, 0);
+  EXPECT_NEAR(s[0], 6.0, 1e-12);
+  EXPECT_NEAR(s[1], -10.0, 1e-12);
+}
+
+TEST(Saliency, MeanAbsRanksRelevantFeatureFirst) {
+  // Network output depends strongly on x0, weakly on x1.
+  Network net;
+  nn::DenseLayer out(2, 1, Activation::kIdentity);
+  out.weights() = Matrix{{5.0, 0.1}};
+  net.add_layer(std::move(out));
+  Rng rng(5);
+  std::vector<Vector> probes;
+  for (int i = 0; i < 40; ++i) {
+    probes.push_back(Vector{rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  const Vector importance = mean_abs_saliency(net, probes, 0);
+  EXPECT_GT(importance[0], importance[1]);
+  const auto top = top_k_features(importance, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(Saliency, ConcentrationBounds) {
+  Vector attribution{10.0, 0.1, 0.1, 0.1};
+  const double c1 = attribution_concentration(attribution, 1);
+  EXPECT_GT(c1, 0.9);
+  EXPECT_LE(c1, 1.0);
+  const double c4 = attribution_concentration(attribution, 4);
+  EXPECT_NEAR(c4, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(attribution_concentration(Vector{0.0, 0.0}, 1), 0.0);
+}
+
+TEST(Saliency, TopKHandlesShortVectors) {
+  Vector v{1.0, 2.0};
+  EXPECT_EQ(top_k_features(v, 10).size(), 2u);
+  EXPECT_EQ(top_k_features(v, 10)[0], 1u);
+}
+
+}  // namespace
+}  // namespace safenn::explain

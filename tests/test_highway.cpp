@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "highway/dataset_builder.hpp"
+#include "highway/idm.hpp"
+#include "highway/lane_change.hpp"
+#include "highway/safety_rules.hpp"
+#include "highway/scenario.hpp"
+#include "highway/scene_encoder.hpp"
+#include "highway/simulator.hpp"
+
+namespace safenn::highway {
+namespace {
+
+TEST(Idm, FreeRoadAcceleratesTowardDesiredSpeed) {
+  IdmParams p;
+  EXPECT_GT(idm_free_acceleration(p, p.desired_speed * 0.5), 0.0);
+  EXPECT_NEAR(idm_free_acceleration(p, p.desired_speed), 0.0, 1e-9);
+  EXPECT_LT(idm_free_acceleration(p, p.desired_speed * 1.2), 0.0);
+}
+
+TEST(Idm, BrakesWhenClosingOnLeader) {
+  IdmParams p;
+  // Tight gap, strong closing speed: must brake hard.
+  const double a = idm_acceleration(p, 30.0, 5.0, 10.0);
+  EXPECT_LT(a, -2.0);
+  // Huge gap, no closing: behaves like free road.
+  EXPECT_NEAR(idm_acceleration(p, 20.0, 1e6, 0.0),
+              idm_free_acceleration(p, 20.0), 1e-6);
+}
+
+TEST(Idm, AccelerationIsClamped) {
+  IdmParams p;
+  const double a = idm_acceleration(p, 35.0, 0.1, 30.0);
+  EXPECT_GE(a, -4.0 * p.comfortable_decel - 1e-9);
+}
+
+TEST(LaneChange, SafetyRequiresGaps) {
+  LaneChangeParams p;
+  TargetLaneGaps gaps;
+  EXPECT_FALSE(lane_change_safe(p, gaps));  // lane does not exist
+  gaps.lane_exists = true;
+  EXPECT_TRUE(lane_change_safe(p, gaps));  // empty lane
+  gaps.front.present = true;
+  gaps.front.gap = p.min_front_gap - 1.0;
+  EXPECT_FALSE(lane_change_safe(p, gaps));
+  gaps.front.gap = p.min_front_gap + 1.0;
+  gaps.rear.present = true;
+  gaps.rear.gap = p.min_rear_gap - 1.0;
+  EXPECT_FALSE(lane_change_safe(p, gaps));
+  gaps.rear.gap = p.min_rear_gap + 1.0;
+  EXPECT_TRUE(lane_change_safe(p, gaps));
+}
+
+TEST(LaneChange, IncentiveFavorsFreeLane) {
+  IdmParams idm;
+  NeighborObservation blocked;
+  blocked.present = true;
+  blocked.gap = 8.0;
+  blocked.rel_speed = -5.0;  // leader slower
+  TargetLaneGaps free_lane;
+  free_lane.lane_exists = true;
+  EXPECT_GT(lane_change_incentive(idm, 30.0, blocked, free_lane), 0.5);
+}
+
+TEST(LaneChange, DecisionStaysWhenNoGain) {
+  IdmParams idm;
+  LaneChangeParams p;
+  NeighborObservation open_road;  // not present: free current lane
+  TargetLaneGaps left, right;
+  left.lane_exists = right.lane_exists = true;
+  EXPECT_EQ(decide_lane_change(idm, p, 30.0, open_road, left, right),
+            LaneChangeDecision::kStay);
+}
+
+TEST(LaneChange, RiskyModeIgnoresSafety) {
+  IdmParams idm;
+  LaneChangeParams p;
+  NeighborObservation blocked;
+  blocked.present = true;
+  blocked.gap = 6.0;
+  blocked.rel_speed = -8.0;
+  TargetLaneGaps left;
+  left.lane_exists = true;
+  left.rear.present = true;
+  left.rear.gap = 1.0;  // unsafe rear gap
+  TargetLaneGaps right;   // no right lane
+  EXPECT_EQ(decide_lane_change(idm, p, 30.0, blocked, left, right),
+            LaneChangeDecision::kStay);  // safe mode refuses
+  EXPECT_EQ(decide_lane_change(idm, p, 30.0, blocked, left, right,
+                               /*ignore_safety=*/true),
+            LaneChangeDecision::kLeft);  // risky mode goes
+}
+
+SimConfig small_config(std::uint64_t seed = 3) {
+  SimConfig cfg;
+  cfg.num_vehicles = 12;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  HighwaySim a(small_config()), b(small_config());
+  a.run(100);
+  b.run(100);
+  for (std::size_t i = 0; i < a.vehicles().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.vehicles()[i].s, b.vehicles()[i].s);
+    EXPECT_DOUBLE_EQ(a.vehicles()[i].v, b.vehicles()[i].v);
+    EXPECT_EQ(a.vehicles()[i].lane, b.vehicles()[i].lane);
+  }
+}
+
+TEST(Simulator, NoCollisionsInNormalTraffic) {
+  HighwaySim sim(small_config(7));
+  for (int i = 0; i < 600; ++i) {
+    sim.step();
+    ASSERT_FALSE(sim.any_collision()) << "collision at step " << i;
+  }
+}
+
+TEST(Simulator, SpeedsStayPhysical) {
+  HighwaySim sim(small_config(8));
+  sim.run(500);
+  for (const auto& v : sim.vehicles()) {
+    EXPECT_GE(v.v, 0.0);
+    EXPECT_LE(v.v, 45.0);
+    EXPECT_GE(v.lane, 0);
+    EXPECT_LT(v.lane, sim.config().num_lanes);
+  }
+}
+
+TEST(Simulator, NeighborsAreNearestPerOrientation) {
+  HighwaySim sim(small_config(9));
+  sim.run(50);
+  const auto obs = sim.neighbors(0);
+  ASSERT_EQ(obs.size(), kNumNeighborSlots);
+  const VehicleState& ego = sim.vehicle(0);
+  // Verify the same-front slot against a direct scan.
+  const auto& same_front = obs[static_cast<std::size_t>(NeighborSlot::kSameFront)];
+  double best = 1e18;
+  bool found = false;
+  for (const auto& other : sim.vehicles()) {
+    if (other.id == ego.id || other.lane != ego.lane) continue;
+    const double d = sim.forward_distance(ego.s, other.s);
+    if (d > 0 && d < best) {
+      best = d;
+      found = true;
+    }
+  }
+  EXPECT_EQ(same_front.present, found);
+  if (found && same_front.present) {
+    EXPECT_NEAR(same_front.gap,
+                best - 0.5 * (ego.length + same_front.length), 1e-9);
+  }
+}
+
+TEST(Simulator, LaneChangesHappenInDenseTraffic) {
+  Scenario sc = make_scenario(TrafficDensity::kDense, 11);
+  HighwaySim sim(sc.sim);
+  int changes = 0;
+  for (int i = 0; i < 800; ++i) {
+    sim.step();
+    for (const auto& v : sim.vehicles()) {
+      if (v.changing_lane && v.lateral_progress <= sim.config().dt /
+                                 sim.config().lane_change.duration + 1e-9) {
+        ++changes;
+      }
+    }
+  }
+  EXPECT_GT(changes, 0);
+}
+
+TEST(Simulator, RiskyInjectionProducesRiskyFlags) {
+  SimConfig cfg = small_config(12);
+  cfg.risky_probability = 0.02;
+  HighwaySim sim(cfg);
+  int risky = 0;
+  for (int i = 0; i < 400; ++i) {
+    sim.step();
+    for (const auto& v : sim.vehicles()) {
+      if (sim.was_risky(v.id)) ++risky;
+    }
+  }
+  EXPECT_GT(risky, 0);
+}
+
+TEST(Simulator, HistoryTracksSpeeds) {
+  HighwaySim sim(small_config(13));
+  sim.run(20);
+  const auto& hist = sim.speed_history(0);
+  EXPECT_GE(hist.size(), kSpeedHistory);
+  EXPECT_DOUBLE_EQ(hist[0], sim.vehicle(0).v);
+}
+
+TEST(SceneEncoder, SchemaHas84NamedFeatures) {
+  SceneEncoder enc;
+  EXPECT_EQ(enc.schema().size(), kSceneFeatures);
+  EXPECT_EQ(kSceneFeatures, 84u);  // the paper's input width
+  EXPECT_TRUE(enc.schema().contains("ego.speed[t-0]"));
+  EXPECT_TRUE(enc.schema().contains("left_front.presence"));
+  EXPECT_TRUE(enc.schema().contains("road.friction"));
+}
+
+TEST(SceneEncoder, EncodingMatchesSchemaSizeAndDomain) {
+  SceneEncoder enc;
+  HighwaySim sim(small_config(14));
+  sim.run(100);
+  const verify::Box box = enc.domain_box();
+  for (const auto& v : sim.vehicles()) {
+    const linalg::Vector x = enc.encode(sim, v.id);
+    ASSERT_EQ(x.size(), kSceneFeatures);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_GE(x[i], box[i].lo - 1e-9) << "feature " << i;
+      EXPECT_LE(x[i], box[i].hi + 1e-9) << "feature " << i;
+    }
+  }
+}
+
+TEST(SceneEncoder, PresenceIndexConsistentWithSchema) {
+  SceneEncoder enc;
+  EXPECT_EQ(enc.presence_index(NeighborSlot::kLeftFront),
+            enc.schema().index_of("left_front.presence"));
+  EXPECT_EQ(enc.gap_index(NeighborSlot::kRightRear),
+            enc.schema().index_of("right_rear.gap"));
+  EXPECT_EQ(enc.rel_speed_index(NeighborSlot::kSameFront),
+            enc.schema().index_of("same_front.rel_speed"));
+}
+
+TEST(SceneEncoder, LeftNeighborShowsUpInFeatures) {
+  SceneEncoder enc;
+  HighwaySim sim(small_config(15));
+  sim.run(100);
+  // Find an ego with a left-front neighbor via the simulator, check the
+  // encoding agrees.
+  for (const auto& v : sim.vehicles()) {
+    const auto obs = sim.neighbors(v.id);
+    const auto& lf = obs[static_cast<std::size_t>(NeighborSlot::kLeftFront)];
+    const linalg::Vector x = enc.encode(sim, v.id);
+    EXPECT_DOUBLE_EQ(x[enc.presence_index(NeighborSlot::kLeftFront)],
+                     lf.present ? 1.0 : 0.0);
+    if (lf.present) {
+      EXPECT_NEAR(x[enc.gap_index(NeighborSlot::kLeftFront)],
+                  std::clamp(lf.gap / kGapScale, 0.0, 1.0), 1e-12);
+    }
+  }
+}
+
+TEST(SafetyRules, VehicleOnLeftPredicateAndRegionAgree) {
+  SceneEncoder enc;
+  const verify::InputRegion region = make_vehicle_on_left_region(enc);
+  // A point inside the region must satisfy the predicate and vice versa.
+  linalg::Vector x(kSceneFeatures);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = region.box[i].lo;
+  x[enc.presence_index(NeighborSlot::kLeftFront)] = 1.0;
+  x[enc.gap_index(NeighborSlot::kLeftFront)] = 0.1;
+  EXPECT_TRUE(vehicle_on_left(enc, x));
+  EXPECT_TRUE(region.contains(x));
+  x[enc.gap_index(NeighborSlot::kLeftFront)] = 0.9;  // far away
+  EXPECT_FALSE(vehicle_on_left(enc, x));
+  EXPECT_FALSE(region.contains(x));
+}
+
+TEST(SafetyRules, RiskyRuleFlagsRiskyLabels) {
+  SceneEncoder enc;
+  const data::ValidationRule rule = no_risky_left_move_rule(enc, 2.0);
+  linalg::Vector x(kSceneFeatures);
+  x[enc.presence_index(NeighborSlot::kLeftFront)] = 1.0;
+  x[enc.gap_index(NeighborSlot::kLeftFront)] = 0.1;
+  linalg::Vector risky_label(kActionDims);
+  risky_label[kActionLateral] = 3.5;
+  linalg::Vector safe_label(kActionDims);
+  safe_label[kActionLateral] = 1.0;
+  EXPECT_TRUE(rule.violates(x, risky_label));
+  EXPECT_FALSE(rule.violates(x, safe_label));
+  // No left vehicle: even a big left label is not *this* violation.
+  linalg::Vector empty(kSceneFeatures);
+  EXPECT_FALSE(rule.violates(empty, risky_label));
+}
+
+TEST(Scenario, BatteryCoversDensitiesAndWetRoads) {
+  const auto battery = standard_scenario_battery(1);
+  EXPECT_EQ(battery.size(), 6u);
+  int wet = 0;
+  for (const auto& sc : battery) {
+    if (sc.sim.road.friction < 1.0) ++wet;
+  }
+  EXPECT_EQ(wet, 3);
+}
+
+TEST(DatasetBuilder, ProducesConsistentSamples) {
+  SceneEncoder enc;
+  DatasetBuildConfig cfg;
+  cfg.sample_steps = 60;
+  cfg.warmup_steps = 20;
+  const BuiltDataset built = build_highway_dataset(enc, cfg);
+  EXPECT_GT(built.data.size(), 500u);
+  EXPECT_EQ(built.data.input_dim(), kSceneFeatures);
+  EXPECT_EQ(built.data.target_dim(), kActionDims);
+  EXPECT_GT(built.lane_change_samples, 0u);
+  EXPECT_EQ(built.risky_samples, 0u);  // risky injection disabled
+  // Labels within physical ranges.
+  for (std::size_t i = 0; i < built.data.size(); ++i) {
+    EXPECT_LE(std::abs(built.data.target(i)[kActionLateral]), 4.0);
+    EXPECT_LE(std::abs(built.data.target(i)[kActionAccel]), 10.0);
+  }
+}
+
+TEST(DatasetBuilder, RiskyInjectionContaminatesData) {
+  SceneEncoder enc;
+  DatasetBuildConfig cfg;
+  cfg.sample_steps = 80;
+  cfg.warmup_steps = 20;
+  cfg.risky_probability = 0.01;
+  const BuiltDataset built = build_highway_dataset(enc, cfg);
+  EXPECT_GT(built.risky_samples, 0u);
+  // The injected maneuvers must actually show up as large-left labels.
+  std::size_t big_left = 0;
+  for (std::size_t i = 0; i < built.data.size(); ++i) {
+    if (built.data.target(i)[kActionLateral] > 2.0) ++big_left;
+  }
+  EXPECT_GT(big_left, 0u);
+}
+
+TEST(DatasetBuilder, Deterministic) {
+  SceneEncoder enc;
+  DatasetBuildConfig cfg;
+  cfg.sample_steps = 40;
+  const BuiltDataset a = build_highway_dataset(enc, cfg);
+  const BuiltDataset b = build_highway_dataset(enc, cfg);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); i += 97) {
+    EXPECT_TRUE(linalg::approx_equal(a.data.input(i), b.data.input(i)));
+    EXPECT_TRUE(linalg::approx_equal(a.data.target(i), b.data.target(i)));
+  }
+}
+
+}  // namespace
+}  // namespace safenn::highway

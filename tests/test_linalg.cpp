@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace safenn::linalg {
+namespace {
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[1] = -2.0;
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(Vector, OutOfRangeThrows) {
+  Vector v(2);
+  EXPECT_THROW(v[2], Error);
+  const Vector& cv = v;
+  EXPECT_THROW(cv[5], Error);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  EXPECT_TRUE(approx_equal(a + b, Vector{4.0, 1.0}));
+  EXPECT_TRUE(approx_equal(a - b, Vector{-2.0, 3.0}));
+  EXPECT_TRUE(approx_equal(2.0 * a, Vector{2.0, 4.0}));
+  EXPECT_TRUE(approx_equal(a * 0.5, Vector{0.5, 1.0}));
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a(2), b(3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a.dot(b), Error);
+  EXPECT_THROW(hadamard(a, b), Error);
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+  Vector b{-7.0, 2.0};
+  EXPECT_DOUBLE_EQ(b.norm_inf(), 7.0);
+}
+
+TEST(Vector, AddScaled) {
+  Vector a{1.0, 1.0};
+  Vector b{2.0, -2.0};
+  a.add_scaled(0.5, b);
+  EXPECT_TRUE(approx_equal(a, Vector{2.0, 0.0}));
+}
+
+TEST(Vector, Reductions) {
+  Vector v{-1.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(v.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(v.max(), 5.0);
+  EXPECT_DOUBLE_EQ(v.min(), -1.0);
+  EXPECT_EQ(v.argmax(), 1u);
+}
+
+TEST(Vector, EmptyReductionsThrow) {
+  Vector v;
+  EXPECT_THROW(v.max(), Error);
+  EXPECT_THROW(v.min(), Error);
+  EXPECT_THROW(v.argmax(), Error);
+}
+
+TEST(Vector, Hadamard) {
+  Vector a{2.0, 3.0};
+  Vector b{4.0, -1.0};
+  EXPECT_TRUE(approx_equal(hadamard(a, b), Vector{8.0, -3.0}));
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, InitializerListAndRagged) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(Matrix, Matvec) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Vector x{1.0, -1.0};
+  EXPECT_TRUE(approx_equal(m.matvec(x), Vector{-1.0, -1.0, -1.0}));
+  EXPECT_THROW(m.matvec(Vector(3)), Error);
+}
+
+TEST(Matrix, MatvecTransposed) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Vector y{1.0, 0.0, -1.0};
+  // m^T y = [1-5, 2-6] = [-4, -4]
+  EXPECT_TRUE(approx_equal(m.matvec_transposed(y), Vector{-4.0, -4.0}));
+}
+
+TEST(Matrix, TransposedConsistentWithMatvec) {
+  Rng rng(3);
+  Matrix m(4, 6);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 6; ++c) m(r, c) = rng.normal();
+  Vector y(4);
+  for (std::size_t i = 0; i < 4; ++i) y[i] = rng.normal();
+  EXPECT_TRUE(
+      approx_equal(m.matvec_transposed(y), m.transposed().matvec(y), 1e-12));
+}
+
+TEST(Matrix, MatrixProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  Matrix c = a * b;
+  EXPECT_TRUE(approx_equal(c, Matrix{{2.0, 1.0}, {4.0, 3.0}}));
+}
+
+TEST(Matrix, IdentityIsNeutral) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a));
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a));
+}
+
+TEST(Matrix, AddOuter) {
+  Matrix m(2, 2);
+  m.add_outer(2.0, Vector{1.0, 0.0}, Vector{3.0, 4.0});
+  EXPECT_TRUE(approx_equal(m, Matrix{{6.0, 8.0}, {0.0, 0.0}}));
+}
+
+TEST(Matrix, AddScaledAndScale) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  Matrix b{{1.0, 2.0}, {3.0, 4.0}};
+  a.add_scaled(2.0, b);
+  EXPECT_TRUE(approx_equal(a, Matrix{{3.0, 5.0}, {7.0, 9.0}}));
+  a *= 0.0;
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 0.0);
+}
+
+TEST(Matrix, RowColExtraction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(approx_equal(m.row(1), Vector{3.0, 4.0}));
+  EXPECT_TRUE(approx_equal(m.col(0), Vector{1.0, 3.0}));
+  EXPECT_THROW(m.row(2), Error);
+  EXPECT_THROW(m.col(2), Error);
+}
+
+// Property: (A*B)x == A*(Bx) over random matrices.
+class MatmulProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatmulProperty, ProductConsistentWithComposedMatvec) {
+  Rng rng(GetParam());
+  const std::size_t p = 3 + rng.uniform_index(4);
+  const std::size_t q = 2 + rng.uniform_index(5);
+  const std::size_t r = 2 + rng.uniform_index(4);
+  Matrix a(p, q), b(q, r);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < q; ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < q; ++i)
+    for (std::size_t j = 0; j < r; ++j) b(i, j) = rng.normal();
+  Vector x(r);
+  for (std::size_t i = 0; i < r; ++i) x[i] = rng.normal();
+  EXPECT_TRUE(approx_equal((a * b).matvec(x), a.matvec(b.matvec(x)), 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatmulProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace safenn::linalg

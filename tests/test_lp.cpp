@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace safenn::lp {
+namespace {
+
+Solution solve(const Problem& p) { return SimplexSolver().solve(p); }
+
+TEST(Problem, MergesDuplicateTerms) {
+  Problem p;
+  const int x = p.add_variable(0, 10);
+  p.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::kLe, 6.0);
+  EXPECT_EQ(p.constraint(0).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.constraint(0).terms[0].second, 3.0);
+}
+
+TEST(Problem, ViolationMeasurement) {
+  Problem p;
+  const int x = p.add_variable(0, 10);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 5.0);
+  EXPECT_DOUBLE_EQ(p.max_violation({7.0}), 2.0);
+  EXPECT_DOUBLE_EQ(p.max_violation({3.0}), 0.0);
+}
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum: x=2, y=6, obj=36 (classic Dantzig example).
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 3.0);
+  const int y = p.add_variable(0, kInfinity, 5.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 6.0, 1e-6);
+}
+
+TEST(Simplex, SimpleMinimization) {
+  // min x + y s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+  // Optimum at intersection: x=1.6, y=1.2, obj=2.8.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kGe, 4.0);
+  p.add_constraint({{x, 3.0}, {y, 1.0}}, Relation::kGe, 6.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.8, 1e-6);
+  EXPECT_NEAR(s.values[0], 1.6, 1e-6);
+  EXPECT_NEAR(s.values[1], 1.2, 1e-6);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min 2x + 3y s.t. x + y = 10, x - y = 2 -> x=6, y=4, obj=24.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, 2.0);
+  const int y = p.add_variable(0, kInfinity, 3.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 10.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEq, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 6.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 4.0, 1e-6);
+  EXPECT_NEAR(s.objective, 24.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p;
+  const int x = p.add_variable(0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualitySystem) {
+  Problem p;
+  const int x = p.add_variable(0, kInfinity);
+  const int y = p.add_variable(0, kInfinity);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 3.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 0.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLe, 1.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, BoundedVariablesOnly) {
+  // No rows at all: optimum sits at the bound favored by the objective.
+  Problem p;
+  p.set_maximize(true);
+  p.add_variable(-2.0, 5.0, 3.0);
+  p.add_variable(-4.0, 1.0, -2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 5.0, 1e-9);
+  EXPECT_NEAR(s.values[1], -4.0, 1e-9);
+  EXPECT_NEAR(s.objective, 23.0, 1e-9);
+}
+
+TEST(Simplex, UpperBoundsBind) {
+  // max x + y, x <= 3 (bound), y <= 2 (bound), x + y <= 4 (row).
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, 3, 1.0);
+  const int y = p.add_variable(0, 2, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 4.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x with x in [-5, 5] and x >= -3 as a row: optimum -3.
+  Problem p;
+  const int x = p.add_variable(-5, 5, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGe, -3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-7);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x + y with y free, x in [0,inf), x + y = 3, y <= 10 row.
+  // y free means optimum drives y to... objective min x+y with x+y=3 is 3
+  // everywhere on the line; any feasible point gives 3.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(-kInfinity, kInfinity, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, FreeVariableUnbounded) {
+  Problem p;
+  const int y = p.add_variable(-kInfinity, kInfinity, 1.0);
+  p.add_constraint({{y, 1.0}}, Relation::kLe, 5.0);
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple constraints intersecting at the optimum (degeneracy).
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLe, 2.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  p.add_constraint({{y, 1.0}}, Relation::kLe, 1.0);
+  p.add_constraint({{x, 2.0}, {y, 1.0}}, Relation::kLe, 3.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLe, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // Duplicated equality row must not break Phase 1 cleanup.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, 1.0);
+  const int y = p.add_variable(0, kInfinity, 2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 4.0);
+  p.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kEq, 8.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);  // all weight on x
+  EXPECT_NEAR(s.values[0], 4.0, 1e-6);
+}
+
+TEST(Simplex, NegativeRhs) {
+  // min -x s.t. -x >= -7 (i.e. x <= 7), x >= 0 -> x = 7.
+  Problem p;
+  const int x = p.add_variable(0, kInfinity, -1.0);
+  p.add_constraint({{x, -1.0}}, Relation::kGe, -7.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 7.0, 1e-7);
+}
+
+TEST(Simplex, BigMStyleIndicatorRelaxation) {
+  // The LP relaxation pattern produced by the ReLU encoder:
+  // y >= z, y >= 0, y <= z + M(1-d), y <= M d with d in [0,1] relaxed.
+  Problem p;
+  p.set_maximize(true);
+  const double big_m = 10.0;
+  const int z = p.add_variable(-5, 5, 0.0);
+  const int y = p.add_variable(0, big_m, 1.0);
+  const int d = p.add_variable(0, 1, 0.0);
+  p.add_constraint({{y, 1.0}, {z, -1.0}}, Relation::kGe, 0.0);
+  p.add_constraint({{y, 1.0}, {z, -1.0}, {d, big_m}}, Relation::kLe, big_m);
+  p.add_constraint({{y, 1.0}, {d, -big_m}}, Relation::kLe, 0.0);
+  p.add_constraint({{z, 1.0}}, Relation::kLe, 3.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // Relaxation optimum: y as large as possible; y <= z + M(1-d), y <= Md.
+  // Balance: z=3 -> y <= 3 + 10(1-d), y <= 10d -> d=1: y <= 3... but
+  // equality at d where 3+10-10d = 10d -> d=0.65, y=6.5.
+  EXPECT_NEAR(s.objective, 6.5, 1e-6);
+}
+
+TEST(Simplex, ReportsIterationCount) {
+  Problem p;
+  p.set_maximize(true);
+  const int x = p.add_variable(0, 1, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLe, 1.0);
+  const Solution s = solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GT(s.iterations, 0);
+}
+
+// Property test: random feasible-by-construction LPs. A random point x0 in
+// a box is picked, rows are generated to be satisfied by x0, so the LP is
+// feasible; the solver must return kOptimal with a feasible point whose
+// objective is at least as good as x0's.
+class RandomFeasibleLp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFeasibleLp, OptimalBeatsWitnessPoint) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.uniform_index(6));
+  const int m = 1 + static_cast<int>(rng.uniform_index(8));
+  Problem p;
+  std::vector<double> witness(static_cast<std::size_t>(n));
+  p.set_maximize(true);
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-5, 0);
+    const double hi = rng.uniform(0.5, 5);
+    p.add_variable(lo, hi, rng.normal());
+    witness[static_cast<std::size_t>(j)] = rng.uniform(lo, hi);
+  }
+  for (int i = 0; i < m; ++i) {
+    LinearTerms terms;
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double coef = rng.normal();
+      terms.emplace_back(j, coef);
+      lhs += coef * witness[static_cast<std::size_t>(j)];
+    }
+    // Slack it so the witness satisfies the row strictly.
+    p.add_constraint(std::move(terms), Relation::kLe,
+                     lhs + rng.uniform(0.1, 2.0));
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_LE(p.max_violation(s.values), 1e-6);
+  EXPECT_GE(s.objective, p.objective_value(witness) - 1e-6);
+  // All variable bounds respected.
+  for (int j = 0; j < n; ++j) {
+    EXPECT_GE(s.values[static_cast<std::size_t>(j)],
+              p.variable(j).lower - 1e-7);
+    EXPECT_LE(s.values[static_cast<std::size_t>(j)],
+              p.variable(j).upper + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFeasibleLp,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+// Property test: equality-constrained random LPs built around a witness.
+class RandomEqualityLp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomEqualityLp, FindsFeasiblePoint) {
+  Rng rng(GetParam() + 1000);
+  const int n = 3 + static_cast<int>(rng.uniform_index(4));
+  Problem p;
+  std::vector<double> witness(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    p.add_variable(-10, 10, rng.normal());
+    witness[static_cast<std::size_t>(j)] = rng.uniform(-3, 3);
+  }
+  const int m = 1 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(n - 1)));
+  for (int i = 0; i < m; ++i) {
+    LinearTerms terms;
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double coef = rng.normal();
+      terms.emplace_back(j, coef);
+      lhs += coef * witness[static_cast<std::size_t>(j)];
+    }
+    p.add_constraint(std::move(terms), Relation::kEq, lhs);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_LE(p.max_violation(s.values), 1e-6);
+  EXPECT_LE(s.objective, p.objective_value(witness) + 1e-6);  // minimize
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEqualityLp,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace safenn::lp

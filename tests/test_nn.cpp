@@ -1,0 +1,468 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+#include "nn/mdn.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace safenn::nn {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Activation, ValuesMatchDefinitions) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kIdentity, -1.5), -1.5);
+  EXPECT_NEAR(activate(Activation::kTanh, 1.0), std::tanh(1.0), 1e-15);
+  EXPECT_NEAR(activate(Activation::kAtan, 1.0), std::atan(1.0), 1e-15);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 0.0), 0.5, 1e-15);
+}
+
+TEST(Activation, DerivativesMatchFiniteDifferences) {
+  const double h = 1e-6;
+  for (Activation a : {Activation::kIdentity, Activation::kTanh,
+                       Activation::kAtan, Activation::kSigmoid}) {
+    for (double x : {-2.0, -0.3, 0.1, 1.7}) {
+      const double fd = (activate(a, x + h) - activate(a, x - h)) / (2 * h);
+      EXPECT_NEAR(activate_derivative(a, x), fd, 1e-6)
+          << to_string(a) << " at " << x;
+    }
+  }
+  EXPECT_DOUBLE_EQ(activate_derivative(Activation::kRelu, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate_derivative(Activation::kRelu, 1.0), 1.0);
+}
+
+TEST(Activation, BranchMetadataMatchesPaperArgument) {
+  // Paper Sec. II: atan has no if-then-else branch; ReLU has one per neuron.
+  EXPECT_EQ(branch_count(Activation::kAtan), 0);
+  EXPECT_EQ(branch_count(Activation::kTanh), 0);
+  EXPECT_EQ(branch_count(Activation::kRelu), 1);
+  EXPECT_TRUE(is_piecewise_linear(Activation::kRelu));
+  EXPECT_FALSE(is_piecewise_linear(Activation::kAtan));
+}
+
+TEST(Activation, StringRoundTrip) {
+  for (Activation a : {Activation::kIdentity, Activation::kRelu,
+                       Activation::kTanh, Activation::kAtan,
+                       Activation::kSigmoid}) {
+    EXPECT_EQ(activation_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(activation_from_string("swish"), Error);
+}
+
+TEST(DenseLayer, ForwardMatchesManualComputation) {
+  DenseLayer l(2, 2, Activation::kRelu);
+  l.weights() = Matrix{{1.0, -1.0}, {2.0, 0.5}};
+  l.biases() = Vector{0.5, -3.0};
+  const Vector y = l.forward(Vector{1.0, 2.0});
+  // z = [1-2+0.5, 2+1-3] = [-0.5, 0] -> relu -> [0, 0]
+  EXPECT_TRUE(approx_equal(y, Vector{0.0, 0.0}));
+  const Vector z = l.pre_activation(Vector{1.0, 2.0});
+  EXPECT_TRUE(approx_equal(z, Vector{-0.5, 0.0}));
+}
+
+TEST(Network, LayerWidthMismatchThrows) {
+  Network net;
+  net.add_layer(DenseLayer(3, 4, Activation::kRelu));
+  EXPECT_THROW(net.add_layer(DenseLayer(5, 2, Activation::kIdentity)), Error);
+}
+
+TEST(Network, TopologyQueries) {
+  Rng rng(1);
+  Network net = Network::make_i4xn(84, 10, 15, Activation::kRelu, rng);
+  EXPECT_EQ(net.num_layers(), 5u);
+  EXPECT_EQ(net.input_size(), 84u);
+  EXPECT_EQ(net.output_size(), 15u);
+  EXPECT_EQ(net.num_neurons(), 4u * 10u + 15u);
+  EXPECT_EQ(net.describe(), "84-10-10-10-10-15 (relu)");
+}
+
+TEST(Network, ForwardTraceConsistentWithForward) {
+  Rng rng(2);
+  Network net = Network::make_mlp({3, 5, 4, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  const Vector x{0.3, -0.7, 1.2};
+  const ForwardTrace trace = net.forward_trace(x);
+  EXPECT_TRUE(approx_equal(trace.post_activations.back(), net.forward(x)));
+  EXPECT_EQ(trace.pre_activations.size(), 3u);
+  // Post-activations must equal activation applied to pre-activations.
+  for (std::size_t li = 0; li < 3; ++li) {
+    EXPECT_TRUE(approx_equal(
+        trace.post_activations[li],
+        activate(net.layer(li).activation(), trace.pre_activations[li])));
+  }
+}
+
+// Gradient check: backprop vs. central finite differences.
+class BackpropGradCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackpropGradCheck, MatchesFiniteDifferences) {
+  Rng rng(GetParam());
+  Network net = Network::make_mlp({4, 6, 5, 3}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  Vector x(4), target(3);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : target) v = rng.normal();
+  MseLoss loss;
+
+  const ForwardTrace trace = net.forward_trace(x);
+  Vector out_grad;
+  loss.value_and_grad(trace.post_activations.back(), target, out_grad);
+  const Gradients analytic = net.backward(trace, out_grad);
+
+  const double h = 1e-6;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    // Spot-check a handful of weights per layer.
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::size_t r = rng.uniform_index(net.layer(li).out_size());
+      const std::size_t c = rng.uniform_index(net.layer(li).in_size());
+      const double saved = net.layer(li).weights()(r, c);
+      net.layer(li).weights()(r, c) = saved + h;
+      const double lp = loss.value(net.forward(x), target);
+      net.layer(li).weights()(r, c) = saved - h;
+      const double lm = loss.value(net.forward(x), target);
+      net.layer(li).weights()(r, c) = saved;
+      const double fd = (lp - lm) / (2 * h);
+      EXPECT_NEAR(analytic.weight_grads[li](r, c), fd, 1e-4)
+          << "layer " << li << " weight (" << r << "," << c << ")";
+    }
+    const std::size_t bi = rng.uniform_index(net.layer(li).out_size());
+    const double saved = net.layer(li).biases()[bi];
+    net.layer(li).biases()[bi] = saved + h;
+    const double lp = loss.value(net.forward(x), target);
+    net.layer(li).biases()[bi] = saved - h;
+    const double lm = loss.value(net.forward(x), target);
+    net.layer(li).biases()[bi] = saved;
+    EXPECT_NEAR(analytic.bias_grads[li][bi], (lp - lm) / (2 * h), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackpropGradCheck,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Network, InputGradientMatchesFiniteDifferences) {
+  Rng rng(5);
+  Network net = Network::make_mlp({3, 8, 2}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  const Vector x{0.2, -0.4, 0.9};
+  const Vector g = net.input_gradient(x, 1);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Vector xp = x, xm = x;
+    xp[i] += h;
+    xm[i] -= h;
+    const double fd = (net.forward(xp)[1] - net.forward(xm)[1]) / (2 * h);
+    EXPECT_NEAR(g[i], fd, 1e-6);
+  }
+}
+
+TEST(Trainer, LearnsLinearMap) {
+  Rng rng(7);
+  Network net = Network::make_mlp({2, 8, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  std::vector<Vector> xs, ys;
+  for (int i = 0; i < 256; ++i) {
+    Vector x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    ys.push_back(Vector{0.5 * x[0] - 0.25 * x[1]});
+    xs.push_back(std::move(x));
+  }
+  MseLoss loss;
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 5e-3;
+  Trainer trainer(cfg);
+  const double initial = Trainer::evaluate(net, loss, xs, ys);
+  const double final_loss = trainer.train(net, loss, xs, ys);
+  EXPECT_LT(final_loss, initial * 0.1);
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(Trainer, SgdAndMomentumAlsoDescend) {
+  for (Optimizer opt : {Optimizer::kSgd, Optimizer::kMomentum}) {
+    Rng rng(8);
+    Network net = Network::make_mlp({1, 6, 1}, Activation::kTanh,
+                                    Activation::kIdentity, rng);
+    std::vector<Vector> xs, ys;
+    for (int i = 0; i < 128; ++i) {
+      Vector x{rng.uniform(-1, 1)};
+      ys.push_back(Vector{x[0] * x[0]});
+      xs.push_back(std::move(x));
+    }
+    MseLoss loss;
+    TrainConfig cfg;
+    cfg.optimizer = opt;
+    cfg.epochs = 150;
+    cfg.learning_rate = opt == Optimizer::kSgd ? 0.05 : 0.02;
+    Trainer trainer(cfg);
+    const double initial = Trainer::evaluate(net, loss, xs, ys);
+    const double final_loss = trainer.train(net, loss, xs, ys);
+    EXPECT_LT(final_loss, initial) << "optimizer " << static_cast<int>(opt);
+  }
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  Rng rng(9);
+  Network net = Network::make_mlp({1, 3, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  std::vector<Vector> xs{Vector{0.5}}, ys{Vector{1.0}};
+  MseLoss loss;
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  int calls = 0;
+  cfg.on_epoch = [&](const EpochStats& s) {
+    EXPECT_EQ(s.epoch, static_cast<std::size_t>(calls));
+    ++calls;
+  };
+  Trainer(cfg).train(net, loss, xs, ys);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Trainer, RegularizerShapesSolution) {
+  // Regularizer that pushes the single output toward <= 0 wins over data
+  // pulling it to +1.
+  Rng rng(10);
+  Network net = Network::make_mlp({1, 4, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  std::vector<Vector> xs, ys;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(Vector{rng.uniform(-1, 1)});
+    ys.push_back(Vector{1.0});
+  }
+  MseLoss loss;
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.regularizer_weight = 50.0;
+  cfg.regularizer = [](const Vector&, const Vector& out, Vector& grad) {
+    const double excess = out[0];  // penalize positive outputs
+    if (excess <= 0.0) return 0.0;
+    grad[0] += 2.0 * excess;
+    return excess * excess;
+  };
+  Trainer(cfg).train(net, loss, xs, ys);
+  // With a 50x penalty the mean output must sit well below the +1 target.
+  double mean = 0.0;
+  for (const auto& x : xs) mean += net.forward(x)[0];
+  mean /= static_cast<double>(xs.size());
+  EXPECT_LT(mean, 0.5);
+}
+
+TEST(Mdn, HeadLayoutIndices) {
+  MdnHead head(3, 2);
+  EXPECT_EQ(head.raw_output_size(), 3u + 2u * 3u * 2u);
+  EXPECT_EQ(head.logit_index(0), 0u);
+  EXPECT_EQ(head.logit_index(2), 2u);
+  EXPECT_EQ(head.mean_index(0, 0), 3u);
+  EXPECT_EQ(head.mean_index(2, 1), 3u + 5u);
+  EXPECT_EQ(head.log_sigma_index(0, 0), 9u);
+  EXPECT_THROW(head.mean_index(3, 0), Error);
+}
+
+TEST(Mdn, ParseProducesNormalizedMixture) {
+  MdnHead head(2, 2);
+  Vector raw(head.raw_output_size());
+  raw[head.logit_index(0)] = 1.0;
+  raw[head.logit_index(1)] = -1.0;
+  raw[head.mean_index(0, 0)] = 3.0;
+  raw[head.log_sigma_index(1, 1)] = 0.5;
+  const GaussianMixture gm = head.parse(raw);
+  EXPECT_EQ(gm.components(), 2u);
+  EXPECT_EQ(gm.dims(), 2u);
+  EXPECT_NEAR(gm.weights[0] + gm.weights[1], 1.0, 1e-12);
+  EXPECT_GT(gm.weights[0], gm.weights[1]);
+  EXPECT_DOUBLE_EQ(gm.means[0][0], 3.0);
+  EXPECT_NEAR(gm.sigmas[1][1], std::exp(0.5), 1e-12);
+  EXPECT_EQ(gm.dominant_component(), 0u);
+}
+
+TEST(Mdn, MixtureMeanIsWeightedAverage) {
+  GaussianMixture gm;
+  gm.weights = {0.25, 0.75};
+  gm.means = {Vector{4.0, 0.0}, Vector{0.0, 4.0}};
+  gm.sigmas = {Vector{1.0, 1.0}, Vector{1.0, 1.0}};
+  EXPECT_TRUE(approx_equal(gm.mean(), Vector{1.0, 3.0}));
+}
+
+TEST(Mdn, DensityIntegratesToRoughlyOne) {
+  // Monte-Carlo check on a 1-component, 1-D mixture.
+  GaussianMixture gm;
+  gm.weights = {1.0};
+  gm.means = {Vector{0.5}};
+  gm.sigmas = {Vector{0.8}};
+  double integral = 0.0;
+  const int steps = 4000;
+  const double lo = -6.0, hi = 7.0, dx = (hi - lo) / steps;
+  for (int i = 0; i < steps; ++i) {
+    integral += gm.density(Vector{lo + (i + 0.5) * dx}) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Mdn, NllGradientMatchesFiniteDifferences) {
+  MdnHead head(2, 2);
+  Rng rng(11);
+  Vector raw(head.raw_output_size());
+  for (auto& v : raw) v = rng.normal() * 0.5;
+  const Vector target{0.3, -0.6};
+  Vector grad;
+  head.nll(raw, target, &grad);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    Vector rp = raw, rm = raw;
+    rp[i] += h;
+    rm[i] -= h;
+    const double fd = (head.nll(rp, target) - head.nll(rm, target)) / (2 * h);
+    EXPECT_NEAR(grad[i], fd, 1e-5) << "raw index " << i;
+  }
+}
+
+TEST(Mdn, TrainerFitsBimodalTarget) {
+  // Data: y = +0.8 or -0.8 at random; a 2-component MDN should place one
+  // component near each mode, while an MSE fit would collapse to ~0.
+  Rng rng(12);
+  MdnHead head(2, 1);
+  Network net = Network::make_mlp({1, 8, head.raw_output_size()},
+                                  Activation::kTanh, Activation::kIdentity,
+                                  rng);
+  std::vector<Vector> xs, ys;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(Vector{rng.uniform(-1, 1)});
+    ys.push_back(Vector{rng.bernoulli(0.5) ? 0.8 : -0.8});
+  }
+  MdnLoss loss{head};
+  TrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.learning_rate = 5e-3;
+  Trainer(cfg).train(net, loss, xs, ys);
+  const GaussianMixture gm = head.parse(net.forward(Vector{0.0}));
+  const double m0 = gm.means[0][0], m1 = gm.means[1][0];
+  EXPECT_GT(std::max(m0, m1), 0.4);
+  EXPECT_LT(std::min(m0, m1), -0.4);
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  Rng rng(13);
+  Network net = Network::make_mlp({4, 7, 3}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  std::stringstream ss;
+  save_network(ss, net);
+  Network loaded = load_network(ss);
+  EXPECT_EQ(loaded.describe(), net.describe());
+  for (int probe = 0; probe < 10; ++probe) {
+    Vector x(4);
+    for (auto& v : x) v = rng.normal();
+    EXPECT_TRUE(approx_equal(loaded.forward(x), net.forward(x), 1e-12));
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("not-a-network at all");
+  EXPECT_THROW(load_network(ss), Error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Rng rng(14);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  std::stringstream ss;
+  save_network(ss, net);
+  std::string text = ss.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_network(truncated), Error);
+}
+
+TEST(Quantize, FixedPointConversionsRoundTrip) {
+  Rng rng(15);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 8);
+  EXPECT_EQ(q.frac_bits(), 8);
+  EXPECT_EQ(q.to_fixed(1.0), 256);
+  EXPECT_DOUBLE_EQ(q.from_fixed(256), 1.0);
+  EXPECT_EQ(q.to_fixed(-0.5), -128);
+}
+
+TEST(Quantize, ApproximatesRealNetwork) {
+  Rng rng(16);
+  Network net = Network::make_mlp({4, 10, 10, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 12);
+  std::vector<Vector> samples;
+  for (int i = 0; i < 50; ++i) {
+    Vector x(4);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    samples.push_back(std::move(x));
+  }
+  EXPECT_LT(q.quantization_error(net, samples), 0.05);
+}
+
+TEST(Quantize, MoreBitsMeansLessError) {
+  Rng rng(17);
+  Network net = Network::make_mlp({3, 12, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  std::vector<Vector> samples;
+  for (int i = 0; i < 40; ++i) {
+    Vector x(3);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    samples.push_back(std::move(x));
+  }
+  const double err4 = QuantizedNetwork::quantize(net, 4).quantization_error(net, samples);
+  const double err12 = QuantizedNetwork::quantize(net, 12).quantization_error(net, samples);
+  EXPECT_LT(err12, err4);
+}
+
+TEST(Quantize, RejectsSmoothActivations) {
+  Rng rng(18);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  EXPECT_THROW(QuantizedNetwork::quantize(net, 8), Error);
+}
+
+TEST(Quantize, AccumulatorBoundsAreSound) {
+  Rng rng(19);
+  Network net = Network::make_mlp({3, 6, 4, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 8);
+  const std::int64_t input_bound = q.to_fixed(1.0);
+  const auto bounds = q.accumulator_bounds(input_bound);
+  ASSERT_EQ(bounds.size(), 3u);
+  // Empirically no accumulator magnitude may exceed the bound.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int64_t> in(3);
+    for (auto& v : in)
+      v = q.to_fixed(rng.uniform(-1, 1));
+    // Replay layer 0 accumulators by hand.
+    const QuantizedLayer& l0 = q.layer(0);
+    for (std::size_t r = 0; r < l0.out_size(); ++r) {
+      std::int64_t acc = l0.biases[r];
+      for (std::size_t c = 0; c < l0.in_size(); ++c)
+        acc += l0.weights[r][c] * in[c];
+      EXPECT_LE(std::llabs(acc), bounds[0]);
+    }
+  }
+}
+
+TEST(Quantize, FixedForwardMatchesRealForwardClosely) {
+  Rng rng(20);
+  Network net = Network::make_mlp({2, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 16);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double exact = net.forward(x)[0];
+    const double quant = q.forward_real(x)[0];
+    EXPECT_NEAR(exact, quant, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace safenn::nn

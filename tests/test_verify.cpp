@@ -1,0 +1,693 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "verify/interval.hpp"
+#include "verify/milp_encoder.hpp"
+#include "verify/verifier.hpp"
+
+namespace safenn::verify {
+namespace {
+
+using linalg::Vector;
+using nn::Activation;
+using nn::Network;
+
+Network tiny_relu_net(Rng& rng, std::vector<std::size_t> widths) {
+  return Network::make_mlp(widths, Activation::kRelu, Activation::kIdentity,
+                           rng);
+}
+
+Box unit_box(std::size_t dims, double lo = -1.0, double hi = 1.0) {
+  return Box(dims, Interval{lo, hi});
+}
+
+TEST(Interval, ClassifyStability) {
+  EXPECT_EQ(classify(Interval{0.5, 2.0}), NeuronStability::kStableActive);
+  EXPECT_EQ(classify(Interval{-3.0, -0.1}), NeuronStability::kStableInactive);
+  EXPECT_EQ(classify(Interval{-1.0, 1.0}), NeuronStability::kUnstable);
+  EXPECT_EQ(classify(Interval{0.0, 1.0}), NeuronStability::kStableActive);
+}
+
+TEST(Interval, HandComputedPropagation) {
+  // Single neuron: z = 2a - b + 1 over a,b in [0,1]: z in [0, 3].
+  Network net;
+  nn::DenseLayer l(2, 1, Activation::kRelu);
+  l.weights() = linalg::Matrix{{2.0, -1.0}};
+  l.biases() = Vector{1.0};
+  net.add_layer(std::move(l));
+  const auto bounds = propagate_bounds(net, unit_box(2, 0.0, 1.0));
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(bounds[0].pre[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(bounds[0].pre[0].hi, 3.0);
+  EXPECT_DOUBLE_EQ(bounds[0].post[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(bounds[0].post[0].hi, 3.0);
+}
+
+TEST(Interval, RejectsDimensionMismatch) {
+  Rng rng(1);
+  Network net = tiny_relu_net(rng, {3, 4, 2});
+  EXPECT_THROW(propagate_bounds(net, unit_box(2)), Error);
+}
+
+TEST(Interval, RejectsEmptyInterval) {
+  Rng rng(2);
+  Network net = tiny_relu_net(rng, {2, 3, 1});
+  Box box = unit_box(2);
+  box[0] = Interval{1.0, -1.0};
+  EXPECT_THROW(propagate_bounds(net, box), Error);
+}
+
+// Soundness: network outputs at sampled points stay inside the bounds.
+class IntervalSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSoundness, SampledOutputsInsideBounds) {
+  Rng rng(GetParam());
+  Network net = tiny_relu_net(rng, {3, 8, 6, 2});
+  const Box box = unit_box(3, -2.0, 1.5);
+  const auto out = output_bounds(net, box);
+  for (int trial = 0; trial < 300; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i)
+      x[i] = rng.uniform(box[i].lo, box[i].hi);
+    const Vector y = net.forward(x);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_GE(y[i], out[i].lo - 1e-9);
+      EXPECT_LE(y[i], out[i].hi + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Interval, SmoothActivationsSupported) {
+  Rng rng(3);
+  Network net = Network::make_mlp({2, 6, 1}, Activation::kAtan,
+                                  Activation::kIdentity, rng);
+  const Box box = unit_box(2);
+  const auto out = output_bounds(net, box);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double y = net.forward(x)[0];
+    EXPECT_GE(y, out[0].lo - 1e-9);
+    EXPECT_LE(y, out[0].hi + 1e-9);
+  }
+}
+
+TEST(Interval, StabilityStatsCountAllReluNeurons) {
+  Rng rng(4);
+  Network net = tiny_relu_net(rng, {3, 10, 10, 2});
+  const StabilityStats stats = stability_stats(net, unit_box(3));
+  EXPECT_EQ(stats.total(), 20u);  // output layer is identity, not counted
+}
+
+TEST(Interval, TinyBoxMakesNeuronsStable) {
+  Rng rng(5);
+  Network net = tiny_relu_net(rng, {3, 12, 12, 2});
+  const StabilityStats wide = stability_stats(net, unit_box(3, -5, 5));
+  const StabilityStats narrow =
+      stability_stats(net, unit_box(3, 0.4999, 0.5001));
+  EXPECT_LE(narrow.unstable, wide.unstable);
+  EXPECT_GT(narrow.stable_active + narrow.stable_inactive, 0u);
+}
+
+TEST(Property, RegionMembership) {
+  InputRegion region;
+  region.box = unit_box(2, 0.0, 1.0);
+  region.constraints.push_back(
+      InputConstraint{{{0, 1.0}, {1, 1.0}}, lp::Relation::kLe, 1.0});
+  EXPECT_TRUE(region.contains(Vector{0.2, 0.3}));
+  EXPECT_FALSE(region.contains(Vector{0.8, 0.9}));   // violates sum <= 1
+  EXPECT_FALSE(region.contains(Vector{-0.1, 0.0}));  // outside box
+}
+
+TEST(Property, OutputExprEvaluation) {
+  OutputExpr e{{{0, 2.0}, {2, -1.0}}};
+  EXPECT_DOUBLE_EQ(e.evaluate(Vector{1.0, 99.0, 3.0}), -1.0);
+}
+
+TEST(Property, HoldsAtIsVacuousOutsideRegion) {
+  Rng rng(6);
+  Network net = tiny_relu_net(rng, {2, 4, 1});
+  SafetyProperty prop;
+  prop.region.box = unit_box(2, 0.0, 0.5);
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = -1e9;  // impossible bound
+  EXPECT_TRUE(prop.holds_at(net, Vector{0.9, 0.9}));  // outside region
+}
+
+TEST(Encoder, RejectsSmoothNetworks) {
+  Rng rng(7);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = unit_box(2);
+  EXPECT_THROW(encode_network(net, region), Error);
+}
+
+TEST(Encoder, VariableMapsShapedLikeNetwork) {
+  Rng rng(8);
+  Network net = tiny_relu_net(rng, {3, 5, 4, 2});
+  InputRegion region;
+  region.box = unit_box(3);
+  const EncodedNetwork enc = encode_network(net, region);
+  EXPECT_EQ(enc.input_vars.size(), 3u);
+  EXPECT_EQ(enc.output_vars.size(), 2u);
+  EXPECT_EQ(enc.post_vars.size(), 3u);
+  EXPECT_EQ(enc.post_vars[0].size(), 5u);
+  EXPECT_EQ(enc.post_vars[1].size(), 4u);
+  EXPECT_EQ(enc.num_binaries + enc.num_stable_active +
+                enc.num_stable_inactive,
+            9u);  // all hidden ReLU neurons accounted for
+}
+
+TEST(Encoder, LooseBigMUsesBinaryPerNeuron) {
+  Rng rng(9);
+  Network net = tiny_relu_net(rng, {3, 6, 6, 1});
+  InputRegion region;
+  region.box = unit_box(3);
+  EncoderOptions loose;
+  loose.tightening = BoundTightening::kLooseBigM;
+  const EncodedNetwork tight = encode_network(net, region);
+  const EncodedNetwork baseline = encode_network(net, region, loose);
+  EXPECT_EQ(baseline.num_binaries, 12u);
+  EXPECT_LE(tight.num_binaries, baseline.num_binaries);
+}
+
+// The central correctness property: the MILP maximum equals the true
+// network maximum. Verified against dense sampling (lower bound) and the
+// network-evaluated witness (achievability).
+class MilpExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MilpExactness, MaximumMatchesSampledMaximum) {
+  Rng rng(GetParam() + 100);
+  Network net = tiny_relu_net(rng, {2, 5, 4, 1});
+  InputRegion region;
+  region.box = unit_box(2, -1.5, 1.5);
+  OutputExpr expr{{{0, 1.0}}};
+
+  MilpVerifier verifier;
+  const MaximizeResult res = verifier.maximize(net, region, expr);
+  ASSERT_EQ(res.status, milp::MilpStatus::kOptimal) << "seed " << GetParam();
+  ASSERT_TRUE(res.has_value);
+
+  // Dense grid sampling can only find values <= the true maximum.
+  double sampled_max = -1e100;
+  const int grid = 60;
+  for (int i = 0; i <= grid; ++i) {
+    for (int j = 0; j <= grid; ++j) {
+      Vector x{-1.5 + 3.0 * i / grid, -1.5 + 3.0 * j / grid};
+      sampled_max = std::max(sampled_max, net.forward(x)[0]);
+    }
+  }
+  EXPECT_GE(res.max_value, sampled_max - 1e-5) << "seed " << GetParam();
+  // Witness must live in the region and achieve the reported value.
+  EXPECT_TRUE(region.contains(res.witness));
+  EXPECT_NEAR(net.forward(res.witness)[0], res.max_value, 1e-9);
+  // MILP bound must certify the value.
+  EXPECT_GE(res.upper_bound, res.max_value - 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpExactness,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(MilpVerifier, LooseAndTightBigMAgreeOnMaximum) {
+  Rng rng(200);
+  Network net = tiny_relu_net(rng, {2, 6, 1});
+  InputRegion region;
+  region.box = unit_box(2);
+  OutputExpr expr{{{0, 1.0}}};
+
+  VerifierOptions tight_opt;
+  VerifierOptions loose_opt;
+  loose_opt.encoder.tightening = BoundTightening::kLooseBigM;
+  loose_opt.encoder.loose_big_m = 50.0;
+  const MaximizeResult tight = MilpVerifier(tight_opt).maximize(net, region, expr);
+  const MaximizeResult loose = MilpVerifier(loose_opt).maximize(net, region, expr);
+  ASSERT_EQ(tight.status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(loose.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(tight.max_value, loose.max_value, 1e-5);
+  EXPECT_GE(loose.binaries, tight.binaries);
+}
+
+TEST(MilpVerifier, RespectsInputSideConstraints) {
+  // Identity network: output = x0 + x1 (via weights). Region: box [0,1]^2
+  // plus x0 + x1 <= 0.7. Max of output = 0.7, not 2.0.
+  Network net;
+  nn::DenseLayer l(2, 1, Activation::kIdentity);
+  l.weights() = linalg::Matrix{{1.0, 1.0}};
+  l.biases() = Vector{0.0};
+  net.add_layer(std::move(l));
+  InputRegion region;
+  region.box = unit_box(2, 0.0, 1.0);
+  region.constraints.push_back(
+      InputConstraint{{{0, 1.0}, {1, 1.0}}, lp::Relation::kLe, 0.7});
+  const MaximizeResult res =
+      MilpVerifier().maximize(net, region, OutputExpr{{{0, 1.0}}});
+  ASSERT_EQ(res.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(res.max_value, 0.7, 1e-6);
+}
+
+TEST(MilpVerifier, ProvesTrueProperty) {
+  Rng rng(11);
+  Network net = tiny_relu_net(rng, {2, 6, 1});
+  SafetyProperty prop;
+  prop.name = "output below interval bound";
+  prop.region.box = unit_box(2);
+  prop.expr.terms = {{0, 1.0}};
+  // Interval bound is sound, so threshold above it must be provable.
+  prop.threshold =
+      IntervalVerifier().upper_bound(net, prop.region, prop.expr) + 1.0;
+  const ProveResult res = MilpVerifier().prove(net, prop);
+  EXPECT_EQ(res.verdict, Verdict::kProved);
+  EXPECT_FALSE(res.counterexample.has_value());
+}
+
+TEST(MilpVerifier, RefutesFalsePropertyWithWitness) {
+  Rng rng(12);
+  Network net = tiny_relu_net(rng, {2, 6, 1});
+  SafetyProperty prop;
+  prop.region.box = unit_box(2);
+  prop.expr.terms = {{0, 1.0}};
+  // Threshold below the value at the box centre: must be violated.
+  prop.threshold = net.forward(Vector{0.0, 0.0})[0] - 0.5;
+  const ProveResult res = MilpVerifier().prove(net, prop);
+  ASSERT_EQ(res.verdict, Verdict::kViolated);
+  ASSERT_TRUE(res.counterexample.has_value());
+  EXPECT_TRUE(prop.region.contains(*res.counterexample));
+  EXPECT_GT(prop.expr.evaluate(net.forward(*res.counterexample)),
+            prop.threshold);
+  EXPECT_FALSE(prop.holds_at(net, *res.counterexample));
+}
+
+TEST(MilpVerifier, EmptyRegionIsVacuouslySafe) {
+  Rng rng(13);
+  Network net = tiny_relu_net(rng, {2, 4, 1});
+  SafetyProperty prop;
+  prop.region.box = unit_box(2, 0.0, 1.0);
+  // Contradictory side constraints: x0 >= 2 inside box [0,1].
+  prop.region.constraints.push_back(
+      InputConstraint{{{0, 1.0}}, lp::Relation::kGe, 2.0});
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = -1e9;
+  const ProveResult res = MilpVerifier().prove(net, prop);
+  EXPECT_EQ(res.verdict, Verdict::kProved);
+}
+
+TEST(MilpVerifier, TimeLimitYieldsUnknownOrAnswer) {
+  Rng rng(14);
+  Network net = tiny_relu_net(rng, {6, 24, 24, 24, 1});
+  SafetyProperty prop;
+  prop.region.box = unit_box(6, -3.0, 3.0);
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = 0.0;
+  VerifierOptions opt;
+  opt.time_limit_seconds = 0.2;
+  const ProveResult res = MilpVerifier(opt).prove(net, prop);
+  // Any verdict is acceptable; what matters is an honest, prompt return.
+  EXPECT_LT(res.seconds, 30.0);
+  if (res.verdict == Verdict::kViolated) {
+    ASSERT_TRUE(res.counterexample.has_value());
+    EXPECT_GT(prop.expr.evaluate(net.forward(*res.counterexample)),
+              prop.threshold);
+  }
+}
+
+TEST(IntervalVerifier, BoundDominatesMilpMaximum) {
+  Rng rng(15);
+  for (int trial = 0; trial < 5; ++trial) {
+    Network net = tiny_relu_net(rng, {2, 5, 1});
+    InputRegion region;
+    region.box = unit_box(2);
+    OutputExpr expr{{{0, 1.0}}};
+    const double ub = IntervalVerifier().upper_bound(net, region, expr);
+    const MaximizeResult exact = MilpVerifier().maximize(net, region, expr);
+    ASSERT_EQ(exact.status, milp::MilpStatus::kOptimal);
+    EXPECT_GE(ub, exact.max_value - 1e-7);
+  }
+}
+
+TEST(IntervalVerifier, NeverClaimsViolation) {
+  Rng rng(16);
+  Network net = tiny_relu_net(rng, {2, 4, 1});
+  SafetyProperty prop;
+  prop.region.box = unit_box(2);
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = -1e9;
+  EXPECT_EQ(IntervalVerifier().prove(net, prop), Verdict::kUnknown);
+  prop.threshold = 1e9;
+  EXPECT_EQ(IntervalVerifier().prove(net, prop), Verdict::kProved);
+}
+
+TEST(Verdict, ToString) {
+  EXPECT_EQ(to_string(Verdict::kProved), "proved");
+  EXPECT_EQ(to_string(Verdict::kViolated), "violated");
+  EXPECT_EQ(to_string(Verdict::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace safenn::verify
+
+// ---------------------------------------------------------------------------
+// Input-splitting verifier (appended suite).
+// ---------------------------------------------------------------------------
+#include "verify/input_split.hpp"
+
+namespace safenn::verify {
+namespace {
+
+class InputSplitExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InputSplitExactness, AgreesWithMilpOnTinyNets) {
+  Rng rng(GetParam() + 300);
+  Network net = Network::make_mlp({2, 5, 4, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(2, Interval{-1.5, 1.5});
+  OutputExpr expr{{{0, 1.0}}};
+
+  const MaximizeResult milp = MilpVerifier().maximize(net, region, expr);
+  ASSERT_EQ(milp.status, milp::MilpStatus::kOptimal);
+
+  InputSplitOptions opts;
+  opts.gap_tol = 1e-5;
+  opts.time_limit_seconds = 60.0;
+  const InputSplitResult split =
+      InputSplitVerifier(opts).maximize(net, region, expr);
+  ASSERT_TRUE(split.exact) << "seed " << GetParam();
+  EXPECT_NEAR(split.max_value, milp.max_value, 1e-4) << "seed " << GetParam();
+  EXPECT_TRUE(region.contains(split.witness));
+  EXPECT_NEAR(net.forward(split.witness)[0], split.max_value, 1e-9);
+  EXPECT_GE(split.upper_bound, split.max_value - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InputSplitExactness,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(InputSplit, ProveVerdicts) {
+  Rng rng(41);
+  Network net = Network::make_mlp({2, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  SafetyProperty prop;
+  prop.region.box = Box(2, Interval{-1.0, 1.0});
+  prop.expr.terms = {{0, 1.0}};
+
+  InputSplitOptions opts;
+  opts.time_limit_seconds = 30.0;
+  InputSplitVerifier v(opts);
+  InputSplitResult detail;
+  // Find the true max first.
+  const InputSplitResult max_result =
+      v.maximize(net, prop.region, prop.expr);
+  ASSERT_TRUE(max_result.exact);
+
+  prop.threshold = max_result.max_value + 0.1;
+  EXPECT_EQ(v.prove(net, prop, &detail), Verdict::kProved);
+  prop.threshold = max_result.max_value - 0.1;
+  EXPECT_EQ(v.prove(net, prop, &detail), Verdict::kViolated);
+}
+
+TEST(InputSplit, RespectsSideConstraints) {
+  Network net;
+  nn::DenseLayer l(2, 1, Activation::kIdentity);
+  l.weights() = linalg::Matrix{{1.0, 1.0}};
+  net.add_layer(std::move(l));
+  InputRegion region;
+  region.box = Box(2, Interval{0.0, 1.0});
+  region.constraints.push_back(
+      InputConstraint{{{0, 1.0}, {1, 1.0}}, lp::Relation::kLe, 0.6});
+  const InputSplitResult r =
+      InputSplitVerifier().maximize(net, region, OutputExpr{{{0, 1.0}}});
+  ASSERT_TRUE(r.exact);
+  EXPECT_NEAR(r.max_value, 0.6, 1e-3);
+}
+
+TEST(InputSplit, TimeLimitHonest) {
+  Rng rng(42);
+  Network net = Network::make_mlp({8, 30, 30, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(8, Interval{-2.0, 2.0});
+  InputSplitOptions opts;
+  opts.time_limit_seconds = 0.3;
+  const InputSplitResult r =
+      InputSplitVerifier(opts).maximize(net, region, OutputExpr{{{0, 1.0}}});
+  EXPECT_LT(r.seconds, 10.0);
+  if (!r.exact) {
+    EXPECT_GE(r.upper_bound, r.max_value - 1e-9);
+  }
+}
+
+TEST(InputSplit, RejectsSmoothNetworks) {
+  Rng rng(43);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(2, Interval{-1.0, 1.0});
+  EXPECT_THROW(
+      InputSplitVerifier().maximize(net, region, OutputExpr{{{0, 1.0}}}),
+      Error);
+}
+
+}  // namespace
+}  // namespace safenn::verify
+
+// ---------------------------------------------------------------------------
+// LP-based bound tightening (appended suite).
+// ---------------------------------------------------------------------------
+namespace safenn::verify {
+namespace {
+
+class LpTighteningProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpTighteningProperty, SoundAndNoLooserThanIntervals) {
+  Rng rng(GetParam() + 500);
+  Network net = Network::make_mlp({3, 7, 6, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(3, Interval{-1.2, 1.2});
+  const auto interval_bounds = propagate_bounds(net, region.box);
+  const auto lp_bounds = lp_tightened_bounds(net, region);
+  ASSERT_EQ(lp_bounds.size(), interval_bounds.size());
+
+  // (a) Never looser than interval bounds.
+  for (std::size_t li = 0; li < lp_bounds.size(); ++li) {
+    for (std::size_t r = 0; r < lp_bounds[li].pre.size(); ++r) {
+      EXPECT_GE(lp_bounds[li].pre[r].lo, interval_bounds[li].pre[r].lo - 1e-7);
+      EXPECT_LE(lp_bounds[li].pre[r].hi, interval_bounds[li].pre[r].hi + 1e-7);
+    }
+  }
+  // (b) Sound: sampled pre-activations stay inside the LP bounds.
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i)
+      x[i] = rng.uniform(region.box[i].lo, region.box[i].hi);
+    const nn::ForwardTrace trace = net.forward_trace(x);
+    for (std::size_t li = 0; li < lp_bounds.size(); ++li) {
+      for (std::size_t r = 0; r < lp_bounds[li].pre.size(); ++r) {
+        EXPECT_GE(trace.pre_activations[li][r],
+                  lp_bounds[li].pre[r].lo - 1e-6);
+        EXPECT_LE(trace.pre_activations[li][r],
+                  lp_bounds[li].pre[r].hi + 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpTighteningProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(LpTightening, AllThreeModesAgreeOnExactMaximum) {
+  Rng rng(501);
+  Network net = Network::make_mlp({2, 6, 5, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(2, Interval{-1.0, 1.0});
+  OutputExpr expr{{{0, 1.0}}};
+  double reference = 0.0;
+  bool first = true;
+  for (BoundTightening mode :
+       {BoundTightening::kLooseBigM, BoundTightening::kInterval,
+        BoundTightening::kLpTighten}) {
+    VerifierOptions opts;
+    opts.encoder.tightening = mode;
+    opts.encoder.loose_big_m = 100.0;
+    const MaximizeResult r = MilpVerifier(opts).maximize(net, region, expr);
+    ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+    if (first) {
+      reference = r.max_value;
+      first = false;
+    } else {
+      EXPECT_NEAR(r.max_value, reference, 1e-5);
+    }
+  }
+}
+
+TEST(LpTightening, FewerOrEqualBinariesThanInterval) {
+  Rng rng(502);
+  Network net = Network::make_mlp({3, 10, 10, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(3, Interval{-0.8, 0.8});
+  EncoderOptions interval_opts;
+  interval_opts.tightening = BoundTightening::kInterval;
+  EncoderOptions lp_opts;
+  lp_opts.tightening = BoundTightening::kLpTighten;
+  const EncodedNetwork e_int = encode_network(net, region, interval_opts);
+  const EncodedNetwork e_lp = encode_network(net, region, lp_opts);
+  EXPECT_LE(e_lp.num_binaries, e_int.num_binaries);
+}
+
+TEST(WarmStart, AssignmentFromInputIsFeasible) {
+  Rng rng(503);
+  Network net = Network::make_mlp({3, 6, 4, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(3, Interval{-1.0, 1.0});
+  const EncodedNetwork enc = encode_network(net, region);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector x(3);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    const std::vector<double> assignment = enc.assignment_from_input(net, x);
+    EXPECT_LE(enc.model.problem().max_violation(assignment), 1e-7)
+        << "trial " << trial;
+    EXPECT_TRUE(enc.model.is_integral(assignment, 1e-9));
+  }
+}
+
+TEST(WarmStart, HybridSplitWarmStartStillExact) {
+  Rng rng(504);
+  Network net = Network::make_mlp({2, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(2, Interval{-1.0, 1.0});
+  OutputExpr expr{{{0, 1.0}}};
+  VerifierOptions plain;
+  plain.warm_start_samples = 0;
+  VerifierOptions hybrid;
+  hybrid.warm_start_split_seconds = 0.5;
+  const MaximizeResult a = MilpVerifier(plain).maximize(net, region, expr);
+  const MaximizeResult b = MilpVerifier(hybrid).maximize(net, region, expr);
+  ASSERT_EQ(a.status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(b.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(a.max_value, b.max_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace safenn::verify
+
+// ---------------------------------------------------------------------------
+// Maximum resilience (appended suite).
+// ---------------------------------------------------------------------------
+#include "verify/resilience.hpp"
+
+namespace safenn::verify {
+namespace {
+
+TEST(Resilience, HandCraftedLinearNetwork) {
+  // f(x) = x0: property f <= 0.5. Around center x0 = 0, the exact
+  // resilience radius is 0.5.
+  Network net;
+  nn::DenseLayer l(2, 1, Activation::kIdentity);
+  l.weights() = linalg::Matrix{{1.0, 0.0}};
+  net.add_layer(std::move(l));
+  SafetyProperty prop;
+  prop.region.box = Box(2, Interval{-10, 10});  // ignored by the search
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = 0.5;
+  ResilienceOptions opts;
+  opts.radius_hi = 2.0;
+  opts.radius_tol = 1e-4;
+  const ResilienceResult r =
+      maximum_resilience(net, prop, Vector{0.0, 0.0}, opts);
+  EXPECT_TRUE(r.proved_any);
+  EXPECT_NEAR(r.safe_radius, 0.5, 2e-3);
+  // A violation just above the safe radius must have been witnessed.
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_GT((*r.counterexample)[0], 0.5 - 1e-6);
+}
+
+TEST(Resilience, FullRadiusSafeWhenThresholdHuge) {
+  Rng rng(601);
+  Network net = Network::make_mlp({2, 5, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  SafetyProperty prop;
+  prop.region.box = Box(2, Interval{-1, 1});
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = 1e6;
+  ResilienceOptions opts;
+  opts.radius_hi = 1.0;
+  const ResilienceResult r =
+      maximum_resilience(net, prop, Vector{0.0, 0.0}, opts);
+  EXPECT_TRUE(r.proved_any);
+  EXPECT_DOUBLE_EQ(r.safe_radius, 1.0);
+  EXPECT_FALSE(r.counterexample.has_value());
+}
+
+TEST(Resilience, UnprovableCenterReportsHonestly) {
+  // Property already violated at the center.
+  Network net;
+  nn::DenseLayer l(1, 1, Activation::kIdentity);
+  l.weights() = linalg::Matrix{{1.0}};
+  net.add_layer(std::move(l));
+  SafetyProperty prop;
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = -1.0;
+  prop.region.box = Box(1, Interval{-5, 5});
+  const ResilienceResult r =
+      maximum_resilience(net, prop, Vector{0.0}, {});
+  EXPECT_FALSE(r.proved_any);
+  EXPECT_DOUBLE_EQ(r.safe_radius, 0.0);
+}
+
+TEST(Resilience, ClipBoxRestrictsPerturbations) {
+  // f(x) = x0 with domain clipped to x0 <= 0.3: even a huge radius is
+  // safe for threshold 0.4 because the clip box caps the reachable input.
+  Network net;
+  nn::DenseLayer l(1, 1, Activation::kIdentity);
+  l.weights() = linalg::Matrix{{1.0}};
+  net.add_layer(std::move(l));
+  SafetyProperty prop;
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = 0.4;
+  prop.region.box = Box(1, Interval{-1, 1});
+  ResilienceOptions opts;
+  opts.radius_hi = 10.0;
+  opts.clip_box = Box(1, Interval{-0.3, 0.3});
+  const ResilienceResult r = maximum_resilience(net, prop, Vector{0.0}, opts);
+  EXPECT_TRUE(r.proved_any);
+  EXPECT_DOUBLE_EQ(r.safe_radius, 10.0);
+}
+
+// Property: the safe radius is monotone in the threshold.
+class ResilienceMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResilienceMonotone, LargerThresholdNeverShrinksRadius) {
+  Rng rng(GetParam() + 700);
+  Network net = Network::make_mlp({2, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  const Vector center{0.0, 0.0};
+  const double f0 = net.forward(center)[0];
+  SafetyProperty prop;
+  prop.region.box = Box(2, Interval{-2, 2});
+  prop.expr.terms = {{0, 1.0}};
+  ResilienceOptions opts;
+  opts.radius_hi = 2.0;
+  opts.radius_tol = 1e-3;
+  prop.threshold = f0 + 0.2;
+  const double r_small =
+      maximum_resilience(net, prop, center, opts).safe_radius;
+  prop.threshold = f0 + 0.8;
+  const double r_large =
+      maximum_resilience(net, prop, center, opts).safe_radius;
+  EXPECT_GE(r_large, r_small - 2e-3) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceMonotone,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace safenn::verify
