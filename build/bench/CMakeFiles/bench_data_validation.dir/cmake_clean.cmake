@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_validation.dir/bench_data_validation.cpp.o"
+  "CMakeFiles/bench_data_validation.dir/bench_data_validation.cpp.o.d"
+  "bench_data_validation"
+  "bench_data_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_predictor.dir/bench_fig1_predictor.cpp.o"
+  "CMakeFiles/bench_fig1_predictor.dir/bench_fig1_predictor.cpp.o.d"
+  "bench_fig1_predictor"
+  "bench_fig1_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

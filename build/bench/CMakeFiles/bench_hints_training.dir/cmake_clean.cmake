@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hints_training.dir/bench_hints_training.cpp.o"
+  "CMakeFiles/bench_hints_training.dir/bench_hints_training.cpp.o.d"
+  "bench_hints_training"
+  "bench_hints_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hints_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantized_smt.dir/bench_quantized_smt.cpp.o"
+  "CMakeFiles/bench_quantized_smt.dir/bench_quantized_smt.cpp.o.d"
+  "bench_quantized_smt"
+  "bench_quantized_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantized_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

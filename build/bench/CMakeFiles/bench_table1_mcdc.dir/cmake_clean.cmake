@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mcdc.dir/bench_table1_mcdc.cpp.o"
+  "CMakeFiles/bench_table1_mcdc.dir/bench_table1_mcdc.cpp.o.d"
+  "bench_table1_mcdc"
+  "bench_table1_mcdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mcdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_predictor.dir/certify_predictor.cpp.o"
+  "CMakeFiles/certify_predictor.dir/certify_predictor.cpp.o.d"
+  "certify_predictor"
+  "certify_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantized_verify.dir/quantized_verify.cpp.o"
+  "CMakeFiles/quantized_verify.dir/quantized_verify.cpp.o.d"
+  "quantized_verify"
+  "quantized_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantized_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_common.dir/common/csv.cpp.o"
+  "CMakeFiles/safenn_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/safenn_common.dir/common/log.cpp.o"
+  "CMakeFiles/safenn_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/safenn_common.dir/common/rng.cpp.o"
+  "CMakeFiles/safenn_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/safenn_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/safenn_common.dir/common/stopwatch.cpp.o.d"
+  "libsafenn_common.a"
+  "libsafenn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

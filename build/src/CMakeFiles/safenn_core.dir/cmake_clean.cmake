@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_core.dir/core/certification.cpp.o"
+  "CMakeFiles/safenn_core.dir/core/certification.cpp.o.d"
+  "CMakeFiles/safenn_core.dir/core/hints.cpp.o"
+  "CMakeFiles/safenn_core.dir/core/hints.cpp.o.d"
+  "CMakeFiles/safenn_core.dir/core/monitor.cpp.o"
+  "CMakeFiles/safenn_core.dir/core/monitor.cpp.o.d"
+  "CMakeFiles/safenn_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/safenn_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/safenn_core.dir/core/repair.cpp.o"
+  "CMakeFiles/safenn_core.dir/core/repair.cpp.o.d"
+  "CMakeFiles/safenn_core.dir/core/report.cpp.o"
+  "CMakeFiles/safenn_core.dir/core/report.cpp.o.d"
+  "libsafenn_core.a"
+  "libsafenn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

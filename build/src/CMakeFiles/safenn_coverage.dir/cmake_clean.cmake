@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_coverage.dir/coverage/mcdc.cpp.o"
+  "CMakeFiles/safenn_coverage.dir/coverage/mcdc.cpp.o.d"
+  "CMakeFiles/safenn_coverage.dir/coverage/neuron_coverage.cpp.o"
+  "CMakeFiles/safenn_coverage.dir/coverage/neuron_coverage.cpp.o.d"
+  "libsafenn_coverage.a"
+  "libsafenn_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/safenn_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/safenn_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/safenn_data.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/safenn_data.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/schema.cpp" "src/CMakeFiles/safenn_data.dir/data/schema.cpp.o" "gcc" "src/CMakeFiles/safenn_data.dir/data/schema.cpp.o.d"
+  "/root/repo/src/data/validation.cpp" "src/CMakeFiles/safenn_data.dir/data/validation.cpp.o" "gcc" "src/CMakeFiles/safenn_data.dir/data/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/safenn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

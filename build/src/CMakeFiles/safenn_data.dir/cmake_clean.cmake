@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/safenn_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/safenn_data.dir/data/io.cpp.o"
+  "CMakeFiles/safenn_data.dir/data/io.cpp.o.d"
+  "CMakeFiles/safenn_data.dir/data/schema.cpp.o"
+  "CMakeFiles/safenn_data.dir/data/schema.cpp.o.d"
+  "CMakeFiles/safenn_data.dir/data/validation.cpp.o"
+  "CMakeFiles/safenn_data.dir/data/validation.cpp.o.d"
+  "libsafenn_data.a"
+  "libsafenn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_explain.dir/explain/saliency.cpp.o"
+  "CMakeFiles/safenn_explain.dir/explain/saliency.cpp.o.d"
+  "CMakeFiles/safenn_explain.dir/explain/traceability.cpp.o"
+  "CMakeFiles/safenn_explain.dir/explain/traceability.cpp.o.d"
+  "libsafenn_explain.a"
+  "libsafenn_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

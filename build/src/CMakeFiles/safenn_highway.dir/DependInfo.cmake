@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/highway/dataset_builder.cpp" "src/CMakeFiles/safenn_highway.dir/highway/dataset_builder.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/dataset_builder.cpp.o.d"
+  "/root/repo/src/highway/idm.cpp" "src/CMakeFiles/safenn_highway.dir/highway/idm.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/idm.cpp.o.d"
+  "/root/repo/src/highway/lane_change.cpp" "src/CMakeFiles/safenn_highway.dir/highway/lane_change.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/lane_change.cpp.o.d"
+  "/root/repo/src/highway/safety_rules.cpp" "src/CMakeFiles/safenn_highway.dir/highway/safety_rules.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/safety_rules.cpp.o.d"
+  "/root/repo/src/highway/scenario.cpp" "src/CMakeFiles/safenn_highway.dir/highway/scenario.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/scenario.cpp.o.d"
+  "/root/repo/src/highway/scene_encoder.cpp" "src/CMakeFiles/safenn_highway.dir/highway/scene_encoder.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/scene_encoder.cpp.o.d"
+  "/root/repo/src/highway/simulator.cpp" "src/CMakeFiles/safenn_highway.dir/highway/simulator.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/simulator.cpp.o.d"
+  "/root/repo/src/highway/vehicle.cpp" "src/CMakeFiles/safenn_highway.dir/highway/vehicle.cpp.o" "gcc" "src/CMakeFiles/safenn_highway.dir/highway/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/safenn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_highway.dir/highway/dataset_builder.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/dataset_builder.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/idm.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/idm.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/lane_change.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/lane_change.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/safety_rules.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/safety_rules.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/scenario.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/scenario.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/scene_encoder.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/scene_encoder.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/simulator.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/simulator.cpp.o.d"
+  "CMakeFiles/safenn_highway.dir/highway/vehicle.cpp.o"
+  "CMakeFiles/safenn_highway.dir/highway/vehicle.cpp.o.d"
+  "libsafenn_highway.a"
+  "libsafenn_highway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_highway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

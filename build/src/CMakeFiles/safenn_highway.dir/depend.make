@@ -1,0 +1,2 @@
+# Empty dependencies file for safenn_highway.
+# This may be replaced when dependencies are built.

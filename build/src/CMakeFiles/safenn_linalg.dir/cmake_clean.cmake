@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/safenn_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/safenn_linalg.dir/linalg/vector.cpp.o"
+  "CMakeFiles/safenn_linalg.dir/linalg/vector.cpp.o.d"
+  "libsafenn_linalg.a"
+  "libsafenn_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

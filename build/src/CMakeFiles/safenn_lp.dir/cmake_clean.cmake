@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_lp.dir/lp/problem.cpp.o"
+  "CMakeFiles/safenn_lp.dir/lp/problem.cpp.o.d"
+  "CMakeFiles/safenn_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/safenn_lp.dir/lp/simplex.cpp.o.d"
+  "libsafenn_lp.a"
+  "libsafenn_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

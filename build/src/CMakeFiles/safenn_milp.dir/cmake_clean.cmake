@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_milp.dir/milp/branch_and_bound.cpp.o"
+  "CMakeFiles/safenn_milp.dir/milp/branch_and_bound.cpp.o.d"
+  "CMakeFiles/safenn_milp.dir/milp/model.cpp.o"
+  "CMakeFiles/safenn_milp.dir/milp/model.cpp.o.d"
+  "libsafenn_milp.a"
+  "libsafenn_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/safenn_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/safenn_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/safenn_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mdn.cpp" "src/CMakeFiles/safenn_nn.dir/nn/mdn.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/mdn.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/safenn_nn.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/CMakeFiles/safenn_nn.dir/nn/quantize.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/quantize.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/safenn_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/safenn_nn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/safenn_nn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/safenn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/mdn.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/mdn.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/network.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/network.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/quantize.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/quantize.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/safenn_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/safenn_nn.dir/nn/trainer.cpp.o.d"
+  "libsafenn_nn.a"
+  "libsafenn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_sat.dir/sat/cnf.cpp.o"
+  "CMakeFiles/safenn_sat.dir/sat/cnf.cpp.o.d"
+  "CMakeFiles/safenn_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/safenn_sat.dir/sat/solver.cpp.o.d"
+  "libsafenn_sat.a"
+  "libsafenn_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

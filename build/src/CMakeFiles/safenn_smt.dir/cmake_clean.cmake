@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_smt.dir/smt/bitblast.cpp.o"
+  "CMakeFiles/safenn_smt.dir/smt/bitblast.cpp.o.d"
+  "CMakeFiles/safenn_smt.dir/smt/bitvector.cpp.o"
+  "CMakeFiles/safenn_smt.dir/smt/bitvector.cpp.o.d"
+  "CMakeFiles/safenn_smt.dir/smt/qnn_encoder.cpp.o"
+  "CMakeFiles/safenn_smt.dir/smt/qnn_encoder.cpp.o.d"
+  "libsafenn_smt.a"
+  "libsafenn_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/input_split.cpp" "src/CMakeFiles/safenn_verify.dir/verify/input_split.cpp.o" "gcc" "src/CMakeFiles/safenn_verify.dir/verify/input_split.cpp.o.d"
+  "/root/repo/src/verify/interval.cpp" "src/CMakeFiles/safenn_verify.dir/verify/interval.cpp.o" "gcc" "src/CMakeFiles/safenn_verify.dir/verify/interval.cpp.o.d"
+  "/root/repo/src/verify/milp_encoder.cpp" "src/CMakeFiles/safenn_verify.dir/verify/milp_encoder.cpp.o" "gcc" "src/CMakeFiles/safenn_verify.dir/verify/milp_encoder.cpp.o.d"
+  "/root/repo/src/verify/property.cpp" "src/CMakeFiles/safenn_verify.dir/verify/property.cpp.o" "gcc" "src/CMakeFiles/safenn_verify.dir/verify/property.cpp.o.d"
+  "/root/repo/src/verify/resilience.cpp" "src/CMakeFiles/safenn_verify.dir/verify/resilience.cpp.o" "gcc" "src/CMakeFiles/safenn_verify.dir/verify/resilience.cpp.o.d"
+  "/root/repo/src/verify/verifier.cpp" "src/CMakeFiles/safenn_verify.dir/verify/verifier.cpp.o" "gcc" "src/CMakeFiles/safenn_verify.dir/verify/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/safenn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/safenn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

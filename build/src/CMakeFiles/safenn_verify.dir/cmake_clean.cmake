@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safenn_verify.dir/verify/input_split.cpp.o"
+  "CMakeFiles/safenn_verify.dir/verify/input_split.cpp.o.d"
+  "CMakeFiles/safenn_verify.dir/verify/interval.cpp.o"
+  "CMakeFiles/safenn_verify.dir/verify/interval.cpp.o.d"
+  "CMakeFiles/safenn_verify.dir/verify/milp_encoder.cpp.o"
+  "CMakeFiles/safenn_verify.dir/verify/milp_encoder.cpp.o.d"
+  "CMakeFiles/safenn_verify.dir/verify/property.cpp.o"
+  "CMakeFiles/safenn_verify.dir/verify/property.cpp.o.d"
+  "CMakeFiles/safenn_verify.dir/verify/resilience.cpp.o"
+  "CMakeFiles/safenn_verify.dir/verify/resilience.cpp.o.d"
+  "CMakeFiles/safenn_verify.dir/verify/verifier.cpp.o"
+  "CMakeFiles/safenn_verify.dir/verify/verifier.cpp.o.d"
+  "libsafenn_verify.a"
+  "libsafenn_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safenn_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

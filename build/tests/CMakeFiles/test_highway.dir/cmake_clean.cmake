@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_highway.dir/test_highway.cpp.o"
+  "CMakeFiles/test_highway.dir/test_highway.cpp.o.d"
+  "test_highway"
+  "test_highway.pdb"
+  "test_highway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_highway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
