@@ -1,0 +1,172 @@
+// Serving-runtime throughput scaling: replays a fixed set of
+// simulator-generated scenes through the shielded inference service at
+// 1..hardware-thread workers and reports the scaling curve as JSON
+// (stdout + SAFENN_SERVE_JSON file, default BENCH_serve.json).
+//
+// Also checks the certification invariant end to end: the concurrent
+// intervention total must equal a sequential replay of the same scenes.
+//
+// Env knobs: SAFENN_SERVE_SCENES (default 4000), SAFENN_SERVE_WIDTH
+// (hidden width, default 32), SAFENN_SERVE_MAX_WORKERS, SAFENN_SERVE_JSON.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "core/monitor.hpp"
+#include "highway/safety_rules.hpp"
+#include "serve/worker_pool.hpp"
+
+using namespace safenn;
+
+namespace {
+
+struct ScalePoint {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  double speedup = 1.0;
+  std::uint64_t interventions = 0;
+  double p99_total_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+std::vector<linalg::Vector> replay_scenes(const data::Dataset& data,
+                                          std::size_t count) {
+  std::vector<linalg::Vector> scenes;
+  scenes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scenes.push_back(data.input(i % data.size()));
+  }
+  return scenes;
+}
+
+ScalePoint run_point(const core::TrainedPredictor& predictor,
+                     const verify::InputRegion& region,
+                     const std::vector<linalg::Vector>& scenes,
+                     double threshold, std::size_t workers) {
+  core::SafetyMonitor monitor(region, threshold);
+  serve::InferenceServer::Config cfg;
+  cfg.queue_capacity = 2048;
+  cfg.pool.workers = workers;
+  cfg.pool.max_batch = 32;
+  serve::InferenceServer server(predictor, monitor, cfg);
+
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(scenes.size());
+  Stopwatch clock;
+  for (const linalg::Vector& scene : scenes) {
+    futures.push_back(server.submit_blocking(scene));
+  }
+  for (auto& f : futures) f.wait();
+  const double seconds = clock.seconds();
+  server.stop();
+
+  ScalePoint point;
+  point.workers = workers;
+  point.seconds = seconds;
+  point.throughput_rps = static_cast<double>(scenes.size()) / seconds;
+  point.interventions = server.metrics().interventions.load();
+  point.p99_total_ms =
+      server.metrics().total_latency.percentile_ns(0.99) / 1e6;
+  point.mean_batch = server.metrics().mean_batch_size();
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const auto n_scenes = static_cast<std::size_t>(
+      bench::env_long("SAFENN_SERVE_SCENES", 4000));
+  const auto width = static_cast<std::size_t>(
+      bench::env_long("SAFENN_SERVE_WIDTH", 32));
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  // Sweep to at least 4 workers even on small machines so the curve is
+  // comparable across hosts; speedup is naturally bounded by `hw`.
+  const auto max_workers = static_cast<std::size_t>(bench::env_long(
+      "SAFENN_SERVE_MAX_WORKERS", static_cast<long>(std::max<std::size_t>(4, hw))));
+
+  std::printf("# serving throughput scaling: %zu scenes, I4x%zu predictor, "
+              "1..%zu workers (%zu hardware threads)\n",
+              n_scenes, width, max_workers, hw);
+
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const core::TrainedPredictor predictor =
+      bench::train_predictor(built.data, width, 6);
+  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built.data, encoder));
+  const std::vector<linalg::Vector> scenes =
+      replay_scenes(built.data, n_scenes);
+  // Threshold low (even negative) so the shield actually intervenes on
+  // the replay; the determinism check is vacuous at zero interventions.
+  const double threshold = bench::env_double("SAFENN_SERVE_THRESHOLD", -0.05);
+
+  // Sequential ground truth for the determinism check.
+  core::SafetyMonitor sequential(region, threshold);
+  Stopwatch seq_clock;
+  for (const linalg::Vector& scene : scenes) {
+    sequential.guarded_action(predictor, scene);
+  }
+  const double seq_seconds = seq_clock.seconds();
+  const std::size_t seq_interventions = sequential.stats().interventions;
+  std::printf("# sequential replay: %.3fs, %zu interventions (rate %.4f)\n",
+              seq_seconds, seq_interventions,
+              sequential.stats().intervention_rate());
+
+  std::vector<std::size_t> worker_counts;
+  for (std::size_t w = 1; w <= max_workers; w *= 2) worker_counts.push_back(w);
+  if (worker_counts.back() != max_workers) worker_counts.push_back(max_workers);
+
+  std::vector<ScalePoint> points;
+  double base_rps = 0.0;
+  bool deterministic = true;
+  for (std::size_t w : worker_counts) {
+    ScalePoint p = run_point(predictor, region, scenes, threshold, w);
+    if (w == 1) base_rps = p.throughput_rps;
+    p.speedup = base_rps > 0.0 ? p.throughput_rps / base_rps : 1.0;
+    deterministic = deterministic && p.interventions == seq_interventions;
+    std::printf("workers=%2zu  %8.0f req/s  speedup %.2fx  p99 %.3fms  "
+                "mean batch %.1f  interventions %llu (%s)\n",
+                p.workers, p.throughput_rps, p.speedup, p.p99_total_ms,
+                p.mean_batch,
+                static_cast<unsigned long long>(p.interventions),
+                p.interventions == seq_interventions ? "match" : "MISMATCH");
+    points.push_back(p);
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"serve_throughput\",\n"
+       << "  \"scenes\": " << n_scenes << ",\n"
+       << "  \"hidden_width\": " << width << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"sequential\": {\"seconds\": " << seq_seconds
+       << ", \"interventions\": " << seq_interventions << "},\n"
+       << "  \"deterministic_interventions\": "
+       << (deterministic ? "true" : "false") << ",\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    json << "    {\"workers\": " << p.workers
+         << ", \"seconds\": " << p.seconds
+         << ", \"throughput_rps\": " << p.throughput_rps
+         << ", \"speedup\": " << p.speedup
+         << ", \"p99_total_ms\": " << p.p99_total_ms
+         << ", \"mean_batch_size\": " << p.mean_batch
+         << ", \"interventions\": " << p.interventions << "}"
+         << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+
+  const char* out_path = std::getenv("SAFENN_SERVE_JSON");
+  const std::string path = out_path && *out_path ? out_path
+                                                 : "BENCH_serve.json";
+  std::ofstream(path) << json.str();
+  std::printf("\n%s", json.str().c_str());
+  std::printf("# wrote %s\n", path.c_str());
+  return deterministic ? 0 : 1;
+}

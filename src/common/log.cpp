@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace safenn {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards both the sink pointer and writes through it, so a message is
+// always emitted as one uninterrupted line even under concurrency.
+std::mutex g_sink_mu;
+std::ostream* g_sink = nullptr;  // nullptr = std::cerr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,9 +31,23 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::cerr << "[safenn " << level_name(level) << "] " << msg << '\n';
+  // Format outside the lock; write the finished line inside it.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[safenn ";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  (g_sink ? *g_sink : std::cerr) << line;
 }
 
 }  // namespace safenn

@@ -1,6 +1,10 @@
-// Tiny leveled logger. Solvers use it for optional search tracing.
+// Tiny leveled logger. Solvers use it for optional search tracing; the
+// serving runtime's worker pool logs from many threads concurrently, so
+// sink writes are serialized (one mutex-guarded write per message —
+// lines never interleave).
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -13,7 +17,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits `msg` to stderr when `level` >= the global level.
+/// Redirects log output (nullptr restores the default, stderr). The sink
+/// must outlive all logging; writes to it are mutex-serialized.
+void set_log_sink(std::ostream* sink);
+
+/// Emits `msg` to the sink when `level` >= the global level. Thread-safe:
+/// each message is written whole under a lock.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

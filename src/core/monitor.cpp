@@ -10,17 +10,46 @@ SafetyMonitor::SafetyMonitor(verify::InputRegion region,
                              double lateral_threshold)
     : region_(std::move(region)), lateral_threshold_(lateral_threshold) {}
 
-linalg::Vector SafetyMonitor::guarded_action(const TrainedPredictor& predictor,
-                                             const linalg::Vector& scene) {
-  ++stats_.queries;
-  linalg::Vector action = predictor.predict(scene).mean();
-  if (!region_.contains(scene)) return action;
-  ++stats_.assumption_hits;
-  if (action[highway::kActionLateral] > lateral_threshold_) {
-    ++stats_.interventions;
-    action[highway::kActionLateral] = lateral_threshold_;
+GuardDecision SafetyMonitor::guard(const TrainedPredictor& predictor,
+                                   const linalg::Vector& scene) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  GuardDecision decision;
+  decision.action = predictor.predict(scene).mean();
+  if (!region_.contains(scene)) return decision;
+  decision.assumption_hit = true;
+  assumption_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (decision.action[highway::kActionLateral] > lateral_threshold_) {
+    interventions_.fetch_add(1, std::memory_order_relaxed);
+    decision.action[highway::kActionLateral] = lateral_threshold_;
+    decision.intervened = true;
   }
+  return decision;
+}
+
+linalg::Vector SafetyMonitor::guarded_action(const TrainedPredictor& predictor,
+                                             const linalg::Vector& scene) const {
+  return guard(predictor, scene).action;
+}
+
+linalg::Vector SafetyMonitor::safe_action() const {
+  linalg::Vector action(highway::kActionDims);
+  action[highway::kActionLateral] = std::min(0.0, lateral_threshold_);
+  action[highway::kActionAccel] = 0.0;
   return action;
+}
+
+MonitorStats SafetyMonitor::stats() const {
+  MonitorStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.assumption_hits = assumption_hits_.load(std::memory_order_relaxed);
+  s.interventions = interventions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SafetyMonitor::reset_stats() {
+  queries_.store(0, std::memory_order_relaxed);
+  assumption_hits_.store(0, std::memory_order_relaxed);
+  interventions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace safenn::core

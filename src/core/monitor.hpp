@@ -8,8 +8,14 @@
 // would violate it. Every intervention is counted — the intervention
 // rate is itself certification evidence (a verified network should show
 // zero interventions inside the verified region).
+//
+// The monitor is shared by every worker of the serving runtime
+// (safenn::serve): `guard`/`guarded_action` are const and the counters
+// are atomic, so one instance can shield concurrent inference without
+// losing a single intervention.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 
 #include "core/pipeline.hpp"
@@ -30,6 +36,14 @@ struct MonitorStats {
   }
 };
 
+/// One shielded prediction: the action actually returned plus what the
+/// monitor decided about it.
+struct GuardDecision {
+  linalg::Vector action;
+  bool assumption_hit = false;  // scene was inside the property region
+  bool intervened = false;      // lateral component was clamped
+};
+
 /// Guards an MDN motion predictor with the lateral-velocity property:
 /// when the scene satisfies the region (vehicle on the left) and the
 /// suggested mean lateral velocity exceeds the threshold, the lateral
@@ -38,17 +52,35 @@ class SafetyMonitor {
  public:
   SafetyMonitor(verify::InputRegion region, double lateral_threshold);
 
+  /// Shielded prediction with the monitor's full decision. Thread-safe:
+  /// may be called concurrently on a shared monitor and predictor.
+  GuardDecision guard(const TrainedPredictor& predictor,
+                      const linalg::Vector& scene) const;
+
   /// Returns the (possibly clamped) mean action for the scene.
   linalg::Vector guarded_action(const TrainedPredictor& predictor,
-                                const linalg::Vector& scene);
+                                const linalg::Vector& scene) const;
 
-  const MonitorStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MonitorStats{}; }
+  /// The no-inference fallback for deadline overruns: zero lateral
+  /// velocity (stay in lane, trivially within any threshold >= 0,
+  /// otherwise clamped to it) and zero longitudinal acceleration.
+  linalg::Vector safe_action() const;
+
+  double lateral_threshold() const { return lateral_threshold_; }
+  const verify::InputRegion& region() const { return region_; }
+
+  /// Consistent snapshot of the counters (each counter is exact; the
+  /// triple is read non-atomically, so snapshot during quiescence for
+  /// cross-counter invariants).
+  MonitorStats stats() const;
+  void reset_stats();
 
  private:
   verify::InputRegion region_;
   double lateral_threshold_;
-  MonitorStats stats_;
+  mutable std::atomic<std::size_t> queries_{0};
+  mutable std::atomic<std::size_t> assumption_hits_{0};
+  mutable std::atomic<std::size_t> interventions_{0};
 };
 
 }  // namespace safenn::core

@@ -1,0 +1,38 @@
+#include "serve/engine.hpp"
+
+namespace safenn::serve {
+namespace {
+
+double seconds_since(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+ShieldedEngine::ShieldedEngine(const core::TrainedPredictor& predictor,
+                               const core::SafetyMonitor& monitor)
+    : predictor_(predictor), monitor_(monitor) {}
+
+ServeResponse ShieldedEngine::serve(const ServeRequest& request,
+                                    Clock::time_point now) const {
+  ServeResponse response;
+  response.id = request.id;
+  if (now > request.deadline) {
+    // Bounded-latency fallback: the deadline is already blown, so answer
+    // with the provably safe action instead of a late prediction.
+    response.outcome = ServeOutcome::kDegraded;
+    response.action = monitor_.safe_action();
+    return response;
+  }
+  const Clock::time_point start = Clock::now();
+  core::GuardDecision decision = monitor_.guard(predictor_, request.scene);
+  response.infer_seconds = seconds_since(start, Clock::now());
+  response.outcome =
+      decision.intervened ? ServeOutcome::kClamped : ServeOutcome::kServed;
+  response.action = std::move(decision.action);
+  response.assumption_hit = decision.assumption_hit;
+  response.intervened = decision.intervened;
+  return response;
+}
+
+}  // namespace safenn::serve

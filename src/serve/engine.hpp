@@ -1,0 +1,39 @@
+// Shielded inference engine: every prediction flows through the
+// SafetyMonitor; deadline overruns degrade to the monitor's safe
+// fallback without touching the network.
+//
+// Degradation policy (documented in DESIGN.md "Serving runtime"):
+//   deadline already passed at service time  -> kDegraded (safe_action)
+//   shield clamps the predicted action       -> kClamped
+//   otherwise                                -> kServed
+// Rejection (queue full / runtime stopped) happens upstream at the
+// submit path and never reaches the engine.
+#pragma once
+
+#include "core/monitor.hpp"
+#include "serve/request_queue.hpp"
+
+namespace safenn::serve {
+
+/// Stateless per-call engine over a shared const predictor and a shared
+/// thread-safe monitor; safe to use from any number of workers.
+class ShieldedEngine {
+ public:
+  ShieldedEngine(const core::TrainedPredictor& predictor,
+                 const core::SafetyMonitor& monitor);
+
+  /// Serves one request at time `now`: deadline check, then guarded
+  /// prediction. Fills everything except `queue_seconds` (the caller
+  /// knows the dequeue time).
+  ServeResponse serve(const ServeRequest& request,
+                      Clock::time_point now) const;
+
+  const core::SafetyMonitor& monitor() const { return monitor_; }
+  const core::TrainedPredictor& predictor() const { return predictor_; }
+
+ private:
+  const core::TrainedPredictor& predictor_;
+  const core::SafetyMonitor& monitor_;
+};
+
+}  // namespace safenn::serve

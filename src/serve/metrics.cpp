@@ -1,0 +1,133 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace safenn::serve {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::size_t bucket_index(std::uint64_t ns) {
+  // bit_width(ns) = position of highest set bit + 1; bucket 0 holds ns<=1.
+  const std::size_t idx = ns <= 1 ? 0 : std::bit_width(ns - 1);
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+double bucket_upper_ns(std::size_t idx) {
+  return std::ldexp(1.0, static_cast<int>(idx));  // 2^idx
+}
+
+void json_histogram(std::ostringstream& os, const char* name,
+                    const LatencyHistogram& h) {
+  os << "    \"" << name << "\": {"
+     << "\"count\": " << h.count()
+     << ", \"mean_ms\": " << h.mean_ns() / 1e6
+     << ", \"p50_ms\": " << h.percentile_ns(0.50) / 1e6
+     << ", \"p95_ms\": " << h.percentile_ns(0.95) / 1e6
+     << ", \"p99_ms\": " << h.percentile_ns(0.99) / 1e6 << "}";
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  buckets_[bucket_index(ns)].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  sum_ns_.fetch_add(ns, kRelaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const { return count_.load(kRelaxed); }
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count_.load(kRelaxed);
+  return n == 0 ? 0.0
+               : static_cast<double>(sum_ns_.load(kRelaxed)) /
+                     static_cast<double>(n);
+}
+
+double LatencyHistogram::percentile_ns(double p) const {
+  const std::uint64_t n = count_.load(kRelaxed);
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(n)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(kRelaxed);
+    if (cumulative >= target && cumulative > 0) return bucket_upper_ns(i);
+  }
+  return bucket_upper_ns(kBuckets - 1);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_ns_.store(0, kRelaxed);
+}
+
+void MetricsRegistry::note_queue_depth(std::size_t depth) {
+  std::uint64_t seen = queue_depth_peak.load(kRelaxed);
+  while (depth > seen &&
+         !queue_depth_peak.compare_exchange_weak(seen, depth, kRelaxed)) {
+  }
+}
+
+std::uint64_t MetricsRegistry::completed() const {
+  return served.load(kRelaxed) + clamped.load(kRelaxed) +
+         degraded.load(kRelaxed);
+}
+
+double MetricsRegistry::mean_batch_size() const {
+  const std::uint64_t b = batches.load(kRelaxed);
+  return b == 0 ? 0.0
+               : static_cast<double>(batch_items.load(kRelaxed)) /
+                     static_cast<double>(b);
+}
+
+std::string MetricsRegistry::to_json(double elapsed_seconds) const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"requests\": {"
+     << "\"submitted\": " << submitted.load(kRelaxed)
+     << ", \"served\": " << served.load(kRelaxed)
+     << ", \"clamped\": " << clamped.load(kRelaxed)
+     << ", \"degraded\": " << degraded.load(kRelaxed)
+     << ", \"rejected\": " << rejected.load(kRelaxed) << "},\n"
+     << "  \"shield\": {"
+     << "\"assumption_hits\": " << assumption_hits.load(kRelaxed)
+     << ", \"interventions\": " << interventions.load(kRelaxed) << "},\n"
+     << "  \"batching\": {"
+     << "\"batches\": " << batches.load(kRelaxed)
+     << ", \"mean_batch_size\": " << mean_batch_size()
+     << ", \"queue_depth_peak\": " << queue_depth_peak.load(kRelaxed)
+     << "},\n"
+     << "  \"latency\": {\n";
+  json_histogram(os, "queue", queue_latency);
+  os << ",\n";
+  json_histogram(os, "infer", infer_latency);
+  os << ",\n";
+  json_histogram(os, "total", total_latency);
+  os << "\n  }";
+  if (elapsed_seconds > 0.0) {
+    os << ",\n  \"elapsed_seconds\": " << elapsed_seconds
+       << ",\n  \"throughput_rps\": "
+       << static_cast<double>(completed()) / elapsed_seconds;
+  }
+  os << "\n}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  queue_latency.reset();
+  infer_latency.reset();
+  total_latency.reset();
+  for (auto* c : {&submitted, &served, &clamped, &degraded, &rejected,
+                  &assumption_hits, &interventions, &batches, &batch_items,
+                  &queue_depth_peak}) {
+    c->store(0, kRelaxed);
+  }
+}
+
+}  // namespace safenn::serve

@@ -1,0 +1,83 @@
+// Serving metrics: lock-free latency histograms, outcome counters,
+// shield-intervention accounting, queue-depth high-water mark — dumpable
+// as JSON.
+//
+// The intervention counters here are certification evidence (Sec. II(B)):
+// the registry's totals must match a sequential replay of the same scene
+// set exactly, which is what tests/test_serve.cpp asserts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace safenn::serve {
+
+/// Lock-free power-of-two-bucketed histogram over nanosecond latencies.
+/// Bucket i counts samples in (2^(i-1), 2^i] ns; percentiles are reported
+/// as the upper bound of the covering bucket (a sound over-approximation,
+/// ~2x resolution — adequate for p50/p95/p99 tail reporting).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 42;  // up to ~73 minutes
+
+  void record(std::uint64_t ns);
+
+  std::uint64_t count() const;
+  double mean_ns() const;
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]);
+  /// 0 when empty.
+  double percentile_ns(double p) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// All counters a serving run exposes. Every member is individually
+/// thread-safe; the registry is shared by reference between the worker
+/// pool, the submit path, and the reporter.
+class MetricsRegistry {
+ public:
+  // Per-stage latencies.
+  LatencyHistogram queue_latency;  // enqueue -> dequeue
+  LatencyHistogram infer_latency;  // engine time per request
+  LatencyHistogram total_latency;  // enqueue -> response
+
+  // Outcome counters (submitted = sum of the four outcomes once drained).
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> clamped{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> rejected{0};
+
+  // Shield accounting (mirrors core::MonitorStats over the served flow).
+  std::atomic<std::uint64_t> assumption_hits{0};
+  std::atomic<std::uint64_t> interventions{0};
+
+  // Micro-batch formation.
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batch_items{0};
+
+  std::atomic<std::uint64_t> queue_depth_peak{0};
+
+  /// Monotone max update of the queue-depth high-water mark.
+  void note_queue_depth(std::size_t depth);
+
+  /// Requests that received a response through the engine path.
+  std::uint64_t completed() const;
+
+  double mean_batch_size() const;
+
+  /// JSON object with all counters and p50/p95/p99 per stage (in
+  /// milliseconds). When `elapsed_seconds` > 0, includes throughput.
+  std::string to_json(double elapsed_seconds = 0.0) const;
+
+  void reset();
+};
+
+}  // namespace safenn::serve

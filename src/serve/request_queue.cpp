@@ -1,0 +1,76 @@
+#include "serve/request_queue.hpp"
+
+namespace safenn::serve {
+
+const char* to_string(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kServed: return "served";
+    case ServeOutcome::kClamped: return "clamped";
+    case ServeOutcome::kDegraded: return "degraded";
+    case ServeOutcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::try_push(ServeRequest&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::push(ServeRequest&& request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::pop_batch(std::vector<ServeRequest>& out,
+                                    std::size_t max_batch) {
+  if (max_batch == 0) max_batch = 1;
+  std::size_t taken = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (taken < max_batch && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+  }
+  if (taken > 0) not_full_.notify_all();
+  return taken;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace safenn::serve

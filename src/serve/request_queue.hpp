@@ -1,0 +1,91 @@
+// Bounded MPMC request queue for the serving runtime.
+//
+// Producers (client threads) push encoded scenes; consumer workers drain
+// the queue in micro-batches. The queue is the serving runtime's
+// load-shedding point: `try_push` fails fast when the queue is full so
+// the caller can reject with bounded latency instead of queueing
+// unboundedly (the paper's certification argument needs the guard to
+// answer within a deadline, not eventually).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace safenn::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// What happened to a request, per the degradation policy:
+///   kServed   — predicted, shield checked, no clamp needed
+///   kClamped  — predicted, shield intervened (action clamped)
+///   kDegraded — deadline passed before inference; safe fallback returned
+///   kRejected — queue full or runtime stopped; never entered the engine
+enum class ServeOutcome { kServed, kClamped, kDegraded, kRejected };
+
+const char* to_string(ServeOutcome outcome);
+
+struct ServeResponse {
+  std::uint64_t id = 0;
+  ServeOutcome outcome = ServeOutcome::kRejected;
+  linalg::Vector action;        // empty for kRejected
+  bool assumption_hit = false;  // scene inside the monitored region
+  bool intervened = false;      // shield clamped the action
+  double queue_seconds = 0.0;   // enqueue -> dequeue
+  double infer_seconds = 0.0;   // engine time (0 for degraded/rejected)
+};
+
+struct ServeRequest {
+  std::uint64_t id = 0;
+  linalg::Vector scene;
+  Clock::time_point enqueue_time{};
+  Clock::time_point deadline = Clock::time_point::max();  // max() = none
+  std::promise<ServeResponse> promise;
+};
+
+/// Bounded multi-producer multi-consumer FIFO. All operations are
+/// thread-safe; `close()` wakes every waiter and lets consumers drain
+/// what remains before `pop_batch` starts returning 0.
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Non-blocking push; false when the queue is full or closed (the
+  /// caller owns the request again and should reject it).
+  bool try_push(ServeRequest&& request);
+
+  /// Blocking push: waits for space. False only when the queue is (or
+  /// becomes) closed.
+  bool push(ServeRequest&& request);
+
+  /// Blocks until at least one request is available or the queue is
+  /// closed and empty, then moves up to `max_batch` requests into `out`
+  /// (appended) without further waiting — opportunistic micro-batching.
+  /// Returns the number of requests delivered; 0 means closed-and-empty.
+  std::size_t pop_batch(std::vector<ServeRequest>& out,
+                        std::size_t max_batch);
+
+  /// Closes the queue: pushes fail from now on, consumers drain the
+  /// remainder. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<ServeRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace safenn::serve

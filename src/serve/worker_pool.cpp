@@ -1,0 +1,158 @@
+#include "serve/worker_pool.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+
+namespace safenn::serve {
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::uint64_t to_ns(double seconds) {
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+std::uint64_t ns_between(Clock::time_point start, Clock::time_point end) {
+  if (end <= start) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(RequestQueue& queue, const ShieldedEngine& engine,
+                       MetricsRegistry& metrics, WorkerPoolConfig config)
+    : queue_(queue), engine_(engine), metrics_(metrics), config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::start() {
+  if (running()) return;
+  threads_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  log_debug("serve: started ", config_.workers, " workers (max batch ",
+            config_.max_batch, ")");
+}
+
+void WorkerPool::stop() {
+  if (!running()) return;
+  queue_.close();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  log_debug("serve: worker pool stopped after ", metrics_.completed(),
+            " completed requests");
+}
+
+void WorkerPool::worker_loop() {
+  std::vector<ServeRequest> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    batch.clear();
+    const std::size_t n = queue_.pop_batch(batch, config_.max_batch);
+    if (n == 0) return;  // closed and drained
+    metrics_.batches.fetch_add(1, kRelaxed);
+    metrics_.batch_items.fetch_add(n, kRelaxed);
+    const Clock::time_point dequeue_time = Clock::now();
+    for (ServeRequest& request : batch) {
+      ServeResponse response = engine_.serve(request, dequeue_time);
+      response.queue_seconds = static_cast<double>(ns_between(
+                                   request.enqueue_time, dequeue_time)) /
+                               1e9;
+      switch (response.outcome) {
+        case ServeOutcome::kServed:
+          metrics_.served.fetch_add(1, kRelaxed);
+          break;
+        case ServeOutcome::kClamped:
+          metrics_.clamped.fetch_add(1, kRelaxed);
+          break;
+        case ServeOutcome::kDegraded:
+          metrics_.degraded.fetch_add(1, kRelaxed);
+          break;
+        case ServeOutcome::kRejected:
+          metrics_.rejected.fetch_add(1, kRelaxed);
+          break;
+      }
+      if (response.assumption_hit)
+        metrics_.assumption_hits.fetch_add(1, kRelaxed);
+      if (response.intervened) metrics_.interventions.fetch_add(1, kRelaxed);
+      metrics_.queue_latency.record(
+          ns_between(request.enqueue_time, dequeue_time));
+      metrics_.infer_latency.record(to_ns(response.infer_seconds));
+      metrics_.total_latency.record(
+          ns_between(request.enqueue_time, Clock::now()));
+      request.promise.set_value(std::move(response));
+    }
+  }
+}
+
+InferenceServer::InferenceServer(const core::TrainedPredictor& predictor,
+                                 const core::SafetyMonitor& monitor,
+                                 Config config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      engine_(predictor, monitor),
+      pool_(queue_, engine_, metrics_, config.pool) {
+  pool_.start();
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+ServeRequest InferenceServer::make_request(linalg::Vector&& scene) {
+  ServeRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.scene = std::move(scene);
+  request.enqueue_time = Clock::now();
+  if (config_.deadline_seconds > 0.0) {
+    request.deadline =
+        request.enqueue_time +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(config_.deadline_seconds));
+  }
+  return request;
+}
+
+std::future<ServeResponse> InferenceServer::submit(linalg::Vector scene) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  ServeRequest request = make_request(std::move(scene));
+  std::future<ServeResponse> future = request.promise.get_future();
+  // A failed push leaves `request` (and its promise) with us.
+  if (!queue_.try_push(std::move(request))) {
+    fulfil_rejected(request);
+    return future;
+  }
+  metrics_.note_queue_depth(queue_.size());
+  return future;
+}
+
+std::future<ServeResponse> InferenceServer::submit_blocking(
+    linalg::Vector scene) {
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  ServeRequest request = make_request(std::move(scene));
+  std::future<ServeResponse> future = request.promise.get_future();
+  if (!queue_.push(std::move(request))) {
+    fulfil_rejected(request);
+    return future;
+  }
+  metrics_.note_queue_depth(queue_.size());
+  return future;
+}
+
+void InferenceServer::fulfil_rejected(ServeRequest& request) {
+  metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+  ServeResponse response;
+  response.id = request.id;
+  response.outcome = ServeOutcome::kRejected;
+  request.promise.set_value(std::move(response));
+}
+
+void InferenceServer::stop() { pool_.stop(); }
+
+}  // namespace safenn::serve

@@ -1,0 +1,101 @@
+// Worker pool + serving facade.
+//
+// WorkerPool: N threads drain the RequestQueue in micro-batches through
+// the ShieldedEngine, fulfil each request's promise, and account every
+// outcome in the MetricsRegistry. stop() closes the queue, lets workers
+// drain what is already enqueued (no request is ever dropped with a
+// broken promise), then joins.
+//
+// InferenceServer: owns queue + engine + pool + metrics and exposes the
+// client API — submit() load-sheds when the queue is full (kRejected,
+// resolved immediately); submit_blocking() waits for space (replay /
+// benchmark producers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+
+namespace safenn::serve {
+
+struct WorkerPoolConfig {
+  std::size_t workers = 4;
+  std::size_t max_batch = 16;
+};
+
+class WorkerPool {
+ public:
+  WorkerPool(RequestQueue& queue, const ShieldedEngine& engine,
+             MetricsRegistry& metrics, WorkerPoolConfig config);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void start();
+  /// Closes the queue, drains the backlog, joins all workers. Idempotent.
+  void stop();
+  bool running() const { return !threads_.empty(); }
+  std::size_t workers() const { return config_.workers; }
+
+ private:
+  void worker_loop();
+
+  RequestQueue& queue_;
+  const ShieldedEngine& engine_;
+  MetricsRegistry& metrics_;
+  WorkerPoolConfig config_;
+  std::vector<std::thread> threads_;
+};
+
+class InferenceServer {
+ public:
+  struct Config {
+    std::size_t queue_capacity = 1024;
+    WorkerPoolConfig pool;
+    /// Per-request service deadline from submit time; <= 0 means none.
+    double deadline_seconds = 0.0;
+  };
+
+  /// Starts the workers immediately. `predictor` and `monitor` must
+  /// outlive the server; the monitor is shared so its intervention stats
+  /// stay comparable with offline replays.
+  InferenceServer(const core::TrainedPredictor& predictor,
+                  const core::SafetyMonitor& monitor, Config config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Load-shedding submit: when the queue is full (or the server is
+  /// stopped) the returned future resolves immediately with kRejected.
+  std::future<ServeResponse> submit(linalg::Vector scene);
+
+  /// Blocking submit: waits for queue space; rejects only once stopped.
+  std::future<ServeResponse> submit_blocking(linalg::Vector scene);
+
+  /// Stops accepting work, drains the backlog, joins workers. Idempotent.
+  void stop();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const RequestQueue& queue() const { return queue_; }
+
+ private:
+  ServeRequest make_request(linalg::Vector&& scene);
+  void fulfil_rejected(ServeRequest& request);
+
+  Config config_;
+  MetricsRegistry metrics_;
+  RequestQueue queue_;
+  ShieldedEngine engine_;
+  WorkerPool pool_;
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+}  // namespace safenn::serve

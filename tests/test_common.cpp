@@ -215,3 +215,69 @@ TEST(ErrorHelpers, RequireThrowsWithMessage) {
 
 }  // namespace
 }  // namespace safenn
+
+// ---------------------------------------------------------------------------
+// Thread-safe logging (appended suite).
+// ---------------------------------------------------------------------------
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace safenn {
+namespace {
+
+/// Restores level + sink even when an assertion fails mid-test.
+struct LogGuard {
+  LogGuard(LogLevel level, std::ostream* sink) {
+    set_log_level(level);
+    set_log_sink(sink);
+  }
+  ~LogGuard() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+};
+
+TEST(Log, SinkRedirectAndLevelFilter) {
+  std::ostringstream sink;
+  LogGuard guard(LogLevel::kInfo, &sink);
+  log_debug("dropped");
+  log_info("kept ", 42);
+  log_warn("also kept");
+  const std::string text = sink.str();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("[safenn INFO] kept 42"), std::string::npos);
+  EXPECT_NE(text.find("[safenn WARN] also kept"), std::string::npos);
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveLines) {
+  std::ostringstream sink;
+  constexpr int kThreads = 8, kPerThread = 250;
+  {
+    LogGuard guard(LogLevel::kInfo, &sink);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          log_info("thread=", t, " msg=", i, " payload=xxxxxxxxxxxxxxxx");
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  // Every line must be whole: correct prefix, correct suffix, right count.
+  std::istringstream in(sink.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_TRUE(line.rfind("[safenn INFO] thread=", 0) == 0) << line;
+    ASSERT_NE(line.find(" payload=xxxxxxxxxxxxxxxx"), std::string::npos)
+        << line;
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace safenn

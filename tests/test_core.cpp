@@ -411,3 +411,139 @@ TEST(Monitor, SafePredictorNeedsNoInterventions) {
 
 }  // namespace
 }  // namespace safenn::core
+
+// ---------------------------------------------------------------------------
+// Monitor thread-safety + MonitorStats edge cases (appended suite).
+// ---------------------------------------------------------------------------
+#include <thread>
+
+namespace safenn::core {
+namespace {
+
+TEST(MonitorStats, InterventionRateEdgeCases) {
+  MonitorStats s;
+  EXPECT_DOUBLE_EQ(s.intervention_rate(), 0.0);  // no queries: no div-by-0
+  s.queries = 8;
+  EXPECT_DOUBLE_EQ(s.intervention_rate(), 0.0);  // queries, no clamps
+  s.interventions = 2;
+  EXPECT_DOUBLE_EQ(s.intervention_rate(), 0.25);
+  s.interventions = s.queries;
+  EXPECT_DOUBLE_EQ(s.intervention_rate(), 1.0);  // every query clamped
+}
+
+TEST(MonitorStats, ResetClearsEveryCounter) {
+  highway::SceneEncoder encoder;
+  const verify::InputRegion region =
+      highway::make_vehicle_on_left_region(encoder);
+  TrainedPredictor p;
+  p.head = nn::MdnHead(1, highway::kActionDims);
+  nn::Network net;
+  nn::DenseLayer layer(highway::kSceneFeatures, p.head.raw_output_size(),
+                       nn::Activation::kIdentity);
+  layer.biases()[p.head.mean_index(0, highway::kActionLateral)] = 9.0;
+  net.add_layer(std::move(layer));
+  p.network = std::move(net);
+
+  SafetyMonitor monitor(region, 1.0);
+  linalg::Vector in_region(highway::kSceneFeatures);
+  for (std::size_t i = 0; i < in_region.size(); ++i) {
+    in_region[i] = region.box[i].lo;
+  }
+  in_region[encoder.presence_index(highway::NeighborSlot::kLeftFront)] = 1.0;
+  in_region[encoder.gap_index(highway::NeighborSlot::kLeftFront)] = 0.1;
+  monitor.guarded_action(p, in_region);
+  ASSERT_EQ(monitor.stats().queries, 1u);
+  ASSERT_EQ(monitor.stats().interventions, 1u);
+  monitor.reset_stats();
+  EXPECT_EQ(monitor.stats().queries, 0u);
+  EXPECT_EQ(monitor.stats().assumption_hits, 0u);
+  EXPECT_EQ(monitor.stats().interventions, 0u);
+  EXPECT_DOUBLE_EQ(monitor.stats().intervention_rate(), 0.0);
+}
+
+TEST(Monitor, SafeActionRespectsThresholdSign) {
+  highway::SceneEncoder encoder;
+  const verify::InputRegion region =
+      highway::make_vehicle_on_left_region(encoder);
+  SafetyMonitor lenient(region, 1.5);
+  EXPECT_DOUBLE_EQ(lenient.safe_action()[highway::kActionLateral], 0.0);
+  SafetyMonitor strict(region, -0.5);  // threshold forces a right drift
+  EXPECT_DOUBLE_EQ(strict.safe_action()[highway::kActionLateral], -0.5);
+  EXPECT_DOUBLE_EQ(strict.safe_action()[highway::kActionAccel], 0.0);
+}
+
+TEST(Monitor, ConcurrentGuardingCountsExactly) {
+  highway::SceneEncoder encoder;
+  const verify::InputRegion region =
+      highway::make_vehicle_on_left_region(encoder);
+  TrainedPredictor p;
+  p.head = nn::MdnHead(1, highway::kActionDims);
+  nn::Network net;
+  nn::DenseLayer layer(highway::kSceneFeatures, p.head.raw_output_size(),
+                       nn::Activation::kIdentity);
+  layer.biases()[p.head.mean_index(0, highway::kActionLateral)] = 2.0;
+  net.add_layer(std::move(layer));
+  p.network = std::move(net);
+  const SafetyMonitor monitor(region, 1.0);  // const: guard is const now
+
+  // Half the scenes hit the assumption (and clamp, lateral 2.0 > 1.0).
+  linalg::Vector inside(highway::kSceneFeatures);
+  for (std::size_t i = 0; i < inside.size(); ++i) {
+    inside[i] = region.box[i].lo;
+  }
+  inside[encoder.presence_index(highway::NeighborSlot::kLeftFront)] = 1.0;
+  inside[encoder.gap_index(highway::NeighborSlot::kLeftFront)] = 0.1;
+  linalg::Vector outside = inside;
+  outside[encoder.presence_index(highway::NeighborSlot::kLeftFront)] = 0.0;
+
+  constexpr std::size_t kThreads = 4, kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        monitor.guarded_action(p, i % 2 == 0 ? inside : outside);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const MonitorStats s = monitor.stats();
+  EXPECT_EQ(s.queries, kThreads * kPerThread);
+  EXPECT_EQ(s.assumption_hits, kThreads * kPerThread / 2);
+  EXPECT_EQ(s.interventions, kThreads * kPerThread / 2);
+}
+
+TEST_F(PipelineFixture, PredictIsThreadSafeOnSharedConstNetwork) {
+  // Same trained network, concurrent readers: results must be bitwise
+  // identical to a sequential evaluation (forward() is pure/const).
+  const std::size_t n = std::min<std::size_t>(built_->data.size(), 64);
+  std::vector<linalg::Vector> sequential;
+  sequential.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sequential.push_back(predictor_->predict(built_->data.input(i)).mean());
+  }
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<linalg::Vector>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      per_thread[t].reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        per_thread[t].push_back(
+            predictor_->predict(built_->data.input(i)).mean());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(per_thread[t].size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < highway::kActionDims; ++d) {
+        EXPECT_EQ(per_thread[t][i][d], sequential[i][d]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace safenn::core

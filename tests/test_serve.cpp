@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "highway/safety_rules.hpp"
+#include "serve/metrics.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace safenn::serve {
+namespace {
+
+using linalg::Vector;
+
+// -------------------------------------------------------------------------
+// Fixtures: a hand-crafted predictor (identity layer, no training) whose
+// lateral-velocity output depends on the scene, so shield decisions are
+// scene-dependent yet fully deterministic — cheap enough for TSan runs.
+// -------------------------------------------------------------------------
+
+core::TrainedPredictor make_craft_predictor(std::uint64_t seed = 11) {
+  core::TrainedPredictor p;
+  p.head = nn::MdnHead(1, highway::kActionDims);
+  nn::DenseLayer layer(highway::kSceneFeatures, p.head.raw_output_size(),
+                       nn::Activation::kIdentity);
+  Rng rng(seed);
+  const std::size_t lat = p.head.mean_index(0, highway::kActionLateral);
+  layer.biases()[lat] = 1.0;
+  layer.biases()[p.head.mean_index(0, highway::kActionAccel)] = -0.25;
+  for (std::size_t i = 0; i < 16; ++i) {
+    layer.weights().at(lat, i) = rng.uniform(-0.6, 0.6);
+  }
+  nn::Network net;
+  net.add_layer(std::move(layer));
+  p.network = std::move(net);
+  return p;
+}
+
+/// Scenes sampled over the region box; every odd scene is pushed inside
+/// the monitored region (left-front occupied), every even one outside.
+std::vector<Vector> make_scene_set(const highway::SceneEncoder& encoder,
+                                   const verify::InputRegion& region,
+                                   std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> scenes;
+  scenes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector x(highway::kSceneFeatures);
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = rng.uniform(region.box[j].lo, region.box[j].hi);
+    }
+    const std::size_t presence =
+        encoder.presence_index(highway::NeighborSlot::kLeftFront);
+    const std::size_t gap =
+        encoder.gap_index(highway::NeighborSlot::kLeftFront);
+    if (i % 2 == 1) {
+      x[presence] = 1.0;
+      x[gap] = 0.1;
+    } else {
+      x[presence] = 0.0;
+    }
+    scenes.push_back(std::move(x));
+  }
+  return scenes;
+}
+
+ServeRequest make_request(std::uint64_t id, Vector scene,
+                          Clock::time_point deadline =
+                              Clock::time_point::max()) {
+  ServeRequest r;
+  r.id = id;
+  r.scene = std::move(scene);
+  r.enqueue_time = Clock::now();
+  r.deadline = deadline;
+  return r;
+}
+
+// -------------------------------------------------------------------------
+// RequestQueue semantics.
+// -------------------------------------------------------------------------
+
+TEST(RequestQueue, BoundedFifoAndTryPushSheds) {
+  RequestQueue q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_push(make_request(i, Vector(1))));
+  }
+  EXPECT_FALSE(q.try_push(make_request(99, Vector(1))));  // full
+  EXPECT_EQ(q.size(), 4u);
+
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(q.pop_batch(out, 2), 2u);
+  EXPECT_EQ(out[0].id, 0u);
+  EXPECT_EQ(out[1].id, 1u);
+  EXPECT_TRUE(q.try_push(make_request(4, Vector(1))));  // space again
+  out.clear();
+  EXPECT_EQ(q.pop_batch(out, 10), 3u);  // drains what's there, no more
+  EXPECT_EQ(out.back().id, 4u);
+}
+
+TEST(RequestQueue, CloseDrainsBacklogThenReturnsZero) {
+  RequestQueue q(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_push(make_request(i, Vector(1))));
+  }
+  q.close();
+  EXPECT_FALSE(q.try_push(make_request(9, Vector(1))));
+  EXPECT_FALSE(q.push(make_request(9, Vector(1))));
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(q.pop_batch(out, 3), 3u);
+  EXPECT_EQ(q.pop_batch(out, 3), 2u);
+  EXPECT_EQ(q.pop_batch(out, 3), 0u);  // closed and empty: no block
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(RequestQueue, BatchFormationRespectsMaxBatch) {
+  RequestQueue q(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_push(make_request(i, Vector(1))));
+  }
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  EXPECT_EQ(q.pop_batch(out, 4), 2u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].id, i);
+}
+
+TEST(RequestQueue, ContendedMpmcDeliversEveryRequestOnce) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::size_t kPerProducer = 500;
+  RequestQueue q(32);
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(
+            q.push(make_request(p * kPerProducer + i, Vector(1))));
+      }
+    });
+  }
+
+  std::mutex seen_mu;
+  std::set<std::uint64_t> seen;
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<ServeRequest> batch;
+      for (;;) {
+        batch.clear();
+        if (q.pop_batch(batch, 7) == 0) return;
+        std::lock_guard<std::mutex> lock(seen_mu);
+        for (const ServeRequest& r : batch) {
+          EXPECT_TRUE(seen.insert(r.id).second) << "duplicate id " << r.id;
+        }
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+}
+
+// -------------------------------------------------------------------------
+// ShieldedEngine outcomes and degradation.
+// -------------------------------------------------------------------------
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture()
+      : region_(highway::make_vehicle_on_left_region(encoder_)),
+        predictor_(make_craft_predictor()),
+        monitor_(region_, 1.0) {}
+
+  highway::SceneEncoder encoder_;
+  verify::InputRegion region_;
+  core::TrainedPredictor predictor_;
+  core::SafetyMonitor monitor_;
+};
+
+TEST_F(EngineFixture, ServesClampsAndDegrades) {
+  ShieldedEngine engine(predictor_, monitor_);
+  const auto scenes = make_scene_set(encoder_, region_, 2, 3);
+
+  // Outside the region: served untouched regardless of lateral value.
+  ServeRequest outside = make_request(0, scenes[0]);
+  ServeResponse r0 = engine.serve(outside, Clock::now());
+  EXPECT_EQ(r0.outcome, ServeOutcome::kServed);
+  EXPECT_FALSE(r0.assumption_hit);
+  EXPECT_FALSE(r0.intervened);
+
+  // Inside the region with lateral forced high: clamped to threshold.
+  Vector hot = scenes[1];
+  // Zero the weighted dims so lateral == bias (1.0); raise the bias via a
+  // dedicated predictor instead: simpler — craft a predictor variant.
+  core::TrainedPredictor loud = make_craft_predictor();
+  loud.network.layer(0).biases()[loud.head.mean_index(
+      0, highway::kActionLateral)] = 5.0;
+  core::SafetyMonitor hot_monitor(region_, 1.0);
+  ShieldedEngine hot_engine(loud, hot_monitor);
+  ServeRequest inside = make_request(1, hot);
+  ServeResponse r1 = hot_engine.serve(inside, Clock::now());
+  EXPECT_EQ(r1.outcome, ServeOutcome::kClamped);
+  EXPECT_TRUE(r1.assumption_hit);
+  EXPECT_TRUE(r1.intervened);
+  EXPECT_NEAR(r1.action[highway::kActionLateral], 1.0, 1e-9);
+
+  // Expired deadline: degraded to the safe action, no inference.
+  ServeRequest late = make_request(2, scenes[1],
+                                   Clock::now() - std::chrono::seconds(1));
+  const core::MonitorStats before = hot_monitor.stats();
+  ServeResponse r2 = hot_engine.serve(late, Clock::now());
+  EXPECT_EQ(r2.outcome, ServeOutcome::kDegraded);
+  EXPECT_EQ(r2.infer_seconds, 0.0);
+  EXPECT_EQ(hot_monitor.stats().queries, before.queries);  // untouched
+  const Vector safe = hot_monitor.safe_action();
+  EXPECT_EQ(r2.action[highway::kActionLateral],
+            safe[highway::kActionLateral]);
+}
+
+// -------------------------------------------------------------------------
+// InferenceServer end to end.
+// -------------------------------------------------------------------------
+
+TEST_F(EngineFixture, ServerRejectsWhenQueueFullAndNoWorkersDrain) {
+  // One slot, one worker, but the worker is starved by submitting faster
+  // than it can possibly drain is racy — instead verify rejection by
+  // stopping the server first: every submit must reject immediately.
+  InferenceServer::Config cfg;
+  cfg.queue_capacity = 1;
+  cfg.pool.workers = 1;
+  InferenceServer server(predictor_, monitor_, cfg);
+  server.stop();
+  auto f = server.submit(Vector(highway::kSceneFeatures));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_EQ(f.get().outcome, ServeOutcome::kRejected);
+  EXPECT_EQ(server.metrics().rejected.load(), 1u);
+}
+
+TEST_F(EngineFixture, ServerStopFulfilsEveryPendingRequest) {
+  InferenceServer::Config cfg;
+  cfg.queue_capacity = 4096;
+  cfg.pool.workers = 3;
+  cfg.pool.max_batch = 8;
+  InferenceServer server(predictor_, monitor_, cfg);
+  const auto scenes = make_scene_set(encoder_, region_, 400, 17);
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(scenes.size());
+  for (const Vector& s : scenes) futures.push_back(server.submit(s));
+  server.stop();
+  std::size_t resolved = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    const ServeResponse r = f.get();
+    EXPECT_NE(r.outcome, ServeOutcome::kRejected);
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, scenes.size());
+  EXPECT_EQ(server.metrics().completed(), scenes.size());
+}
+
+TEST_F(EngineFixture, ExpiredDeadlinesDegradeUnderLoad) {
+  InferenceServer::Config cfg;
+  cfg.queue_capacity = 512;
+  cfg.pool.workers = 2;
+  cfg.deadline_seconds = 1e-9;  // effectively already expired
+  InferenceServer server(predictor_, monitor_, cfg);
+  const auto scenes = make_scene_set(encoder_, region_, 64, 29);
+  std::vector<std::future<ServeResponse>> futures;
+  for (const Vector& s : scenes) futures.push_back(server.submit_blocking(s));
+  const Vector safe = monitor_.safe_action();
+  std::size_t degraded = 0;
+  for (auto& f : futures) {
+    const ServeResponse r = f.get();
+    if (r.outcome == ServeOutcome::kDegraded) {
+      ++degraded;
+      EXPECT_EQ(r.action[highway::kActionLateral],
+                safe[highway::kActionLateral]);
+    }
+  }
+  // With a 1ns deadline essentially everything must degrade.
+  EXPECT_GT(degraded, scenes.size() / 2);
+  EXPECT_EQ(server.metrics().degraded.load(), degraded);
+}
+
+// -------------------------------------------------------------------------
+// Determinism of the shield: concurrent intervention accounting must
+// match a sequential replay of the same scene set exactly.
+// -------------------------------------------------------------------------
+
+TEST_F(EngineFixture, ConcurrentInterventionsMatchSequentialReplay) {
+  const auto scenes = make_scene_set(encoder_, region_, 1200, 41);
+
+  // Sequential ground truth.
+  core::SafetyMonitor sequential(region_, 1.0);
+  std::size_t seq_interventions = 0;
+  for (const Vector& s : scenes) {
+    if (sequential.guard(predictor_, s).intervened) ++seq_interventions;
+  }
+  ASSERT_GT(sequential.stats().assumption_hits, 0u);
+  EXPECT_EQ(sequential.stats().interventions, seq_interventions);
+
+  // Concurrent replay through the full runtime, twice to shake schedules.
+  for (int round = 0; round < 2; ++round) {
+    core::SafetyMonitor concurrent(region_, 1.0);
+    InferenceServer::Config cfg;
+    cfg.queue_capacity = 256;
+    cfg.pool.workers = 4;
+    cfg.pool.max_batch = 16;
+    InferenceServer server(predictor_, concurrent, cfg);
+    std::vector<std::future<ServeResponse>> futures;
+    futures.reserve(scenes.size());
+    for (const Vector& s : scenes) {
+      futures.push_back(server.submit_blocking(s));
+    }
+    for (auto& f : futures) f.wait();
+    server.stop();
+
+    EXPECT_EQ(server.metrics().interventions.load(), seq_interventions);
+    EXPECT_EQ(server.metrics().assumption_hits.load(),
+              sequential.stats().assumption_hits);
+    EXPECT_EQ(concurrent.stats().interventions, seq_interventions);
+    EXPECT_EQ(server.metrics().completed(), scenes.size());
+  }
+}
+
+// -------------------------------------------------------------------------
+// Metrics.
+// -------------------------------------------------------------------------
+
+TEST(Metrics, HistogramPercentilesBracketSamples) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(0.5), 0.0);
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i * 1000);  // 1us..1ms
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.percentile_ns(0.50);
+  const double p95 = h.percentile_ns(0.95);
+  const double p99 = h.percentile_ns(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Bucket upper bounds over-approximate by at most 2x.
+  EXPECT_GE(p50, 500.0 * 1000);
+  EXPECT_LE(p50, 2.0 * 500.0 * 1000);
+  EXPECT_GE(p99, 990.0 * 1000 / 2);
+  EXPECT_NEAR(h.mean_ns(), 500.5 * 1000, 1000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, JsonDumpContainsEverySection) {
+  MetricsRegistry m;
+  m.submitted.store(10);
+  m.served.store(7);
+  m.clamped.store(2);
+  m.degraded.store(1);
+  m.interventions.store(2);
+  m.batches.store(5);
+  m.batch_items.store(10);
+  m.total_latency.record(1500000);
+  const std::string json = m.to_json(2.0);
+  for (const char* key :
+       {"\"requests\"", "\"shield\"", "\"batching\"", "\"latency\"",
+        "\"queue\"", "\"infer\"", "\"total\"", "\"p99_ms\"",
+        "\"throughput_rps\"", "\"interventions\": 2",
+        "\"mean_batch_size\": 2"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_DOUBLE_EQ(m.mean_batch_size(), 2.0);
+  EXPECT_EQ(m.completed(), 10u);
+  m.note_queue_depth(3);
+  m.note_queue_depth(2);
+  EXPECT_EQ(m.queue_depth_peak.load(), 3u);
+  m.reset();
+  EXPECT_EQ(m.submitted.load(), 0u);
+  EXPECT_EQ(m.total_latency.count(), 0u);
+}
+
+}  // namespace
+}  // namespace safenn::serve
