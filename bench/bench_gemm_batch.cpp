@@ -1,0 +1,370 @@
+// Batched GEMM kernels vs the per-sample path, end to end: forward
+// inference throughput, training gradient computation, and shielded
+// serve replay. Reports JSON (stdout + SAFENN_GEMM_JSON file, default
+// BENCH_gemm.json).
+//
+// The exit code reflects EQUIVALENCE, not speed: batched forward must be
+// bitwise identical to per-sample forward, batched gradients must match
+// the per-sample accumulation, and the batched guard replay must produce
+// the exact sequential intervention total. Speedups are reported for the
+// acceptance criterion (>= 3x batched forward at batch 32) but never
+// fail the run — they are hardware-dependent.
+//
+// Env knobs: SAFENN_GEMM_SCENES (default 8000), SAFENN_GEMM_WIDTH
+// (hidden width, default 32), SAFENN_GEMM_JSON. `--smoke` shrinks the
+// replay so CI can run the equivalence checks in seconds.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "core/monitor.hpp"
+#include "highway/safety_rules.hpp"
+
+using namespace safenn;
+
+namespace {
+
+struct ForwardPoint {
+  std::size_t batch = 0;
+  double per_sample_sps = 0.0;
+  double batched_sps = 0.0;
+  double speedup = 0.0;
+  bool bitwise = true;
+};
+
+std::vector<linalg::Vector> replay_scenes(const data::Dataset& data,
+                                          std::size_t count) {
+  std::vector<linalg::Vector> scenes;
+  scenes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scenes.push_back(data.input(i % data.size()));
+  }
+  return scenes;
+}
+
+/// Per-sample vs batched forward over the whole replay at one batch size.
+ForwardPoint run_forward_point(const nn::Network& net,
+                               const std::vector<linalg::Vector>& scenes,
+                               std::size_t batch) {
+  ForwardPoint point;
+  point.batch = batch;
+  const std::size_t in_dim = net.input_size();
+  const std::size_t out_dim = net.output_size();
+
+  // Per-sample baseline: one matvec chain per scene.
+  std::vector<linalg::Vector> reference;
+  reference.reserve(scenes.size());
+  Stopwatch per_sample_clock;
+  for (const linalg::Vector& scene : scenes) {
+    reference.push_back(net.forward(scene));
+  }
+  const double per_sample_seconds = per_sample_clock.seconds();
+
+  // Equivalence pass (untimed): every batched output row must be bitwise
+  // identical to the per-sample forward.
+  linalg::Matrix chunk;
+  for (std::size_t start = 0; start < scenes.size(); start += batch) {
+    const std::size_t rows = std::min(batch, scenes.size() - start);
+    chunk.resize(rows, in_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const linalg::Vector& s = scenes[start + r];
+      std::copy(s.data(), s.data() + in_dim, chunk.data() + r * in_dim);
+    }
+    const linalg::Matrix out = net.forward_batch(chunk);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const linalg::Vector& ref = reference[start + r];
+      for (std::size_t c = 0; c < out_dim; ++c) {
+        if (out.data()[r * out_dim + c] != ref[c]) point.bitwise = false;
+      }
+    }
+  }
+
+  // Timing pass: packing is timed too — it is part of the real serving
+  // cost of assembling a micro-batch.
+  Stopwatch batched_clock;
+  for (std::size_t start = 0; start < scenes.size(); start += batch) {
+    const std::size_t rows = std::min(batch, scenes.size() - start);
+    chunk.resize(rows, in_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const linalg::Vector& s = scenes[start + r];
+      std::copy(s.data(), s.data() + in_dim, chunk.data() + r * in_dim);
+    }
+    const linalg::Matrix out = net.forward_batch(chunk);
+    if (out.rows() != rows) point.bitwise = false;  // keep `out` observable
+  }
+  const double clean_seconds = batched_clock.seconds();
+
+  point.per_sample_sps =
+      static_cast<double>(scenes.size()) / per_sample_seconds;
+  point.batched_sps = static_cast<double>(scenes.size()) / clean_seconds;
+  point.speedup = point.batched_sps / point.per_sample_sps;
+  return point;
+}
+
+struct TrainingResult {
+  double per_sample_grad_seconds = 0.0;
+  double batched_grad_seconds = 0.0;
+  double speedup = 0.0;
+  double max_abs_grad_diff = 0.0;
+  bool grads_match = true;
+  double trainer_epoch_seconds = 0.0;
+};
+
+double max_abs_diff(const nn::Gradients& a, const nn::Gradients& b) {
+  double m = 0.0;
+  for (std::size_t li = 0; li < a.weight_grads.size(); ++li) {
+    const linalg::Matrix& wa = a.weight_grads[li];
+    const linalg::Matrix& wb = b.weight_grads[li];
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      m = std::max(m, std::abs(wa.data()[i] - wb.data()[i]));
+    }
+    const linalg::Vector& ba = a.bias_grads[li];
+    const linalg::Vector& bb = b.bias_grads[li];
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      m = std::max(m, std::abs(ba[i] - bb[i]));
+    }
+  }
+  return m;
+}
+
+/// One epoch of gradient computation (no parameter updates), per-sample
+/// vs batched, over identical batches — plus a real Trainer epoch time.
+TrainingResult run_training(const core::TrainedPredictor& predictor,
+                            const data::Dataset& data,
+                            std::size_t batch_size, std::size_t width) {
+  TrainingResult result;
+  const nn::Network& net = predictor.network;
+  nn::MdnLoss loss(predictor.head);
+  const std::size_t out_dim = net.output_size();
+  const std::size_t in_dim = net.input_size();
+  const std::size_t n = data.size();
+
+  // Per-sample gradient pass: trace + backward_into per sample.
+  nn::Gradients per_sample_grads = net.zero_gradients();
+  nn::Gradients per_sample_batch = net.zero_gradients();
+  Stopwatch per_sample_clock;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    per_sample_batch.zero();
+    for (std::size_t i = start; i < end; ++i) {
+      const nn::ForwardTrace trace = net.forward_trace(data.input(i));
+      linalg::Vector out_grad;
+      loss.value_and_grad(trace.post_activations.back(), data.target(i),
+                          out_grad);
+      net.backward_into(trace, out_grad, per_sample_batch);
+    }
+    per_sample_grads.add_scaled(1.0, per_sample_batch);
+  }
+  result.per_sample_grad_seconds = per_sample_clock.seconds();
+
+  // Batched gradient pass over the same batches.
+  nn::Gradients batched_grads = net.zero_gradients();
+  nn::Gradients batched_batch = net.zero_gradients();
+  linalg::Matrix batch_x, out_grads;
+  nn::BatchTrace trace;
+  linalg::Vector sample_out(out_dim);
+  Stopwatch batched_clock;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    const std::size_t rows = end - start;
+    batch_x.resize(rows, in_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const linalg::Vector& x = data.input(start + r);
+      std::copy(x.data(), x.data() + in_dim, batch_x.data() + r * in_dim);
+    }
+    predictor.network.forward_trace_batch(batch_x, trace);
+    const linalg::Matrix& outputs = trace.post_activations.back();
+    out_grads.resize(rows, out_dim);
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy(outputs.data() + r * out_dim,
+                outputs.data() + (r + 1) * out_dim, sample_out.data());
+      linalg::Vector out_grad;
+      loss.value_and_grad(sample_out, data.target(start + r), out_grad);
+      std::copy(out_grad.data(), out_grad.data() + out_dim,
+                out_grads.data() + r * out_dim);
+    }
+    batched_batch.zero();
+    net.backward_batch(trace, out_grads, batched_batch);
+    batched_grads.add_scaled(1.0, batched_batch);
+  }
+  result.batched_grad_seconds = batched_clock.seconds();
+
+  result.max_abs_grad_diff = max_abs_diff(per_sample_grads, batched_grads);
+  result.grads_match = result.max_abs_grad_diff <= 1e-12;
+  result.speedup =
+      result.per_sample_grad_seconds / result.batched_grad_seconds;
+
+  // A real (batched) Trainer epoch on a fresh copy of the topology, for
+  // the headline "training epoch" number.
+  {
+    core::PredictorConfig cfg;
+    cfg.hidden_width = width;
+    cfg.train.epochs = 1;
+    cfg.weight_seed = 40 + width;
+    Stopwatch epoch_clock;
+    core::train_motion_predictor(data, cfg);
+    result.trainer_epoch_seconds = epoch_clock.seconds();
+  }
+  return result;
+}
+
+struct ServeResult {
+  std::size_t scenes = 0;
+  double sequential_rps = 0.0;
+  double batched_rps = 0.0;
+  double speedup = 0.0;
+  std::size_t sequential_interventions = 0;
+  std::size_t batched_interventions = 0;
+  bool interventions_match = true;
+};
+
+/// Sequential guard() replay vs guard_batch() in chunks of 32 on
+/// separate monitors; the intervention totals must be identical.
+ServeResult run_serve_replay(const core::TrainedPredictor& predictor,
+                             const verify::InputRegion& region,
+                             const std::vector<linalg::Vector>& scenes,
+                             double threshold) {
+  ServeResult result;
+  result.scenes = scenes.size();
+
+  core::SafetyMonitor sequential(region, threshold);
+  Stopwatch seq_clock;
+  for (const linalg::Vector& scene : scenes) {
+    sequential.guard(predictor, scene);
+  }
+  const double seq_seconds = seq_clock.seconds();
+
+  core::SafetyMonitor batched(region, threshold);
+  std::vector<linalg::Vector> chunk;
+  Stopwatch batch_clock;
+  for (std::size_t start = 0; start < scenes.size(); start += 32) {
+    const std::size_t end = std::min(scenes.size(), start + 32);
+    chunk.assign(scenes.begin() + static_cast<std::ptrdiff_t>(start),
+                 scenes.begin() + static_cast<std::ptrdiff_t>(end));
+    batched.guard_batch(predictor, chunk);
+  }
+  const double batch_seconds = batch_clock.seconds();
+
+  result.sequential_rps = static_cast<double>(scenes.size()) / seq_seconds;
+  result.batched_rps = static_cast<double>(scenes.size()) / batch_seconds;
+  result.speedup = result.batched_rps / result.sequential_rps;
+  result.sequential_interventions = sequential.stats().interventions;
+  result.batched_interventions = batched.stats().interventions;
+  result.interventions_match =
+      result.sequential_interventions == result.batched_interventions &&
+      sequential.stats().queries == batched.stats().queries &&
+      sequential.stats().assumption_hits == batched.stats().assumption_hits;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto n_scenes = static_cast<std::size_t>(
+      bench::env_long("SAFENN_GEMM_SCENES", smoke ? 512 : 8000));
+  const auto width = static_cast<std::size_t>(
+      bench::env_long("SAFENN_GEMM_WIDTH", 32));
+
+  std::printf("# batched GEMM bench%s: %zu scenes, I4x%zu predictor\n",
+              smoke ? " (smoke)" : "", n_scenes, width);
+
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const core::TrainedPredictor predictor =
+      bench::train_predictor(built.data, width, smoke ? 2 : 6);
+  const std::vector<linalg::Vector> scenes =
+      replay_scenes(built.data, n_scenes);
+
+  // --- Forward: per-sample vs batched at batch sizes 1, 8, 32. ---
+  std::vector<ForwardPoint> forward_points;
+  bool forward_bitwise = true;
+  for (const std::size_t b : {std::size_t{1}, std::size_t{8},
+                              std::size_t{32}}) {
+    ForwardPoint p = run_forward_point(predictor.network, scenes, b);
+    forward_bitwise = forward_bitwise && p.bitwise;
+    std::printf("forward batch=%2zu  per-sample %8.0f sps  batched %8.0f "
+                "sps  speedup %.2fx  (%s)\n",
+                p.batch, p.per_sample_sps, p.batched_sps, p.speedup,
+                p.bitwise ? "bitwise" : "MISMATCH");
+    forward_points.push_back(p);
+  }
+
+  // --- Training: gradient epoch per-sample vs batched. ---
+  const TrainingResult training =
+      run_training(predictor, built.data, 64, width);
+  std::printf("training grads  per-sample %.3fs  batched %.3fs  speedup "
+              "%.2fx  max|diff| %.2e (%s)  trainer epoch %.3fs\n",
+              training.per_sample_grad_seconds,
+              training.batched_grad_seconds, training.speedup,
+              training.max_abs_grad_diff,
+              training.grads_match ? "match" : "MISMATCH",
+              training.trainer_epoch_seconds);
+
+  // --- Serve replay: sequential guard vs guard_batch in chunks of 32. ---
+  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built.data, encoder));
+  const double threshold = bench::env_double("SAFENN_SERVE_THRESHOLD", -0.05);
+  const ServeResult serve =
+      run_serve_replay(predictor, region, scenes, threshold);
+  std::printf("serve replay    sequential %8.0f rps  batched %8.0f rps  "
+              "speedup %.2fx  interventions %zu vs %zu (%s)\n",
+              serve.sequential_rps, serve.batched_rps, serve.speedup,
+              serve.sequential_interventions, serve.batched_interventions,
+              serve.interventions_match ? "match" : "MISMATCH");
+
+  const bool equivalent =
+      forward_bitwise && training.grads_match && serve.interventions_match;
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"gemm_batch\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"scenes\": " << n_scenes << ",\n"
+       << "  \"hidden_width\": " << width << ",\n"
+       << "  \"forward\": [\n";
+  for (std::size_t i = 0; i < forward_points.size(); ++i) {
+    const ForwardPoint& p = forward_points[i];
+    json << "    {\"batch\": " << p.batch
+         << ", \"per_sample_sps\": " << p.per_sample_sps
+         << ", \"batched_sps\": " << p.batched_sps
+         << ", \"speedup\": " << p.speedup
+         << ", \"bitwise\": " << (p.bitwise ? "true" : "false") << "}"
+         << (i + 1 < forward_points.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"training\": {"
+       << "\"per_sample_grad_seconds\": " << training.per_sample_grad_seconds
+       << ", \"batched_grad_seconds\": " << training.batched_grad_seconds
+       << ", \"speedup\": " << training.speedup
+       << ", \"max_abs_grad_diff\": " << training.max_abs_grad_diff
+       << ", \"grads_match\": " << (training.grads_match ? "true" : "false")
+       << ", \"trainer_epoch_seconds\": " << training.trainer_epoch_seconds
+       << "},\n  \"serve_replay\": {"
+       << "\"scenes\": " << serve.scenes
+       << ", \"sequential_rps\": " << serve.sequential_rps
+       << ", \"batched_rps\": " << serve.batched_rps
+       << ", \"speedup\": " << serve.speedup
+       << ", \"sequential_interventions\": " << serve.sequential_interventions
+       << ", \"batched_interventions\": " << serve.batched_interventions
+       << ", \"interventions_match\": "
+       << (serve.interventions_match ? "true" : "false")
+       << "},\n  \"equivalent\": " << (equivalent ? "true" : "false")
+       << "\n}\n";
+
+  const char* out_path = std::getenv("SAFENN_GEMM_JSON");
+  const std::string path =
+      out_path && *out_path ? out_path : "BENCH_gemm.json";
+  std::ofstream(path) << json.str();
+  std::printf("\n%s", json.str().c_str());
+  std::printf("# wrote %s\n", path.c_str());
+  return equivalent ? 0 : 1;
+}

@@ -48,6 +48,43 @@ void BM_NetworkBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkBackward)->Arg(10)->Arg(60);
 
+void BM_NetworkForwardBatch(benchmark::State& state) {
+  const nn::Network net = make_net(32);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  linalg::Matrix x(batch, 84);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.uniform(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward_batch(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_NetworkForwardBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_MatvecTransposed(benchmark::State& state) {
+  // Probes the zero-skip branch kept in Matrix::matvec_transposed: the
+  // argument is the percentage of zero entries in x (backprop deltas
+  // behind ReLU are roughly half zeros). If the 0%-zeros case were
+  // faster without the branch, the skip should be removed like in the
+  // other kernels; measured on this shape the 50/90% rows win big and
+  // the dense row is within noise, so the branch stays.
+  const std::size_t n = 64;
+  Rng rng(11);
+  linalg::Matrix w(n, n);
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = rng.normal();
+  linalg::Vector x(n);
+  for (auto& v : x) {
+    v = rng.uniform(0, 100) < static_cast<double>(state.range(0))
+            ? 0.0
+            : rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.matvec_transposed(x));
+  }
+}
+BENCHMARK(BM_MatvecTransposed)->Arg(0)->Arg(50)->Arg(90);
+
 void BM_MdnNll(benchmark::State& state) {
   const nn::MdnHead head(3, 2);
   Rng rng(4);

@@ -12,9 +12,14 @@ SafetyMonitor::SafetyMonitor(verify::InputRegion region,
 
 GuardDecision SafetyMonitor::guard(const TrainedPredictor& predictor,
                                    const linalg::Vector& scene) const {
+  return guard_action(scene, predictor.predict(scene).mean());
+}
+
+GuardDecision SafetyMonitor::guard_action(const linalg::Vector& scene,
+                                          linalg::Vector action) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   GuardDecision decision;
-  decision.action = predictor.predict(scene).mean();
+  decision.action = std::move(action);
   if (!region_.contains(scene)) return decision;
   decision.assumption_hit = true;
   assumption_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -24,6 +29,20 @@ GuardDecision SafetyMonitor::guard(const TrainedPredictor& predictor,
     decision.intervened = true;
   }
   return decision;
+}
+
+std::vector<GuardDecision> SafetyMonitor::guard_batch(
+    const TrainedPredictor& predictor,
+    const std::vector<linalg::Vector>& scenes) const {
+  std::vector<GuardDecision> decisions;
+  decisions.reserve(scenes.size());
+  if (scenes.empty()) return decisions;
+  const std::vector<nn::GaussianMixture> mixtures =
+      predictor.predict_batch(scenes);
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    decisions.push_back(guard_action(scenes[i], mixtures[i].mean()));
+  }
+  return decisions;
 }
 
 linalg::Vector SafetyMonitor::guarded_action(const TrainedPredictor& predictor,

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "verify/property.hpp"
@@ -56,6 +57,20 @@ class SafetyMonitor {
   /// may be called concurrently on a shared monitor and predictor.
   GuardDecision guard(const TrainedPredictor& predictor,
                       const linalg::Vector& scene) const;
+
+  /// Applies the shield to an action already predicted for `scene`
+  /// (counters update exactly as in guard()). This is the per-row guard
+  /// of the batched serving path: predictions may be computed as one
+  /// batched forward, but every certification decision stays per scene.
+  GuardDecision guard_action(const linalg::Vector& scene,
+                             linalg::Vector action) const;
+
+  /// Shielded batch prediction: one batched forward over all scenes,
+  /// then the per-row guard in order — decision-for-decision and
+  /// counter-for-counter identical to calling guard() per scene.
+  std::vector<GuardDecision> guard_batch(
+      const TrainedPredictor& predictor,
+      const std::vector<linalg::Vector>& scenes) const;
 
   /// Returns the (possibly clamped) mean action for the scene.
   linalg::Vector guarded_action(const TrainedPredictor& predictor,

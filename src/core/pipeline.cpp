@@ -12,6 +12,36 @@ nn::GaussianMixture TrainedPredictor::predict(
   return head.parse(network.forward(scene));
 }
 
+std::vector<nn::GaussianMixture> TrainedPredictor::predict_batch(
+    const linalg::Matrix& scenes) const {
+  const linalg::Matrix raw = network.forward_batch(scenes);
+  std::vector<nn::GaussianMixture> out;
+  out.reserve(raw.rows());
+  linalg::Vector row(raw.cols());
+  for (std::size_t r = 0; r < raw.rows(); ++r) {
+    std::copy(raw.data() + r * raw.cols(), raw.data() + (r + 1) * raw.cols(),
+              row.data());
+    out.push_back(head.parse(row));
+  }
+  return out;
+}
+
+std::vector<nn::GaussianMixture> TrainedPredictor::predict_batch(
+    const std::vector<linalg::Vector>& scenes) const {
+  return predict_batch(pack_scenes(scenes));
+}
+
+linalg::Matrix pack_scenes(const std::vector<linalg::Vector>& scenes) {
+  require(!scenes.empty(), "pack_scenes: empty scene batch");
+  linalg::Matrix packed(scenes.size(), scenes.front().size());
+  for (std::size_t r = 0; r < scenes.size(); ++r) {
+    const linalg::Vector& s = scenes[r];
+    require(s.size() == packed.cols(), "pack_scenes: ragged scene widths");
+    std::copy(s.data(), s.data() + s.size(), packed.data() + r * packed.cols());
+  }
+  return packed;
+}
+
 TrainedPredictor train_motion_predictor(const data::Dataset& data,
                                         const PredictorConfig& config) {
   require(!data.empty(), "train_motion_predictor: empty dataset");

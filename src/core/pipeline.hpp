@@ -38,7 +38,18 @@ struct TrainedPredictor {
 
   /// Predicted action distribution for an encoded scene.
   nn::GaussianMixture predict(const linalg::Vector& scene) const;
+
+  /// Batched prediction, one scene per row: every layer is one GEMM
+  /// instead of B matvecs. Row i of the result is bitwise identical to
+  /// predict() on row i.
+  std::vector<nn::GaussianMixture> predict_batch(
+      const linalg::Matrix& scenes) const;
+  std::vector<nn::GaussianMixture> predict_batch(
+      const std::vector<linalg::Vector>& scenes) const;
 };
+
+/// Packs scenes into the batch-as-rows matrix convention.
+linalg::Matrix pack_scenes(const std::vector<linalg::Vector>& scenes);
 
 /// Trains an I4xN predictor on (scene, action) data with the MDN loss.
 TrainedPredictor train_motion_predictor(const data::Dataset& data,

@@ -6,6 +6,88 @@
 #include "common/error.hpp"
 
 namespace safenn::linalg {
+namespace {
+
+// GEMM micro-kernels. All three accumulate each output entry over the
+// contraction index in ascending order — the same order (and therefore
+// the same floating-point rounding) as the per-sample matvec/add_outer
+// path, which is what lets the batched nn path match per-sample results
+// bit for bit.
+
+// K-panel height: a kKc x n panel of B stays cache-resident while a
+// block of A rows streams through it.
+constexpr std::size_t kKc = 64;
+// Register tile width for the NT kernel: kJr rows of B share one pass
+// over a row of A, each with its own independent accumulator chain.
+constexpr std::size_t kJr = 4;
+
+/// c (m x n) += a (m x k) * b (k x n), row-major raw pointers.
+void accumulate_nn(double* c, const double* a, const double* b,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t kk = 0; kk < k; kk += kKc) {
+    const std::size_t k_end = std::min(k, kk + kKc);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n;
+      for (std::size_t p = kk; p < k_end; ++p) {
+        const double ap = arow[p];
+        const double* brow = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += ap * brow[j];
+      }
+    }
+  }
+}
+
+/// c (m x n) += s * a (m x k) * b^T, where b is (n x k): row-dot-row.
+void accumulate_nt(double* c, const double* a, const double* b, double s,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + kJr <= n; j += kJr) {
+      const double* b0 = b + j * k;
+      const double* b1 = b0 + k;
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      crow[j] += s * s0;
+      crow[j + 1] += s * s1;
+      crow[j + 2] += s * s2;
+      crow[j + 3] += s * s3;
+    }
+    for (; j < n; ++j) {
+      const double* brow = b + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += s * acc;
+    }
+  }
+}
+
+/// c (m x n) += s * a^T * b, where a is (k x m) and b is (k x n): a
+/// sequence of rank-1 updates in ascending p order.
+void accumulate_tn(double* c, const double* a, const double* b, double s,
+                   std::size_t k, std::size_t m, std::size_t n) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * m;
+    const double* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double sa = s * arow[i];
+      double* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += sa * brow[j];
+    }
+  }
+}
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -48,10 +130,21 @@ Vector Matrix::matvec_transposed(const Vector& x) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = &data_[r * cols_];
     const double xr = x[r];
+    // The zero-skip stays in this kernel alone: x is a backprop delta,
+    // which behind a ReLU layer is ~half zeros, and skipping a whole row
+    // wins there (BM_MatvecTransposed in bench_micro measures this).
+    // Adding 0.0 * row[c] is exact, so skipping never changes the result
+    // for finite inputs.
     if (xr == 0.0) continue;
     for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
   }
   return y;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 Matrix Matrix::transposed() const {
@@ -62,17 +155,44 @@ Matrix Matrix::transposed() const {
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
-  require(cols_ == rhs.rows_, "Matrix*: dimension mismatch");
-  Matrix out(rows_, rhs.cols_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(r, k);
-      if (a == 0.0) continue;
-      for (std::size_t c = 0; c < rhs.cols_; ++c)
-        out(r, c) += a * rhs(k, c);
-    }
-  }
+  return gemm(*this, rhs);
+}
+
+Matrix Matrix::gemm(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  gemm_into(a, b, out);
   return out;
+}
+
+void Matrix::gemm_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.cols_ == b.rows_, "Matrix::gemm: dimension mismatch");
+  out.resize(a.rows_, b.cols_);
+  out.fill(0.0);
+  accumulate_nn(out.data(), a.data(), b.data(), a.rows_, a.cols_, b.cols_);
+}
+
+void Matrix::gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  require(a.cols_ == b.cols_, "Matrix::gemm_nt: dimension mismatch");
+  out.resize(a.rows_, b.rows_);
+  out.fill(0.0);
+  accumulate_nt(out.data(), a.data(), b.data(), 1.0, a.rows_, a.cols_,
+                b.rows_);
+}
+
+Matrix& Matrix::add_gemm_nt(double s, const Matrix& a, const Matrix& b) {
+  require(a.cols_ == b.cols_, "Matrix::add_gemm_nt: inner dimension mismatch");
+  require(rows_ == a.rows_ && cols_ == b.rows_,
+          "Matrix::add_gemm_nt: output shape mismatch");
+  accumulate_nt(data(), a.data(), b.data(), s, a.rows_, a.cols_, b.rows_);
+  return *this;
+}
+
+Matrix& Matrix::add_gemm_tn(double s, const Matrix& a, const Matrix& b) {
+  require(a.rows_ == b.rows_, "Matrix::add_gemm_tn: inner dimension mismatch");
+  require(rows_ == a.cols_ && cols_ == b.cols_,
+          "Matrix::add_gemm_tn: output shape mismatch");
+  accumulate_tn(data(), a.data(), b.data(), s, a.rows_, a.cols_, b.cols_);
+  return *this;
 }
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
@@ -96,9 +216,10 @@ Matrix& Matrix::add_scaled(double s, const Matrix& rhs) {
 Matrix& Matrix::add_outer(double s, const Vector& a, const Vector& b) {
   require(a.size() == rows_ && b.size() == cols_,
           "Matrix::add_outer: shape mismatch");
+  // No zero-skip here: the operands are dense in practice and the branch
+  // defeats vectorization of the row update.
   for (std::size_t r = 0; r < rows_; ++r) {
     const double sa = s * a[r];
-    if (sa == 0.0) continue;
     double* row = &data_[r * cols_];
     for (std::size_t c = 0; c < cols_; ++c) row[c] += sa * b[c];
   }

@@ -10,7 +10,9 @@
 namespace safenn::linalg {
 
 /// Dense row-major matrix with the operations needed by layers (matvec,
-/// outer product, transpose-matvec) and by the simplex tableau.
+/// outer product, transpose-matvec), by the simplex tableau, and by the
+/// batched inference/training path (the GEMM family below, with the
+/// batch-as-rows convention: one sample per row).
 class Matrix {
  public:
   Matrix() = default;
@@ -20,6 +22,16 @@ class Matrix {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+  /// Number of stored entries (rows * cols).
+  std::size_t size() const { return data_.size(); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Reshapes to rows x cols reusing the existing allocation where
+  /// possible (scratch-buffer reuse on hot paths). Contents are
+  /// unspecified after a shape change.
+  void resize(std::size_t rows, std::size_t cols);
 
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
@@ -39,6 +51,22 @@ class Matrix {
 
   Matrix transposed() const;
   Matrix operator*(const Matrix& rhs) const;
+
+  /// C = A B, cache-blocked. Accumulates over k in ascending order, so
+  /// each output entry rounds exactly like the matvec path.
+  static Matrix gemm(const Matrix& a, const Matrix& b);
+  /// out = A B without reallocating when `out` already has the shape.
+  static void gemm_into(const Matrix& a, const Matrix& b, Matrix& out);
+  /// out = A B^T (both operands traversed along contiguous rows; the
+  /// batched layer forward, with B = the out x in weight matrix).
+  static void gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+  /// this += s * A B^T.
+  Matrix& add_gemm_nt(double s, const Matrix& a, const Matrix& b);
+  /// this += s * A^T B (a (rows-of-A)-long sequence of rank-1 updates in
+  /// ascending row order — the batched gradient accumulation, matching
+  /// per-sample add_outer order exactly).
+  Matrix& add_gemm_tn(double s, const Matrix& a, const Matrix& b);
 
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator*=(double s);

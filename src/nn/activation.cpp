@@ -23,6 +23,31 @@ linalg::Vector activate(Activation a, const linalg::Vector& x) {
   return out;
 }
 
+void activate(Activation a, const linalg::Matrix& z, linalg::Matrix& out) {
+  out.resize(z.rows(), z.cols());
+  const double* in = z.data();
+  double* o = out.data();
+  const std::size_t n = z.size();
+  switch (a) {
+    case Activation::kIdentity:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i];
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] > 0.0 ? in[i] : 0.0;
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) o[i] = std::tanh(in[i]);
+      return;
+    case Activation::kAtan:
+      for (std::size_t i = 0; i < n; ++i) o[i] = std::atan(in[i]);
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) o[i] = 1.0 / (1.0 + std::exp(-in[i]));
+      return;
+  }
+  throw Error("activate: unknown activation");
+}
+
 double activate_derivative(Activation a, double x) {
   switch (a) {
     case Activation::kIdentity: return 1.0;
@@ -45,6 +70,38 @@ linalg::Vector activate_derivative(Activation a, const linalg::Vector& x) {
   for (std::size_t i = 0; i < x.size(); ++i)
     out[i] = activate_derivative(a, x[i]);
   return out;
+}
+
+void activate_derivative(Activation a, const linalg::Matrix& z,
+                         linalg::Matrix& out) {
+  out.resize(z.rows(), z.cols());
+  const double* in = z.data();
+  double* o = out.data();
+  const std::size_t n = z.size();
+  switch (a) {
+    case Activation::kIdentity:
+      for (std::size_t i = 0; i < n; ++i) o[i] = 1.0;
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < n; ++i) o[i] = in[i] > 0.0 ? 1.0 : 0.0;
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = std::tanh(in[i]);
+        o[i] = 1.0 - t * t;
+      }
+      return;
+    case Activation::kAtan:
+      for (std::size_t i = 0; i < n; ++i) o[i] = 1.0 / (1.0 + in[i] * in[i]);
+      return;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double s = 1.0 / (1.0 + std::exp(-in[i]));
+        o[i] = s * (1.0 - s);
+      }
+      return;
+  }
+  throw Error("activate_derivative: unknown activation");
 }
 
 bool is_piecewise_linear(Activation a) {

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
 namespace safenn::nn {
@@ -25,10 +26,16 @@ enum class Activation {
 /// Applies the activation element-wise.
 double activate(Activation a, double x);
 linalg::Vector activate(Activation a, const linalg::Vector& x);
+/// Batched variant (one sample per row); `out` is resized and its storage
+/// reused across calls. The activation dispatch is hoisted out of the
+/// element loop.
+void activate(Activation a, const linalg::Matrix& z, linalg::Matrix& out);
 
 /// Derivative with respect to the pre-activation value.
 double activate_derivative(Activation a, double x);
 linalg::Vector activate_derivative(Activation a, const linalg::Vector& x);
+void activate_derivative(Activation a, const linalg::Matrix& z,
+                         linalg::Matrix& out);
 
 /// True for activations that are piecewise linear (ReLU, identity); these
 /// admit exact MILP encodings. Smooth activations are verified through

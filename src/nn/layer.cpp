@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
+
 namespace safenn::nn {
 
 DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act)
@@ -15,6 +17,22 @@ linalg::Vector DenseLayer::pre_activation(const linalg::Vector& x) const {
 
 linalg::Vector DenseLayer::forward(const linalg::Vector& x) const {
   return activate(activation_, pre_activation(x));
+}
+
+void DenseLayer::pre_activation_batch(const linalg::Matrix& x,
+                                      linalg::Matrix& z) const {
+  require(x.cols() == in_size(),
+          "DenseLayer::pre_activation_batch: dimension mismatch");
+  z.resize(x.rows(), out_size());
+  z.fill(0.0);
+  z.add_gemm_nt(1.0, x, weights_);
+  // Bias after the full W x accumulation, matching the per-sample
+  // rounding (z = matvec(x); z += biases).
+  const double* b = biases_.data();
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    double* row = z.data() + r * z.cols();
+    for (std::size_t c = 0; c < z.cols(); ++c) row[c] += b[c];
+  }
 }
 
 void DenseLayer::init_weights(Rng& rng) {

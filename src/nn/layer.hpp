@@ -27,6 +27,11 @@ class DenseLayer {
   /// Pre-activation z = W x + b.
   linalg::Vector pre_activation(const linalg::Vector& x) const;
 
+  /// Batched pre-activation: Z = X W^T + 1 b^T, one sample per row of
+  /// `x`. `z` is resized, reusing its storage across calls; each row is
+  /// bitwise identical to pre_activation() on that row.
+  void pre_activation_batch(const linalg::Matrix& x, linalg::Matrix& z) const;
+
   /// Post-activation act(W x + b).
   linalg::Vector forward(const linalg::Vector& x) const;
 

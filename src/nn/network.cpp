@@ -20,6 +20,11 @@ void Gradients::scale(double s) {
   for (auto& b : bias_grads) b *= s;
 }
 
+void Gradients::zero() {
+  for (auto& w : weight_grads) w.fill(0.0);
+  for (auto& b : bias_grads) b.fill(0.0);
+}
+
 void Network::add_layer(DenseLayer layer) {
   if (!layers_.empty()) {
     require(layer.in_size() == layers_.back().out_size(),
@@ -84,6 +89,19 @@ linalg::Vector Network::forward(const linalg::Vector& x) const {
   return v;
 }
 
+linalg::Matrix Network::forward_batch(const linalg::Matrix& x) const {
+  require(!layers_.empty(), "Network::forward_batch: empty network");
+  require(x.cols() == input_size(),
+          "Network::forward_batch: input width mismatch");
+  linalg::Matrix cur = x;
+  linalg::Matrix z;
+  for (const auto& l : layers_) {
+    l.pre_activation_batch(cur, z);
+    activate(l.activation(), z, cur);
+  }
+  return cur;
+}
+
 ForwardTrace Network::forward_trace(const linalg::Vector& x) const {
   require(!layers_.empty(), "Network::forward_trace: empty network");
   ForwardTrace trace;
@@ -102,9 +120,18 @@ ForwardTrace Network::forward_trace(const linalg::Vector& x) const {
 
 Gradients Network::backward(const ForwardTrace& trace,
                             const linalg::Vector& output_grad) const {
-  require(trace.pre_activations.size() == layers_.size(),
-          "Network::backward: trace does not match network depth");
   Gradients grads = zero_gradients();
+  backward_into(trace, output_grad, grads);
+  return grads;
+}
+
+void Network::backward_into(const ForwardTrace& trace,
+                            const linalg::Vector& output_grad,
+                            Gradients& grads) const {
+  require(trace.pre_activations.size() == layers_.size(),
+          "Network::backward_into: trace does not match network depth");
+  require(grads.weight_grads.size() == layers_.size(),
+          "Network::backward_into: gradient shape mismatch");
   // delta = dL/dz for the current layer, starting from the output.
   linalg::Vector delta = hadamard(
       output_grad,
@@ -122,7 +149,80 @@ Gradients Network::backward(const ForwardTrace& trace,
                                            trace.pre_activations[li - 1]));
     }
   }
-  return grads;
+}
+
+void Network::forward_trace_batch(const linalg::Matrix& x,
+                                  BatchTrace& trace) const {
+  require(!layers_.empty(), "Network::forward_trace_batch: empty network");
+  require(x.cols() == input_size(),
+          "Network::forward_trace_batch: input width mismatch");
+  trace.input = x;
+  trace.pre_activations.resize(layers_.size());
+  trace.post_activations.resize(layers_.size());
+  const linalg::Matrix* cur = &trace.input;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    layers_[li].pre_activation_batch(*cur, trace.pre_activations[li]);
+    activate(layers_[li].activation(), trace.pre_activations[li],
+             trace.post_activations[li]);
+    cur = &trace.post_activations[li];
+  }
+}
+
+BatchTrace Network::forward_trace_batch(const linalg::Matrix& x) const {
+  BatchTrace trace;
+  forward_trace_batch(x, trace);
+  return trace;
+}
+
+void Network::backward_batch(const BatchTrace& trace,
+                             const linalg::Matrix& out_grads,
+                             Gradients& grads) const {
+  require(trace.pre_activations.size() == layers_.size(),
+          "Network::backward_batch: trace does not match network depth");
+  require(grads.weight_grads.size() == layers_.size(),
+          "Network::backward_batch: gradient shape mismatch");
+  const std::size_t batch = trace.input.rows();
+  require(out_grads.rows() == batch && out_grads.cols() == output_size(),
+          "Network::backward_batch: output gradient shape mismatch");
+
+  // delta = dL/dZ of the current layer, one sample per row.
+  linalg::Matrix delta, upstream, deriv;
+  activate_derivative(layers_.back().activation(),
+                      trace.pre_activations.back(), deriv);
+  delta.resize(batch, output_size());
+  {
+    const double* g = out_grads.data();
+    const double* d = deriv.data();
+    double* out = delta.data();
+    for (std::size_t i = 0; i < delta.size(); ++i) out[i] = g[i] * d[i];
+  }
+
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const linalg::Matrix& layer_input =
+        (li == 0) ? trace.input : trace.post_activations[li - 1];
+    // Summed weight gradient of the whole batch in one GEMM; the rank-1
+    // update order inside matches per-sample add_outer accumulation.
+    grads.weight_grads[li].add_gemm_tn(1.0, delta, layer_input);
+    {
+      // Bias gradients: column sums of delta, rows ascending.
+      double* bg = grads.bias_grads[li].data();
+      const std::size_t width = delta.cols();
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double* row = delta.data() + b * width;
+        for (std::size_t c = 0; c < width; ++c) bg[c] += row[c];
+      }
+    }
+    if (li > 0) {
+      linalg::Matrix::gemm_into(delta, layers_[li].weights(), upstream);
+      activate_derivative(layers_[li - 1].activation(),
+                          trace.pre_activations[li - 1], deriv);
+      delta.resize(batch, layers_[li].in_size());
+      const double* u = upstream.data();
+      const double* d = deriv.data();
+      double* out = delta.data();
+      for (std::size_t i = 0; i < delta.size(); ++i) out[i] = u[i] * d[i];
+    }
+  }
 }
 
 linalg::Vector Network::input_gradient(const linalg::Vector& x,

@@ -19,6 +19,15 @@ struct ForwardTrace {
   std::vector<linalg::Vector> post_activations;  // one per layer
 };
 
+/// Batched counterpart of ForwardTrace: one sample per row of every
+/// matrix. The matrices are reused across calls when the trace object is
+/// kept alive (no per-batch allocation once warm).
+struct BatchTrace {
+  linalg::Matrix input;                          // B x in
+  std::vector<linalg::Matrix> pre_activations;   // B x out, one per layer
+  std::vector<linalg::Matrix> post_activations;  // B x out, one per layer
+};
+
 /// Per-layer parameter gradients produced by backprop.
 struct Gradients {
   std::vector<linalg::Matrix> weight_grads;
@@ -26,6 +35,7 @@ struct Gradients {
 
   void add_scaled(double s, const Gradients& rhs);
   void scale(double s);
+  void zero();
 };
 
 /// Sequential fully-connected network.
@@ -60,13 +70,37 @@ class Network {
   /// Plain inference.
   linalg::Vector forward(const linalg::Vector& x) const;
 
+  /// Batched inference: one sample per row; returns B x output_size().
+  /// Each layer is one GEMM instead of B matvecs; every output row is
+  /// bitwise identical to forward() on the corresponding input row.
+  linalg::Matrix forward_batch(const linalg::Matrix& x) const;
+
   /// Inference that records all intermediate values.
   ForwardTrace forward_trace(const linalg::Vector& x) const;
+
+  /// Batched trace, reusing `trace`'s storage across calls.
+  void forward_trace_batch(const linalg::Matrix& x, BatchTrace& trace) const;
+  BatchTrace forward_trace_batch(const linalg::Matrix& x) const;
 
   /// Backpropagates dL/d(output) through the recorded trace and returns
   /// parameter gradients.
   Gradients backward(const ForwardTrace& trace,
                      const linalg::Vector& output_grad) const;
+
+  /// Same, but accumulates into pre-shaped `grads` (zero_gradients()
+  /// shape) without allocating a Gradients per sample.
+  void backward_into(const ForwardTrace& trace,
+                     const linalg::Vector& output_grad,
+                     Gradients& grads) const;
+
+  /// Batched backprop: row b of `out_grads` is dL/d(output) of sample b.
+  /// Accumulates the batch-summed parameter gradients into pre-shaped
+  /// `grads`; weight gradients are one delta^T * input GEMM per layer.
+  /// The accumulated sums match per-sample backward() summed in row
+  /// order bit for bit.
+  void backward_batch(const BatchTrace& trace,
+                      const linalg::Matrix& out_grads,
+                      Gradients& grads) const;
 
   /// Gradient of output component `out_index` w.r.t. the input vector
   /// (used by saliency-based traceability).

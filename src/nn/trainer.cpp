@@ -45,6 +45,17 @@ double Trainer::train(Network& net, const Loss& loss,
   state.m = net.zero_gradients();
   state.v = net.zero_gradients();
 
+  // Batched scratch, reused across every batch of every epoch: the whole
+  // minibatch runs through each layer as one GEMM instead of B matvecs,
+  // and gradients accumulate into one preallocated Gradients (no
+  // per-sample Gradients allocation).
+  const std::size_t in_dim = net.input_size();
+  const std::size_t out_dim = net.output_size();
+  linalg::Matrix batch_x, out_grads;
+  BatchTrace trace;
+  Gradients batch_grads = net.zero_gradients();
+  linalg::Vector sample_out(out_dim);
+
   double last_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     shuffle_rng.shuffle(order);
@@ -54,32 +65,47 @@ double Trainer::train(Network& net, const Loss& loss,
          start += config_.batch_size) {
       const std::size_t end =
           std::min(order.size(), start + config_.batch_size);
-      Gradients batch_grads = net.zero_gradients();
+      const std::size_t batch = end - start;
       double batch_loss = 0.0;
 
-      for (std::size_t oi = start; oi < end; ++oi) {
-        const std::size_t idx = order[oi];
-        const ForwardTrace trace = net.forward_trace(inputs[idx]);
-        const linalg::Vector& output = trace.post_activations.back();
+      batch_x.resize(batch, in_dim);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const linalg::Vector& x = inputs[order[start + b]];
+        require(x.size() == in_dim, "Trainer: input width mismatch");
+        std::copy(x.data(), x.data() + in_dim, batch_x.data() + b * in_dim);
+      }
+      net.forward_trace_batch(batch_x, trace);
+      const linalg::Matrix& outputs = trace.post_activations.back();
+
+      // Losses (and the optional regularizer) stay per-sample — they are
+      // O(out_dim) next to the batched linear algebra.
+      out_grads.resize(batch, out_dim);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t idx = order[start + b];
+        std::copy(outputs.data() + b * out_dim,
+                  outputs.data() + (b + 1) * out_dim, sample_out.data());
 
         linalg::Vector out_grad;
         double sample_loss =
-            loss.value_and_grad(output, targets[idx], out_grad);
+            loss.value_and_grad(sample_out, targets[idx], out_grad);
 
         if (config_.regularizer) {
-          linalg::Vector reg_grad(output.size());
+          linalg::Vector reg_grad(out_dim);
           const double penalty =
-              config_.regularizer(inputs[idx], output, reg_grad);
+              config_.regularizer(inputs[idx], sample_out, reg_grad);
           sample_loss += config_.regularizer_weight * penalty;
           out_grad.add_scaled(config_.regularizer_weight, reg_grad);
         }
 
         batch_loss += sample_loss;
-        const Gradients sample_grads = net.backward(trace, out_grad);
-        batch_grads.add_scaled(1.0, sample_grads);
+        std::copy(out_grad.data(), out_grad.data() + out_dim,
+                  out_grads.data() + b * out_dim);
       }
 
-      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      batch_grads.zero();
+      net.backward_batch(trace, out_grads, batch_grads);
+
+      const double inv_batch = 1.0 / static_cast<double>(batch);
       batch_grads.scale(inv_batch);
       epoch_loss += batch_loss;
 
@@ -101,6 +127,13 @@ double Trainer::train(Network& net, const Loss& loss,
         }
         case Optimizer::kAdam: {
           ++state.step;
+          // Bias-correction factors are per-step constants; computing the
+          // pow() once here instead of per weight entry keeps the inner
+          // loops pure multiply-add.
+          const double bias1 =
+              1.0 - std::pow(config_.beta1, static_cast<double>(state.step));
+          const double bias2 =
+              1.0 - std::pow(config_.beta2, static_cast<double>(state.step));
           // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2, applied per entry.
           for (std::size_t li = 0; li < state.m.weight_grads.size(); ++li) {
             auto update = [&](linalg::Matrix& m, linalg::Matrix& v,
@@ -111,14 +144,8 @@ double Trainer::train(Network& net, const Loss& loss,
                             (1.0 - config_.beta1) * g(r, c);
                   v(r, c) = config_.beta2 * v(r, c) +
                             (1.0 - config_.beta2) * g(r, c) * g(r, c);
-                  const double mh =
-                      m(r, c) /
-                      (1.0 - std::pow(config_.beta1,
-                                      static_cast<double>(state.step)));
-                  const double vh =
-                      v(r, c) /
-                      (1.0 - std::pow(config_.beta2,
-                                      static_cast<double>(state.step)));
+                  const double mh = m(r, c) / bias1;
+                  const double vh = v(r, c) / bias2;
                   out(r, c) = mh / (std::sqrt(vh) + config_.adam_eps);
                 }
               }
@@ -130,12 +157,8 @@ double Trainer::train(Network& net, const Loss& loss,
                 m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * g[i];
                 v[i] =
                     config_.beta2 * v[i] + (1.0 - config_.beta2) * g[i] * g[i];
-                const double mh =
-                    m[i] / (1.0 - std::pow(config_.beta1,
-                                           static_cast<double>(state.step)));
-                const double vh =
-                    v[i] / (1.0 - std::pow(config_.beta2,
-                                           static_cast<double>(state.step)));
+                const double mh = m[i] / bias1;
+                const double vh = v[i] / bias2;
                 out[i] = mh / (std::sqrt(vh) + config_.adam_eps);
               }
             };

@@ -1,5 +1,9 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
+
 namespace safenn::serve {
 namespace {
 
@@ -33,6 +37,53 @@ ServeResponse ShieldedEngine::serve(const ServeRequest& request,
   response.assumption_hit = decision.assumption_hit;
   response.intervened = decision.intervened;
   return response;
+}
+
+std::vector<ServeResponse> ShieldedEngine::serve_batch(
+    const std::vector<ServeRequest>& requests, Clock::time_point now) const {
+  std::vector<ServeResponse> responses(requests.size());
+  // Deadline triage first: expired requests get the safe fallback and
+  // never touch the predictor (same policy as serve()).
+  std::vector<std::size_t> live;
+  live.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i].id = requests[i].id;
+    if (now > requests[i].deadline) {
+      responses[i].outcome = ServeOutcome::kDegraded;
+      responses[i].action = monitor_.safe_action();
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return responses;
+
+  const Clock::time_point start = Clock::now();
+  linalg::Matrix scenes(live.size(), requests[live.front()].scene.size());
+  for (std::size_t r = 0; r < live.size(); ++r) {
+    const linalg::Vector& s = requests[live[r]].scene;
+    require(s.size() == scenes.cols(), "serve_batch: ragged scene widths");
+    std::copy(s.data(), s.data() + s.size(),
+              scenes.data() + r * scenes.cols());
+  }
+  const std::vector<nn::GaussianMixture> mixtures =
+      predictor_.predict_batch(scenes);
+  for (std::size_t r = 0; r < live.size(); ++r) {
+    const std::size_t i = live[r];
+    core::GuardDecision decision =
+        monitor_.guard_action(requests[i].scene, mixtures[r].mean());
+    ServeResponse& response = responses[i];
+    response.outcome =
+        decision.intervened ? ServeOutcome::kClamped : ServeOutcome::kServed;
+    response.action = std::move(decision.action);
+    response.assumption_hit = decision.assumption_hit;
+    response.intervened = decision.intervened;
+  }
+  const double per_row_seconds = seconds_since(start, Clock::now()) /
+                                 static_cast<double>(live.size());
+  for (const std::size_t i : live) {
+    responses[i].infer_seconds = per_row_seconds;
+  }
+  return responses;
 }
 
 }  // namespace safenn::serve

@@ -28,6 +28,17 @@ class ShieldedEngine {
   ServeResponse serve(const ServeRequest& request,
                       Clock::time_point now) const;
 
+  /// Serves a whole popped micro-batch at time `now`. Expired requests
+  /// degrade exactly as in serve() and never touch the predictor; the
+  /// live scenes run through the network as ONE batched forward, then
+  /// the monitor's per-row guard is applied in queue order — responses
+  /// (and monitor counters) are decision-for-decision identical to
+  /// calling serve() per request. `infer_seconds` of each predicted
+  /// response is the batch inference+guard time divided evenly over the
+  /// predicted rows.
+  std::vector<ServeResponse> serve_batch(
+      const std::vector<ServeRequest>& requests, Clock::time_point now) const;
+
   const core::SafetyMonitor& monitor() const { return monitor_; }
   const core::TrainedPredictor& predictor() const { return predictor_; }
 

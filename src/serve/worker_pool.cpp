@@ -61,8 +61,13 @@ void WorkerPool::worker_loop() {
     metrics_.batches.fetch_add(1, kRelaxed);
     metrics_.batch_items.fetch_add(n, kRelaxed);
     const Clock::time_point dequeue_time = Clock::now();
-    for (ServeRequest& request : batch) {
-      ServeResponse response = engine_.serve(request, dequeue_time);
+    // One batched forward for the whole micro-batch; the engine applies
+    // the monitor's guard per row, so decisions match per-request serve().
+    std::vector<ServeResponse> responses =
+        engine_.serve_batch(batch, dequeue_time);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ServeRequest& request = batch[i];
+      ServeResponse& response = responses[i];
       response.queue_seconds = static_cast<double>(ns_between(
                                    request.enqueue_time, dequeue_time)) /
                                1e9;

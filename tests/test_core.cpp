@@ -547,3 +547,106 @@ TEST_F(PipelineFixture, PredictIsThreadSafeOnSharedConstNetwork) {
 
 }  // namespace
 }  // namespace safenn::core
+
+// ---------------------------------------------------------------------------
+// Batched prediction & guarding: the batched path must be
+// decision-for-decision identical to the per-sample one (appended suite).
+// ---------------------------------------------------------------------------
+#include "common/error.hpp"
+
+namespace safenn::core {
+namespace {
+
+TEST_F(PipelineFixture, PredictBatchBitwiseMatchesPredict) {
+  const std::size_t n = std::min<std::size_t>(built_->data.size(), 48);
+  std::vector<linalg::Vector> scenes;
+  scenes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scenes.push_back(built_->data.input(i));
+
+  const std::vector<nn::GaussianMixture> batched =
+      predictor_->predict_batch(scenes);
+  ASSERT_EQ(batched.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const nn::GaussianMixture ref = predictor_->predict(scenes[i]);
+    ASSERT_EQ(batched[i].components(), ref.components());
+    for (std::size_t k = 0; k < ref.components(); ++k) {
+      EXPECT_EQ(batched[i].weights[k], ref.weights[k]);
+      for (std::size_t d = 0; d < ref.dims(); ++d) {
+        EXPECT_EQ(batched[i].means[k][d], ref.means[k][d]);
+        EXPECT_EQ(batched[i].sigmas[k][d], ref.sigmas[k][d]);
+      }
+    }
+  }
+}
+
+TEST(Pipeline, PackScenesLayoutAndValidation) {
+  std::vector<linalg::Vector> scenes{{1.0, 2.0}, {3.0, 4.0}};
+  const linalg::Matrix packed = pack_scenes(scenes);
+  ASSERT_EQ(packed.rows(), 2u);
+  ASSERT_EQ(packed.cols(), 2u);
+  EXPECT_DOUBLE_EQ(packed(1, 0), 3.0);
+  EXPECT_THROW(pack_scenes({}), Error);
+  EXPECT_THROW(pack_scenes({linalg::Vector{1.0}, linalg::Vector{1.0, 2.0}}),
+               Error);
+}
+
+TEST_F(PipelineFixture, GuardBatchMatchesSequentialGuardExactly) {
+  highway::SceneEncoder encoder;
+  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built_->data, encoder));
+  // Threshold low enough that some replayed scenes actually clamp.
+  const double threshold = -0.05;
+
+  const std::size_t n = std::min<std::size_t>(built_->data.size(), 64);
+  std::vector<linalg::Vector> scenes;
+  scenes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scenes.push_back(built_->data.input(i));
+
+  SafetyMonitor sequential(region, threshold);
+  std::vector<GuardDecision> expected;
+  expected.reserve(n);
+  for (const linalg::Vector& scene : scenes) {
+    expected.push_back(sequential.guard(*predictor_, scene));
+  }
+
+  SafetyMonitor batched_monitor(region, threshold);
+  const std::vector<GuardDecision> batched =
+      batched_monitor.guard_batch(*predictor_, scenes);
+
+  ASSERT_EQ(batched.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batched[i].assumption_hit, expected[i].assumption_hit) << i;
+    EXPECT_EQ(batched[i].intervened, expected[i].intervened) << i;
+    ASSERT_EQ(batched[i].action.size(), expected[i].action.size());
+    for (std::size_t d = 0; d < expected[i].action.size(); ++d) {
+      EXPECT_EQ(batched[i].action[d], expected[i].action[d]) << i;
+    }
+  }
+  EXPECT_EQ(batched_monitor.stats().queries, sequential.stats().queries);
+  EXPECT_EQ(batched_monitor.stats().assumption_hits,
+            sequential.stats().assumption_hits);
+  EXPECT_EQ(batched_monitor.stats().interventions,
+            sequential.stats().interventions);
+  // The replay must actually exercise the clamp for the check to mean
+  // anything.
+  EXPECT_GT(sequential.stats().interventions, 0u);
+}
+
+TEST(Monitor, GuardBatchOnEmptyBatchIsANoOp) {
+  highway::SceneEncoder encoder;
+  const verify::InputRegion region =
+      highway::make_vehicle_on_left_region(encoder);
+  TrainedPredictor p;
+  p.head = nn::MdnHead(1, highway::kActionDims);
+  nn::Network net;
+  nn::DenseLayer layer(highway::kSceneFeatures, p.head.raw_output_size(),
+                       nn::Activation::kIdentity);
+  net.add_layer(std::move(layer));
+  p.network = std::move(net);
+  SafetyMonitor monitor(region, 1.0);
+  EXPECT_TRUE(monitor.guard_batch(p, {}).empty());
+  EXPECT_EQ(monitor.stats().queries, 0u);
+}
+
+}  // namespace
+}  // namespace safenn::core

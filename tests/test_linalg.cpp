@@ -166,6 +166,148 @@ TEST(Matrix, RowColExtraction) {
   EXPECT_THROW(m.col(2), Error);
 }
 
+namespace {
+
+Matrix random_matrix(Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  return m;
+}
+
+/// Reference GEMM: naive triple loop, ascending k — the rounding the
+/// blocked kernels promise to reproduce exactly.
+Matrix naive_product(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+TEST(Matrix, Resize) {
+  Matrix m(2, 3, 1.0);
+  m.resize(5, 4);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 20u);
+  m.fill(2.0);
+  EXPECT_DOUBLE_EQ(m(4, 3), 2.0);
+  m.resize(1, 2);  // shrink keeps a valid dense layout
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Matrix, GemmMatchesNaiveTripleLoop) {
+  // Shapes straddling the kKc=64 K-panel boundary and the kJr=4 register
+  // tile: bitwise equality against the naive ascending-k reference.
+  const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 2},   {7, 63, 9},
+                                   {4, 64, 4},  {5, 65, 6},  {2, 130, 3},
+                                   {33, 84, 15}};
+  Rng rng(17);
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(rng, s[0], s[1]);
+    const Matrix b = random_matrix(rng, s[1], s[2]);
+    const Matrix expected = naive_product(a, b);
+    const Matrix got = Matrix::gemm(a, b);
+    ASSERT_EQ(got.rows(), expected.rows());
+    ASSERT_EQ(got.cols(), expected.cols());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got.data()[i], expected.data()[i])
+          << "entry " << i << " of " << s[0] << "x" << s[1] << "*" << s[1]
+          << "x" << s[2];
+    }
+    // operator* routes through the same kernel.
+    const Matrix via_op = a * b;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(via_op.data()[i], expected.data()[i]);
+    }
+  }
+}
+
+TEST(Matrix, GemmShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(Matrix::gemm(a, b), Error);
+}
+
+TEST(Matrix, AddGemmNtMatchesMatvecBitwise) {
+  // Row i of A * W^T must equal W.matvec(row i) bit for bit — this is
+  // the contract that makes batched forward reproduce per-sample
+  // forward exactly.
+  Rng rng(19);
+  const std::size_t shapes[][3] = {{1, 84, 32}, {7, 65, 5}, {32, 84, 15},
+                                   {6, 128, 31}};
+  for (const auto& s : shapes) {
+    const std::size_t batch = s[0], in = s[1], out = s[2];
+    const Matrix x = random_matrix(rng, batch, in);
+    const Matrix w = random_matrix(rng, out, in);
+    Matrix y(batch, out);
+    y.add_gemm_nt(1.0, x, w);
+    for (std::size_t r = 0; r < batch; ++r) {
+      const Vector yr = w.matvec(x.row(r));
+      for (std::size_t c = 0; c < out; ++c) {
+        ASSERT_EQ(y(r, c), yr[c]) << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(Matrix, AddGemmNtAccumulatesScaled) {
+  Rng rng(23);
+  const Matrix a = random_matrix(rng, 3, 70);
+  const Matrix b = random_matrix(rng, 5, 70);
+  Matrix c(3, 5, 1.0);
+  c.add_gemm_nt(-2.0, a, b);
+  const Matrix ref = naive_product(a, b.transposed());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(c(i, j), 1.0 - 2.0 * ref(i, j), 1e-12);
+    }
+  }
+  EXPECT_THROW(c.add_gemm_nt(1.0, a, random_matrix(rng, 5, 71)), Error);
+}
+
+TEST(Matrix, AddGemmTnMatchesOuterSumBitwise) {
+  // C += s * A^T B must reproduce the per-sample rank-1 accumulation
+  // (add_outer per row, ascending) bit for bit — the contract behind
+  // batched weight gradients.
+  Rng rng(29);
+  const std::size_t shapes[][3] = {{1, 4, 6}, {7, 15, 32}, {64, 9, 5},
+                                   {65, 3, 3}};
+  for (const auto& s : shapes) {
+    const std::size_t batch = s[0], m = s[1], n = s[2];
+    const Matrix a = random_matrix(rng, batch, m);
+    const Matrix b = random_matrix(rng, batch, n);
+    Matrix got(m, n);
+    got.add_gemm_tn(0.5, a, b);
+    Matrix expected(m, n);
+    for (std::size_t p = 0; p < batch; ++p) {
+      expected.add_outer(0.5, a.row(p), b.row(p));
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got.data()[i], expected.data()[i]);
+    }
+  }
+}
+
+TEST(Matrix, GemmIntoReusesStorage) {
+  Rng rng(31);
+  const Matrix a = random_matrix(rng, 4, 66);
+  const Matrix b = random_matrix(rng, 66, 3);
+  Matrix out(1, 1, 99.0);  // wrong shape, stale contents
+  Matrix::gemm_into(a, b, out);
+  const Matrix expected = naive_product(a, b);
+  ASSERT_EQ(out.rows(), 4u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]);
+  }
+}
+
 // Property: (A*B)x == A*(Bx) over random matrices.
 class MatmulProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -464,5 +464,167 @@ TEST(Quantize, FixedForwardMatchesRealForwardClosely) {
   }
 }
 
+// --- Batched kernels: equivalence with the per-sample path. ---
+
+Matrix pack_rows(const std::vector<Vector>& xs) {
+  Matrix m(xs.size(), xs.front().size());
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = xs[r][c];
+  }
+  return m;
+}
+
+std::vector<Vector> random_inputs(Rng& rng, std::size_t count,
+                                  std::size_t dim) {
+  std::vector<Vector> xs(count, Vector(dim));
+  for (auto& x : xs) {
+    for (auto& v : x) v = rng.normal();
+  }
+  return xs;
+}
+
+TEST(Activation, BatchedOverloadMatchesScalar) {
+  Rng rng(41);
+  Matrix z(5, 7), out, dout;
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = rng.normal();
+  for (Activation a : {Activation::kIdentity, Activation::kRelu,
+                       Activation::kTanh, Activation::kAtan,
+                       Activation::kSigmoid}) {
+    activate(a, z, out);
+    activate_derivative(a, z, dout);
+    ASSERT_EQ(out.rows(), 5u);
+    ASSERT_EQ(dout.cols(), 7u);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      for (std::size_t c = 0; c < z.cols(); ++c) {
+        EXPECT_EQ(out(r, c), activate(a, z(r, c))) << to_string(a);
+        EXPECT_EQ(dout(r, c), activate_derivative(a, z(r, c)))
+            << to_string(a);
+      }
+    }
+  }
+}
+
+class BatchedEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Activation>> {};
+
+TEST_P(BatchedEquivalence, ForwardBatchBitwiseMatchesPerSample) {
+  const auto [batch, hidden_act] = GetParam();
+  Rng rng(50 + batch);
+  Network net = Network::make_mlp({9, 13, 8, 4}, hidden_act,
+                                  Activation::kIdentity, rng);
+  const std::vector<Vector> xs = random_inputs(rng, batch, 9);
+  const Matrix out = net.forward_batch(pack_rows(xs));
+  ASSERT_EQ(out.rows(), batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const Vector ref = net.forward(xs[r]);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      ASSERT_EQ(out(r, c), ref[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_P(BatchedEquivalence, TraceBatchBitwiseMatchesPerSampleTrace) {
+  const auto [batch, hidden_act] = GetParam();
+  Rng rng(70 + batch);
+  Network net = Network::make_mlp({6, 11, 9, 3}, hidden_act,
+                                  Activation::kIdentity, rng);
+  const std::vector<Vector> xs = random_inputs(rng, batch, 6);
+  BatchTrace trace;
+  net.forward_trace_batch(pack_rows(xs), trace);
+  ASSERT_EQ(trace.pre_activations.size(), net.num_layers());
+  ASSERT_EQ(trace.post_activations.size(), net.num_layers());
+  for (std::size_t r = 0; r < batch; ++r) {
+    const ForwardTrace ref = net.forward_trace(xs[r]);
+    for (std::size_t li = 0; li < net.num_layers(); ++li) {
+      for (std::size_t c = 0; c < trace.pre_activations[li].cols(); ++c) {
+        ASSERT_EQ(trace.pre_activations[li](r, c),
+                  ref.pre_activations[li][c]);
+        ASSERT_EQ(trace.post_activations[li](r, c),
+                  ref.post_activations[li][c]);
+      }
+    }
+  }
+}
+
+TEST_P(BatchedEquivalence, BackwardBatchMatchesSummedPerSample) {
+  const auto [batch, hidden_act] = GetParam();
+  Rng rng(90 + batch);
+  Network net = Network::make_mlp({7, 10, 12, 5}, hidden_act,
+                                  Activation::kIdentity, rng);
+  const std::vector<Vector> xs = random_inputs(rng, batch, 7);
+  const std::vector<Vector> out_grads_v = random_inputs(rng, batch, 5);
+
+  // Per-sample reference: backward_into accumulates sample by sample in
+  // row order.
+  Gradients expected = net.zero_gradients();
+  for (std::size_t b = 0; b < batch; ++b) {
+    net.backward_into(net.forward_trace(xs[b]), out_grads_v[b], expected);
+  }
+
+  BatchTrace trace;
+  net.forward_trace_batch(pack_rows(xs), trace);
+  Gradients got = net.zero_gradients();
+  net.backward_batch(trace, pack_rows(out_grads_v), got);
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const Matrix& we = expected.weight_grads[li];
+    const Matrix& wg = got.weight_grads[li];
+    for (std::size_t i = 0; i < we.size(); ++i) {
+      ASSERT_EQ(wg.data()[i], we.data()[i]) << "layer " << li;
+    }
+    for (std::size_t i = 0; i < expected.bias_grads[li].size(); ++i) {
+      ASSERT_EQ(got.bias_grads[li][i], expected.bias_grads[li][i])
+          << "layer " << li << " bias " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSizesAndActivations, BatchedEquivalence,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 7, 32),
+                       ::testing::Values(Activation::kRelu,
+                                         Activation::kTanh)));
+
+TEST(Network, BackwardIntoAccumulatesAcrossCalls) {
+  Rng rng(111);
+  Network net = Network::make_mlp({4, 6, 3}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  Vector x(4), out_grad(3);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : out_grad) v = rng.normal();
+  const ForwardTrace trace = net.forward_trace(x);
+
+  const Gradients once = net.backward(trace, out_grad);
+  Gradients twice = net.zero_gradients();
+  net.backward_into(trace, out_grad, twice);
+  net.backward_into(trace, out_grad, twice);
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (std::size_t i = 0; i < twice.weight_grads[li].size(); ++i) {
+      EXPECT_DOUBLE_EQ(twice.weight_grads[li].data()[i],
+                       2.0 * once.weight_grads[li].data()[i]);
+    }
+    for (std::size_t i = 0; i < twice.bias_grads[li].size(); ++i) {
+      EXPECT_DOUBLE_EQ(twice.bias_grads[li][i],
+                       2.0 * once.bias_grads[li][i]);
+    }
+  }
+}
+
+TEST(Network, GradientsZeroResets) {
+  Rng rng(112);
+  Network net = Network::make_mlp({3, 4, 2}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  Vector x(3), out_grad(2);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : out_grad) v = rng.normal();
+  Gradients g = net.zero_gradients();
+  net.backward_into(net.forward_trace(x), out_grad, g);
+  g.zero();
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    EXPECT_DOUBLE_EQ(g.weight_grads[li].norm_inf(), 0.0);
+    EXPECT_DOUBLE_EQ(g.bias_grads[li].norm_inf(), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace safenn::nn

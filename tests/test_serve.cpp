@@ -225,6 +225,81 @@ TEST_F(EngineFixture, ServesClampsAndDegrades) {
             safe[highway::kActionLateral]);
 }
 
+TEST_F(EngineFixture, ServeBatchMatchesPerRequestServe) {
+  // 33 requests (not a multiple of anything convenient), a few with
+  // already-expired deadlines sprinkled in: serve_batch must reproduce
+  // per-request serve() decision for decision, on its own monitor.
+  const auto scenes = make_scene_set(encoder_, region_, 33, 7);
+  const Clock::time_point now = Clock::now();
+  std::vector<ServeRequest> requests;
+  requests.reserve(scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    requests.push_back(make_request(
+        i, scenes[i],
+        i % 5 == 0 ? now - std::chrono::milliseconds(1)
+                   : Clock::time_point::max()));
+  }
+
+  core::SafetyMonitor seq_monitor(region_, 0.5);
+  ShieldedEngine seq_engine(predictor_, seq_monitor);
+  std::vector<ServeResponse> expected;
+  expected.reserve(requests.size());
+  for (const ServeRequest& request : requests) {
+    expected.push_back(seq_engine.serve(request, now));
+  }
+
+  core::SafetyMonitor batch_monitor(region_, 0.5);
+  ShieldedEngine batch_engine(predictor_, batch_monitor);
+  const std::vector<ServeResponse> batched =
+      batch_engine.serve_batch(requests, now);
+
+  ASSERT_EQ(batched.size(), requests.size());
+  bool any_clamped = false, any_degraded = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batched[i].id, expected[i].id);
+    EXPECT_EQ(batched[i].outcome, expected[i].outcome) << i;
+    EXPECT_EQ(batched[i].assumption_hit, expected[i].assumption_hit) << i;
+    EXPECT_EQ(batched[i].intervened, expected[i].intervened) << i;
+    ASSERT_EQ(batched[i].action.size(), expected[i].action.size());
+    for (std::size_t d = 0; d < expected[i].action.size(); ++d) {
+      EXPECT_EQ(batched[i].action[d], expected[i].action[d]) << i;
+    }
+    any_clamped = any_clamped || expected[i].outcome == ServeOutcome::kClamped;
+    any_degraded =
+        any_degraded || expected[i].outcome == ServeOutcome::kDegraded;
+  }
+  // The batch must actually exercise all three outcomes for this check
+  // to mean anything.
+  EXPECT_TRUE(any_clamped);
+  EXPECT_TRUE(any_degraded);
+  EXPECT_EQ(batch_monitor.stats().queries, seq_monitor.stats().queries);
+  EXPECT_EQ(batch_monitor.stats().assumption_hits,
+            seq_monitor.stats().assumption_hits);
+  EXPECT_EQ(batch_monitor.stats().interventions,
+            seq_monitor.stats().interventions);
+}
+
+TEST_F(EngineFixture, ServeBatchAllExpiredNeverTouchesPredictor) {
+  ShieldedEngine engine(predictor_, monitor_);
+  const auto scenes = make_scene_set(encoder_, region_, 4, 9);
+  const Clock::time_point now = Clock::now();
+  std::vector<ServeRequest> requests;
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    requests.push_back(
+        make_request(i, scenes[i], now - std::chrono::seconds(1)));
+  }
+  const std::vector<ServeResponse> responses =
+      engine.serve_batch(requests, now);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const ServeResponse& r : responses) {
+    EXPECT_EQ(r.outcome, ServeOutcome::kDegraded);
+    EXPECT_EQ(r.infer_seconds, 0.0);
+  }
+  EXPECT_EQ(monitor_.stats().queries, 0u);  // predictor/monitor untouched
+
+  EXPECT_TRUE(engine.serve_batch({}, now).empty());
+}
+
 // -------------------------------------------------------------------------
 // InferenceServer end to end.
 // -------------------------------------------------------------------------
