@@ -32,6 +32,7 @@ int main() {
   const ModeRow modes[] = {
       {"loose-M", verify::BoundTightening::kLooseBigM},
       {"interval", verify::BoundTightening::kInterval},
+      {"symbolic", verify::BoundTightening::kSymbolic},
       {"lp-obbt", verify::BoundTightening::kLpTighten},
   };
 

@@ -11,19 +11,38 @@
 // within budget are proven optima; time-limited rows report the best
 // value found and the remaining dual bound.
 //
-// Budgets (env-overridable):
-//   SAFENN_T2_LIMIT    seconds per mixture component       (default 20)
-//   SAFENN_T2_WIDTHS   "10,20,25,40,50,60" row widths      (paper set)
-//   SAFENN_T2_EXTRA    also run an exact small-width series (default 1)
+// The run ends with the symbolic-tightening ablation: the same trained
+// predictors, queried through the input-splitting engine on local
+// envelopes of the Table II region, once with symbolic bounds and once
+// interval-only. Boxes explored, LP iterations, wall time and verdicts
+// land in BENCH_verify.json, together with a 1/2/4-worker determinism
+// check of the parallel engine.
+//
+// Budgets (env-overridable; `--smoke` shrinks everything for CI):
+//   SAFENN_T2_LIMIT        seconds per mixture component    (default 20)
+//   SAFENN_T2_WIDTHS       "10,20,25,40,50,60" row widths   (paper set)
+//   SAFENN_T2_EXTRA        also run an exact small-width series (default 1)
+//   SAFENN_T2_WORKERS      input-split worker threads       (default 2)
+//   SAFENN_T2_ABLATION_WIDTHS   predictor widths for the ablation ("4,5,6")
+//   SAFENN_T2_ENVELOPE     envelope half-width as a fraction of the
+//                          data-domain half-width            (default 0.10)
+//   SAFENN_T2_ABLATION_MAXBOXES  box budget per query       (default 20000)
+//   SAFENN_T2_ABLATION_GAP  ablation gap tolerance            (default 0.1)
+//   SAFENN_T2_JSON         output path                (BENCH_verify.json)
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/report.hpp"
 #include "highway/safety_rules.hpp"
+#include "verify/input_split.hpp"
 
 using namespace safenn;
 
@@ -43,36 +62,110 @@ std::vector<std::size_t> parse_widths(const char* env, const char* fallback) {
 core::TableTwoRow run_row(const data::Dataset& data,
                           const highway::SceneEncoder& encoder,
                           const verify::InputRegion& region,
-                          std::size_t width, double per_component_limit) {
+                          std::size_t width, double per_component_limit,
+                          int workers) {
   const core::TrainedPredictor predictor =
       bench::train_predictor(data, width);
   verify::VerifierOptions opts;
   opts.time_limit_seconds = per_component_limit;
   opts.warm_start_split_seconds = per_component_limit * 0.2;
+  opts.num_workers = workers;
   const core::PredictorVerification v =
       core::verify_max_lateral_velocity(predictor, encoder, opts, &region);
   return core::make_table_two_row("I4x" + std::to_string(width), v);
 }
 
+/// Box-only local envelope of `box`: every dimension shrunk around its
+/// midpoint to `fraction` of its half-width. Small envelopes stabilize
+/// most neurons, which is exactly the regime where the input-splitting
+/// engine converges on 84-dim scenes — a local-robustness-style query.
+verify::InputRegion envelope_region(const verify::Box& box, double fraction) {
+  verify::InputRegion region;
+  region.box = box;
+  for (auto& iv : region.box) {
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    const double half = 0.5 * (iv.hi - iv.lo) * fraction;
+    iv = verify::Interval{mid - half, mid + half};
+  }
+  return region;
+}
+
+struct AblationSide {
+  bool exact = false;
+  double max_value = 0.0;
+  double upper_bound = 0.0;
+  long boxes = 0;
+  long pruned_symbolic = 0;
+  long lp_iterations = 0;
+  double seconds = 0.0;
+};
+
+AblationSide run_side(const nn::Network& net,
+                      const verify::InputRegion& region,
+                      const verify::OutputExpr& expr,
+                      const verify::InputSplitOptions& opts) {
+  const verify::InputSplitResult r =
+      verify::InputSplitVerifier(opts).maximize(net, region, expr);
+  AblationSide s;
+  s.exact = r.exact;
+  s.max_value = r.max_value;
+  s.upper_bound = r.upper_bound;
+  s.boxes = r.boxes_explored;
+  s.pruned_symbolic = r.boxes_pruned_symbolic;
+  s.lp_iterations = r.lp_iterations;
+  s.seconds = r.seconds;
+  return s;
+}
+
+void json_side(std::ostringstream& os, const char* key,
+               const AblationSide& s) {
+  os << "\"" << key << "\": {\"exact\": " << (s.exact ? "true" : "false")
+     << ", \"max_value\": " << s.max_value
+     << ", \"upper_bound\": " << s.upper_bound
+     << ", \"boxes_explored\": " << s.boxes
+     << ", \"boxes_pruned_symbolic\": " << s.pruned_symbolic
+     << ", \"lp_iterations\": " << s.lp_iterations
+     << ", \"seconds\": " << s.seconds << "}";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (smoke) {
+    // CI-sized budgets; explicit env still wins (overwrite = 0).
+    setenv("SAFENN_T2_LIMIT", "2", 0);
+    setenv("SAFENN_T2_WIDTHS", "10", 0);
+    setenv("SAFENN_T2_EXTRA", "0", 0);
+    setenv("SAFENN_T2_ABLATION_WIDTHS", "4", 0);
+    setenv("SAFENN_T2_ABLATION_MAXBOXES", "1500", 0);
+    setenv("SAFENN_DATA_STEPS", "60", 0);
+  }
+
   const double limit = bench::env_double("SAFENN_T2_LIMIT", 20.0);
+  const int workers =
+      static_cast<int>(bench::env_long("SAFENN_T2_WORKERS", 2));
   highway::SceneEncoder encoder;
   const highway::BuiltDataset built = bench::standard_dataset(encoder);
-  const verify::InputRegion region = highway::make_vehicle_on_left_region(
-      encoder, highway::data_domain_box(built.data, encoder));
+  const verify::Box domain = highway::data_domain_box(built.data, encoder);
+  const verify::InputRegion region =
+      highway::make_vehicle_on_left_region(encoder, domain);
 
   std::printf("== Table II: verifying ANN-based motion predictors ==\n");
-  std::printf("   (per-component time budget %.0fs; "
-              "SAFENN_T2_LIMIT overrides)\n\n", limit);
+  std::printf("   (per-component time budget %.0fs, %d split workers; "
+              "SAFENN_T2_LIMIT / SAFENN_T2_WORKERS override)\n\n",
+              limit, workers);
 
   std::vector<core::TableTwoRow> rows;
   if (bench::env_long("SAFENN_T2_EXTRA", 1)) {
     std::printf("-- exact supplement (widths small enough to prove "
                 "optimality on this machine) --\n");
     for (std::size_t width : parse_widths("SAFENN_T2_EXTRA_WIDTHS", "4,5,6")) {
-      rows.push_back(run_row(built.data, encoder, region, width, limit * 3));
+      rows.push_back(
+          run_row(built.data, encoder, region, width, limit * 3, workers));
       std::printf("%s", core::render_table_two({rows.back()}).c_str());
     }
     std::printf("\n");
@@ -80,7 +173,8 @@ int main() {
 
   std::printf("-- paper-scale rows --\n");
   for (std::size_t width : parse_widths("SAFENN_T2_WIDTHS", "10,20,25,40,50,60")) {
-    rows.push_back(run_row(built.data, encoder, region, width, limit));
+    rows.push_back(
+        run_row(built.data, encoder, region, width, limit, workers));
     std::printf("%s", core::render_table_two({rows.back()}).c_str());
     std::fflush(stdout);
   }
@@ -97,6 +191,7 @@ int main() {
     verify::VerifierOptions opts;
     opts.time_limit_seconds = limit;
     opts.warm_start_split_seconds = limit * 0.2;
+    opts.num_workers = workers;
     const core::PredictorProof proof = core::prove_lateral_velocity_bound(
         predictor, encoder, 3.0, opts, &region);
     std::printf("\nI4x%zu | prove lateral velocity can never be larger "
@@ -112,5 +207,168 @@ int main() {
     csv.write(os);
     std::printf("\n== CSV ==\n%s", os.str().c_str());
   }
-  return 0;
+
+  // -------------------------------------------------------------------
+  // Symbolic-tightening ablation + parallel determinism (BENCH_verify).
+  // -------------------------------------------------------------------
+  std::printf("\n== input-split ablation: symbolic vs interval bounds ==\n");
+  const double envelope = bench::env_double("SAFENN_T2_ENVELOPE", 0.10);
+  const long max_boxes = bench::env_long("SAFENN_T2_ABLATION_MAXBOXES", 20000);
+  // Loose enough (5 cm/s on a lateral velocity) that the interval-only
+  // baseline can close it too — the comparison is exact-vs-exact, not
+  // converged-vs-budget-capped.
+  const double gap = bench::env_double("SAFENN_T2_ABLATION_GAP", 0.1);
+  const verify::InputRegion local = envelope_region(domain, envelope);
+
+  verify::InputSplitOptions base_opts;
+  base_opts.gap_tol = gap;
+  base_opts.max_boxes = max_boxes;
+  base_opts.num_workers = workers;
+
+  long total_boxes_sym = 0, total_boxes_int = 0;
+  long total_lp_sym = 0, total_lp_int = 0;
+  double total_sec_sym = 0.0, total_sec_int = 0.0;
+  long num_queries = 0, both_exact = 0;
+  // On queries both engines close, the verdicts are identical by
+  // construction and the proven bounds must agree within the tolerance.
+  bool bounds_within_gap = true;
+  // On every query (capped or not), the engines must not contradict:
+  // neither side's concrete witness may exceed the other's proven bound.
+  bool cross_consistent = true;
+  std::ostringstream queries_json;
+  bool first_query = true;
+
+  for (std::size_t width :
+       parse_widths("SAFENN_T2_ABLATION_WIDTHS", "4,5,6")) {
+    const core::TrainedPredictor predictor =
+        bench::train_predictor(built.data, width);
+    for (std::size_t k = 0; k < predictor.head.components(); ++k) {
+      verify::OutputExpr expr;
+      expr.terms = {{static_cast<int>(predictor.head.mean_index(
+                         k, highway::kActionLateral)),
+                     1.0}};
+      verify::InputSplitOptions sym_opts = base_opts;
+      sym_opts.use_symbolic = true;
+      verify::InputSplitOptions int_opts = base_opts;
+      int_opts.use_symbolic = false;
+      const AblationSide s =
+          run_side(predictor.network, local, expr, sym_opts);
+      const AblationSide b =
+          run_side(predictor.network, local, expr, int_opts);
+      total_boxes_sym += s.boxes;
+      total_boxes_int += b.boxes;
+      total_lp_sym += s.lp_iterations;
+      total_lp_int += b.lp_iterations;
+      total_sec_sym += s.seconds;
+      total_sec_int += b.seconds;
+      ++num_queries;
+      if (s.exact && b.exact) {
+        ++both_exact;
+        if (std::abs(s.upper_bound - b.upper_bound) > 2.0 * gap + 1e-9) {
+          bounds_within_gap = false;
+        }
+      }
+      if (s.max_value > b.upper_bound + 1e-6 ||
+          b.max_value > s.upper_bound + 1e-6) {
+        cross_consistent = false;
+      }
+      std::printf("I4x%zu/c%zu: symbolic %ld boxes (%ld LP-free) %ld LP it "
+                  "%.2fs | interval %ld boxes %ld LP it %.2fs\n",
+                  width, k, s.boxes, s.pruned_symbolic, s.lp_iterations,
+                  s.seconds, b.boxes, b.lp_iterations, b.seconds);
+      if (!first_query) queries_json << ",\n";
+      first_query = false;
+      queries_json << "    {\"query\": \"I4x" << width << "/c" << k
+                   << "\", ";
+      json_side(queries_json, "symbolic", s);
+      queries_json << ", ";
+      json_side(queries_json, "interval", b);
+      queries_json << "}";
+    }
+  }
+
+  const double boxes_reduction =
+      total_boxes_int > 0
+          ? 100.0 * (1.0 - static_cast<double>(total_boxes_sym) /
+                               static_cast<double>(total_boxes_int))
+          : 0.0;
+  const double lp_reduction =
+      total_lp_int > 0
+          ? 100.0 * (1.0 - static_cast<double>(total_lp_sym) /
+                               static_cast<double>(total_lp_int))
+          : 0.0;
+  std::printf("\nsymbolic vs interval: boxes %ld -> %ld (-%.1f%%), "
+              "LP iterations %ld -> %ld (-%.1f%%)\n",
+              total_boxes_int, total_boxes_sym, boxes_reduction,
+              total_lp_int, total_lp_sym, lp_reduction);
+
+  // Parallel determinism spot check: the same query must yield identical
+  // results for 1/2/4 workers (see InputSplitOptions::num_workers).
+  bool determinism_ok = true;
+  {
+    const core::TrainedPredictor predictor = bench::train_predictor(
+        built.data,
+        parse_widths("SAFENN_T2_ABLATION_WIDTHS", "4,5,6").front());
+    verify::OutputExpr expr;
+    expr.terms = {{static_cast<int>(predictor.head.mean_index(
+                       0, highway::kActionLateral)),
+                   1.0}};
+    verify::InputSplitResult ref;
+    bool first = true;
+    for (int w : {1, 2, 4}) {
+      verify::InputSplitOptions opts = base_opts;
+      opts.num_workers = w;
+      const verify::InputSplitResult r =
+          verify::InputSplitVerifier(opts).maximize(predictor.network, local,
+                                                    expr);
+      if (first) {
+        ref = r;
+        first = false;
+        continue;
+      }
+      if (r.exact != ref.exact || r.max_value != ref.max_value ||
+          r.upper_bound != ref.upper_bound ||
+          r.boxes_explored != ref.boxes_explored ||
+          r.lp_iterations != ref.lp_iterations) {
+        determinism_ok = false;
+      }
+    }
+    std::printf("parallel determinism (1/2/4 workers): %s\n",
+                determinism_ok ? "identical" : "MISMATCH");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"table2_verification\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"envelope_fraction\": " << envelope << ",\n"
+       << "  \"gap_tol\": " << base_opts.gap_tol << ",\n"
+       << "  \"max_boxes\": " << max_boxes << ",\n"
+       << "  \"queries\": [\n" << queries_json.str() << "\n  ],\n"
+       << "  \"totals\": {\"boxes_interval\": " << total_boxes_int
+       << ", \"boxes_symbolic\": " << total_boxes_sym
+       << ", \"boxes_reduction_pct\": " << boxes_reduction
+       << ", \"lp_iterations_interval\": " << total_lp_int
+       << ", \"lp_iterations_symbolic\": " << total_lp_sym
+       << ", \"lp_iterations_reduction_pct\": " << lp_reduction
+       << ", \"seconds_interval\": " << total_sec_int
+       << ", \"seconds_symbolic\": " << total_sec_sym
+       << ", \"queries\": " << num_queries
+       << ", \"queries_both_exact\": " << both_exact
+       << ", \"verdicts_identical_on_converged\": true"
+       << ", \"bounds_within_gap_tol_on_converged\": "
+       << (bounds_within_gap ? "true" : "false")
+       << ", \"no_cross_contradictions\": "
+       << (cross_consistent ? "true" : "false") << "},\n"
+       << "  \"parallel_determinism\": {\"workers_checked\": [1, 2, 4], "
+       << "\"identical\": " << (determinism_ok ? "true" : "false")
+       << "}\n}\n";
+  const char* json_env = std::getenv("SAFENN_T2_JSON");
+  const std::string path =
+      json_env && *json_env ? json_env : "BENCH_verify.json";
+  std::ofstream(path) << json.str();
+  std::printf("\n%s(written to %s)\n", json.str().c_str(), path.c_str());
+  // Determinism is a hard contract (budgets are not): fail the run — and
+  // the CI release job — if any worker count changed any result.
+  return determinism_ok ? 0 : 1;
 }

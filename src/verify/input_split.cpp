@@ -2,37 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "lp/simplex.hpp"
 #include "verify/interval.hpp"
-#include "verify/verifier.hpp"
+#include "verify/parallel.hpp"
+#include "verify/symbolic.hpp"
 
 namespace safenn::verify {
 namespace {
 
-/// Triangle-relaxation LP over one box: returns the LP, with the expr
-/// objective already installed (maximize) and the input variables first.
-lp::Problem build_triangle_lp(const nn::Network& net, const Box& box,
-                              const std::vector<InputConstraint>& side,
-                              const std::vector<LayerBounds>& bounds,
-                              const OutputExpr& expr) {
+/// Base LP shared by every box of one maximize() call: the input
+/// variables (bounds overwritten per box) plus the region's side
+/// constraints. The rows and the objective structure are identical for
+/// every box, so they are built exactly once per call instead of per box.
+lp::Problem build_base_lp(const nn::Network& net, const InputRegion& region) {
   lp::Problem p;
   p.set_maximize(true);
+  for (std::size_t i = 0; i < net.input_size(); ++i) {
+    p.add_variable(region.box[i].lo, region.box[i].hi);
+  }
+  for (const InputConstraint& c : region.constraints) {
+    lp::LinearTerms terms;
+    terms.reserve(c.terms.size());
+    for (const auto& [idx, coef] : c.terms) {
+      require(idx >= 0 && static_cast<std::size_t>(idx) < net.input_size(),
+              "InputSplitVerifier: side-constraint index out of range");
+      terms.emplace_back(idx, coef);  // input variables are 0..n-1
+    }
+    p.add_constraint(std::move(terms), c.relation, c.rhs);
+  }
+  return p;
+}
+
+/// Triangle-relaxation LP over one box: copies the base LP, narrows the
+/// input-variable bounds to the box and appends the per-layer relaxation
+/// rows plus the expr objective.
+lp::Problem build_triangle_lp(const nn::Network& net, const Box& box,
+                              const lp::Problem& base,
+                              const std::vector<LayerBounds>& bounds,
+                              const OutputExpr& expr) {
+  lp::Problem p = base;
   std::vector<int> prev;
   prev.reserve(net.input_size());
   for (std::size_t i = 0; i < net.input_size(); ++i) {
-    prev.push_back(p.add_variable(box[i].lo, box[i].hi));
-  }
-  for (const InputConstraint& c : side) {
-    lp::LinearTerms terms;
-    for (const auto& [idx, coef] : c.terms) {
-      terms.emplace_back(prev[static_cast<std::size_t>(idx)], coef);
-    }
-    p.add_constraint(std::move(terms), c.relation, c.rhs);
+    const int v = static_cast<int>(i);
+    p.variable(v).lower = box[i].lo;
+    p.variable(v).upper = box[i].hi;
+    prev.push_back(v);
   }
 
   for (std::size_t li = 0; li < net.num_layers(); ++li) {
@@ -84,8 +108,6 @@ lp::Problem build_triangle_lp(const nn::Network& net, const Box& box,
   }
   // Objective over the output-layer variables (they are the last widths).
   for (const auto& [idx, coef] : expr.terms) {
-    require(idx >= 0 && static_cast<std::size_t>(idx) < prev.size(),
-            "build_triangle_lp: output index out of range");
     p.set_objective(prev[static_cast<std::size_t>(idx)], coef);
   }
   return p;
@@ -93,8 +115,31 @@ lp::Problem build_triangle_lp(const nn::Network& net, const Box& box,
 
 struct BoxNode {
   Box box;
-  double bound;  // parent/own LP bound (upper)
+  double bound;  // parent/own bound (upper)
   long id;
+};
+
+/// Everything one worker computes about one box. Pure function of the
+/// box and the round-start incumbent — no shared state is touched until
+/// the sequential merge, which is what makes the trajectory independent
+/// of the worker count.
+struct BoxOutcome {
+  bool deadline_hit = false;
+  bool pruned_no_lp = false;  // symbolic bound alone discarded the box
+  bool infeasible = false;
+  long lp_iterations = 0;
+  double box_bound = 0.0;
+  bool has_xhat = false;
+  bool xhat_in_region = false;
+  linalg::Vector xhat;
+  double xhat_val = 0.0;
+  bool has_probe = false;
+  bool probe_in_region = false;
+  linalg::Vector probe;
+  double probe_val = 0.0;
+  bool split = false;
+  std::size_t split_dim = 0;
+  double split_mid = 0.0;
 };
 
 }  // namespace
@@ -111,10 +156,21 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
     require(nn::is_piecewise_linear(net.layer(li).activation()),
             "InputSplitVerifier: only ReLU/identity networks supported");
   }
+  for (const auto& [idx, coef] : expr.terms) {
+    (void)coef;
+    require(idx >= 0 && static_cast<std::size_t>(idx) < net.output_size(),
+            "InputSplitVerifier: output index out of range");
+  }
 
   Stopwatch clock;
   Deadline deadline(options_.time_limit_seconds);
   lp::SimplexSolver solver;
+  const double gap_tol = options_.gap_tol;
+  const int chunk = std::max(1, options_.chunk_size);
+  TaskPool pool(static_cast<std::size_t>(std::max(1, options_.num_workers)));
+  std::optional<SymbolicPropagator> symbolic;
+  if (options_.use_symbolic) symbolic.emplace(net);
+  const lp::Problem base_lp = build_base_lp(net, region);
 
   InputSplitResult result;
   auto cmp = [](const BoxNode& a, const BoxNode& b) {
@@ -126,9 +182,7 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
   open.push(BoxNode{region.box, std::numeric_limits<double>::infinity(),
                     next_id++});
 
-  auto consider_point = [&](const linalg::Vector& x) {
-    if (!region.contains(x)) return;
-    const double val = expr.evaluate(net.forward(x));
+  auto consider = [&](linalg::Vector& x, double val) {
     if (!result.has_value || val > result.max_value) {
       result.has_value = true;
       result.max_value = val;
@@ -136,68 +190,76 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
     }
   };
 
-  bool timed_out = false;
-  double global_bound = std::numeric_limits<double>::infinity();
-  while (!open.empty()) {
-    if (deadline.expired() ||
-        (options_.max_boxes > 0 && result.boxes_explored >= options_.max_boxes)) {
-      timed_out = true;
-      break;
+  /// Pure per-box evaluation; reads only round-start state.
+  auto evaluate_box = [&](const BoxNode& node, BoxOutcome& o, bool round_has,
+                          double round_best) {
+    if (!deadline.unlimited() && deadline.expired()) {
+      o.deadline_hit = true;
+      return;
     }
-    BoxNode node = open.top();
-    open.pop();
-    global_bound = node.bound;
-    if (result.has_value &&
-        node.bound <= result.max_value + options_.gap_tol) {
-      global_bound = result.max_value;
-      break;  // nothing left can improve beyond the tolerance
-    }
-    ++result.boxes_explored;
-
-    // Fresh bounds for this box; the LP bound prunes, its argmax seeds
-    // the incumbent.
-    const std::vector<LayerBounds> bounds = propagate_bounds(net, node.box);
-    const lp::Problem relax = build_triangle_lp(
-        net, node.box, region.constraints, bounds, expr);
-    const lp::Solution s = solver.solve(relax);
-    result.lp_iterations += s.iterations;
-    if (s.status == lp::SolveStatus::kInfeasible) continue;
-    if (s.status != lp::SolveStatus::kOptimal) {
-      // Numerical trouble: keep the parent's bound, split anyway.
-    }
-    const double box_bound =
-        s.status == lp::SolveStatus::kOptimal
-            ? std::min(node.bound, s.objective)
-            : node.bound;
-    // Incumbents: LP's input point and box midpoint.
-    if (s.status == lp::SolveStatus::kOptimal) {
-      linalg::Vector x_hat(net.input_size());
-      for (std::size_t i = 0; i < x_hat.size(); ++i) {
-        x_hat[i] = std::clamp(s.values[i], node.box[i].lo, node.box[i].hi);
+    // Bounds for this box. Symbolic tightening yields (a) fewer unstable
+    // neurons, so smaller and tighter triangle LPs, and (b) an
+    // objective-level upper bound that can discard the box before any LP
+    // exists at all.
+    std::vector<LayerBounds> bounds;
+    o.box_bound = node.bound;
+    if (symbolic) {
+      SymbolicBounds sb = symbolic->propagate(node.box);
+      o.box_bound = std::min(
+          o.box_bound,
+          SymbolicPropagator::objective_interval(sb, node.box, expr.terms).hi);
+      bounds = std::move(sb.layers);
+      if (round_has && o.box_bound <= round_best + gap_tol) {
+        o.pruned_no_lp = true;
+        return;
       }
-      consider_point(x_hat);
+    } else {
+      bounds = propagate_bounds(net, node.box);
     }
-    if (result.has_value &&
-        box_bound <= result.max_value + options_.gap_tol) {
-      continue;  // pruned
+
+    const lp::Problem relax =
+        build_triangle_lp(net, node.box, base_lp, bounds, expr);
+    const lp::Solution s = solver.solve(relax);
+    o.lp_iterations = s.iterations;
+    if (s.status == lp::SolveStatus::kInfeasible) {
+      o.infeasible = true;
+      return;
     }
+    // Non-optimal, non-infeasible = numerical trouble: keep the tightest
+    // bound known so far and split anyway.
+    if (s.status == lp::SolveStatus::kOptimal) {
+      o.box_bound = std::min(o.box_bound, s.objective);
+      linalg::Vector x_hat(net.input_size());
+      for (std::size_t d = 0; d < x_hat.size(); ++d) {
+        x_hat[d] = std::clamp(s.values[d], node.box[d].lo, node.box[d].hi);
+      }
+      o.xhat_val = expr.evaluate(net.forward(x_hat));
+      o.xhat_in_region = region.contains(x_hat);
+      o.xhat = std::move(x_hat);
+      o.has_xhat = true;
+    }
+    // Prune against the round-start incumbent improved by this box's own
+    // candidate (both are task-local, so this stays deterministic).
+    double best = round_has ? round_best
+                            : -std::numeric_limits<double>::infinity();
+    if (o.xhat_in_region) best = std::max(best, o.xhat_val);
+    if (std::isfinite(best) && o.box_bound <= best + gap_tol) return;
 
     // Split on the input dimension with the largest smear
-    // (width x |d expr / d x_i| at the incumbent-ish point).
+    // (width x |d expr / d x_i| at the box midpoint).
     linalg::Vector probe(net.input_size());
     for (std::size_t i = 0; i < probe.size(); ++i) {
       probe[i] = 0.5 * (node.box[i].lo + node.box[i].hi);
     }
-    consider_point(probe);
+    o.probe_val = expr.evaluate(net.forward(probe));
+    o.probe_in_region = region.contains(probe);
     linalg::Vector grad(net.input_size());
-    {
-      // Gradient of expr at probe: sum coef * d out_idx / d x.
-      for (const auto& [idx, coef] : expr.terms) {
-        grad.add_scaled(coef, net.input_gradient(
-                                  probe, static_cast<std::size_t>(idx)));
-      }
+    for (const auto& [idx, coef] : expr.terms) {
+      grad.add_scaled(coef,
+                      net.input_gradient(probe, static_cast<std::size_t>(idx)));
     }
-    std::size_t split_dim = 0;
+    o.probe = std::move(probe);
+    o.has_probe = true;
     double best_smear = -1.0;
     for (std::size_t i = 0; i < node.box.size(); ++i) {
       const double width = node.box[i].width();
@@ -205,21 +267,95 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
       const double smear = width * (std::abs(grad[i]) + 1e-6);
       if (smear > best_smear) {
         best_smear = smear;
-        split_dim = i;
+        o.split_dim = i;
       }
     }
-    if (best_smear < 0.0) {
-      // Box is a point: its value is already considered; bound is exact.
-      continue;
+    if (best_smear < 0.0) return;  // point box: value already considered
+    o.split = true;
+    o.split_mid =
+        0.5 * (node.box[o.split_dim].lo + node.box[o.split_dim].hi);
+  };
+
+  bool timed_out = false;
+  double global_bound = std::numeric_limits<double>::infinity();
+  std::vector<BoxNode> batch;
+  std::vector<BoxOutcome> outcomes;
+  std::vector<std::function<void()>> tasks;
+
+  while (!open.empty()) {
+    global_bound = open.top().bound;
+    if (result.has_value && global_bound <= result.max_value + gap_tol) {
+      global_bound = result.max_value;
+      break;  // nothing left can improve beyond the tolerance
     }
-    const double mid =
-        0.5 * (node.box[split_dim].lo + node.box[split_dim].hi);
-    BoxNode left{node.box, box_bound, next_id++};
-    left.box[split_dim].hi = mid;
-    BoxNode right{node.box, box_bound, next_id++};
-    right.box[split_dim].lo = mid;
-    open.push(std::move(left));
-    open.push(std::move(right));
+    // Deadline/budget checks once per round (= up to chunk boxes), not
+    // per box; workers re-check before starting expensive work when a
+    // time limit is actually set.
+    if (deadline.expired() ||
+        (options_.max_boxes > 0 &&
+         result.boxes_explored >= options_.max_boxes)) {
+      timed_out = true;
+      break;
+    }
+
+    // Pop this round's chunk. Everything below the first prunable node
+    // is prunable too (best-first order), so stop there.
+    batch.clear();
+    while (!open.empty() && static_cast<int>(batch.size()) < chunk) {
+      if (result.has_value &&
+          open.top().bound <= result.max_value + gap_tol) {
+        break;
+      }
+      batch.push_back(open.top());
+      open.pop();
+    }
+
+    const bool round_has = result.has_value;
+    const double round_best = result.max_value;
+    outcomes.assign(batch.size(), BoxOutcome{});
+    tasks.clear();
+    tasks.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      tasks.push_back([&, i] {
+        evaluate_box(batch[i], outcomes[i], round_has, round_best);
+      });
+    }
+    pool.run(tasks);
+
+    // Merge in pop order — the only place shared state is touched, so
+    // the trajectory is identical for any worker count.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      BoxNode& node = batch[i];
+      BoxOutcome& o = outcomes[i];
+      if (o.deadline_hit) {
+        // Unprocessed: return the box so the remaining queue still
+        // covers the whole unresolved region (keeps upper_bound sound).
+        timed_out = true;
+        open.push(std::move(node));
+        continue;
+      }
+      ++result.boxes_explored;
+      if (o.pruned_no_lp) {
+        ++result.boxes_pruned_symbolic;
+        continue;
+      }
+      result.lp_iterations += o.lp_iterations;
+      if (o.infeasible) continue;
+      if (o.has_xhat && o.xhat_in_region) consider(o.xhat, o.xhat_val);
+      if (result.has_value &&
+          o.box_bound <= result.max_value + gap_tol) {
+        continue;  // pruned against the live (deterministic) incumbent
+      }
+      if (o.has_probe && o.probe_in_region) consider(o.probe, o.probe_val);
+      if (!o.split) continue;  // point box
+      BoxNode left{node.box, o.box_bound, next_id++};
+      left.box[o.split_dim].hi = o.split_mid;
+      BoxNode right{std::move(node.box), o.box_bound, next_id++};
+      right.box[o.split_dim].lo = o.split_mid;
+      open.push(std::move(left));
+      open.push(std::move(right));
+    }
+    if (timed_out) break;
   }
 
   result.seconds = clock.seconds();
@@ -239,7 +375,7 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
   }
   result.exact = true;
   result.upper_bound =
-      std::min(global_bound, result.max_value + options_.gap_tol);
+      std::min(global_bound, result.max_value + gap_tol);
   return result;
 }
 

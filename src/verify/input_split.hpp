@@ -2,12 +2,25 @@
 //
 // A second, complementary engine to the MILP branch-and-bound: instead of
 // branching on ReLU phase binaries with fixed big-M constants, it
-// branches on *input dimensions*. Each sub-box gets fresh interval bounds
-// (so neurons stabilize as boxes shrink) and a triangle-relaxation LP
-// upper bound; the LP's input point, evaluated through the real network,
-// supplies incumbents. Sound and complete for piecewise-linear networks:
-// boxes are only discarded when their LP bound cannot beat the incumbent,
-// and refinement makes bounds exact in the limit.
+// branches on *input dimensions*. Each sub-box gets fresh symbolic
+// (Neurify/DeepPoly-style) bounds — so neurons stabilize as boxes shrink
+// and many boxes are discarded without solving an LP at all — and a
+// triangle-relaxation LP upper bound; the LP's input point, evaluated
+// through the real network, supplies incumbents. Sound and complete for
+// piecewise-linear networks: boxes are only discarded when their bound
+// cannot beat the incumbent, and refinement makes bounds exact in the
+// limit.
+//
+// The search runs in synchronous rounds: each round pops a fixed-size
+// chunk of boxes from the best-first queue, evaluates them concurrently
+// on `num_workers` threads, and merges the outcomes in pop order. All
+// pruning decisions depend only on round-boundary state, so the explored
+// tree — and with it the verdict, the proven upper bound, the incumbent
+// max_value, and even boxes_explored — is bit-for-bit identical for any
+// worker count (determinism is a hard requirement here; see DESIGN.md
+// "Parallel verification & symbolic bounds"). Only chunk_size changes the
+// trajectory, by making the engine evaluate boxes speculatively that a
+// strictly one-at-a-time search might have pruned.
 //
 // This mirrors the refinement strategy of ReluVal/Neurify and is the
 // engine behind the Table II rows at larger widths, where the one-shot
@@ -26,6 +39,20 @@ struct InputSplitOptions {
   /// Terminate when (global upper bound - incumbent) <= gap_tol.
   double gap_tol = 1e-4;
   long max_boxes = 0;  // <= 0: unlimited
+  /// Worker threads evaluating the boxes of one round concurrently.
+  /// Does NOT affect results: verdict, max_value, upper_bound and
+  /// boxes_explored are identical for any value (see header comment).
+  int num_workers = 1;
+  /// Boxes evaluated per synchronous round. Larger chunks expose more
+  /// parallelism but speculate further ahead of the incumbent; results
+  /// stay sound and exact for any value, but the explored tree (and so
+  /// boxes_explored) depends on it. Keep fixed for reproducibility.
+  int chunk_size = 8;
+  /// Symbolic bound tightening: tighter triangle LPs plus LP-free
+  /// discarding of boxes whose symbolic objective bound cannot beat the
+  /// incumbent. Off = plain interval bounds (the ablation baseline
+  /// measured by bench_table2_verification --smoke).
+  bool use_symbolic = true;
 };
 
 struct InputSplitResult {
@@ -36,6 +63,9 @@ struct InputSplitResult {
   linalg::Vector witness;     // input achieving max_value
   double seconds = 0.0;
   long boxes_explored = 0;
+  /// Boxes discarded by the symbolic objective bound alone — each one is
+  /// a triangle LP that never had to be built or solved.
+  long boxes_pruned_symbolic = 0;
   long lp_iterations = 0;
 };
 

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "lp/simplex.hpp"
 #include "verify/interval.hpp"
+#include "verify/symbolic.hpp"
 
 namespace safenn::verify {
 
@@ -13,9 +14,10 @@ std::vector<LayerBounds> lp_tightened_bounds(const nn::Network& net,
                                              const InputRegion& region) {
   require(region.dims() == net.input_size(),
           "lp_tightened_bounds: region dimension mismatch");
-  // Interval bounds seed the relaxation and cap the LP answers (the LP
-  // can only tighten, never loosen, a sound bound).
-  const std::vector<LayerBounds> seed = propagate_bounds(net, region.box);
+  // Symbolic bounds seed the relaxation and cap the LP answers (the LP
+  // can only tighten, never loosen, a sound bound). The tighter seed
+  // also lets stable neurons skip their min/max LP pair below.
+  const std::vector<LayerBounds> seed = symbolic_bounds(net, region.box);
 
   lp::Problem relaxation;
   std::vector<int> prev_vars;
@@ -52,7 +54,13 @@ std::vector<LayerBounds> lp_tightened_bounds(const nn::Network& net,
         if (w != 0.0) z_terms.emplace_back(prev_vars[c], w);
       }
       const double b = layer.biases()[r];
-      for (int sense = 0; sense < 2; ++sense) {
+      // A ReLU neuron the symbolic seed already proves stable encodes
+      // without a binary no matter how much tighter the LP bound gets —
+      // skip both LPs (the big win of the symbolic seed: on typical
+      // boxes most neurons are stable).
+      const bool skip_lps = layer.activation() == nn::Activation::kRelu &&
+                            classify(pre) != NeuronStability::kUnstable;
+      for (int sense = 0; !skip_lps && sense < 2; ++sense) {
         lp::Problem p = relaxation;
         for (const auto& [var, coef] : z_terms) p.set_objective(var, coef);
         p.set_maximize(sense == 1);
@@ -162,6 +170,9 @@ EncodedNetwork encode_network(const nn::Network& net,
   switch (options.tightening) {
     case BoundTightening::kInterval:
       bounds = propagate_bounds(net, region.box);
+      break;
+    case BoundTightening::kSymbolic:
+      bounds = symbolic_bounds(net, region.box);
       break;
     case BoundTightening::kLpTighten:
       bounds = lp_tightened_bounds(net, region);

@@ -34,8 +34,14 @@ enum class BoundTightening {
   kLooseBigM,
   /// Interval arithmetic through the layers (cheap, layer-wise sound).
   kInterval,
+  /// Symbolic (Neurify/DeepPoly-style) linear bounds in the input
+  /// variables, concretized per neuron. Never looser than kInterval,
+  /// still LP-free.
+  kSymbolic,
   /// Per-neuron min/max LPs over the triangle relaxation of all earlier
-  /// layers (slower to build, much tighter; the default).
+  /// layers (slower to build, much tighter; the default). Seeded by
+  /// kSymbolic bounds: neurons the seed already proves stable skip their
+  /// LP pair entirely.
   kLpTighten,
 };
 

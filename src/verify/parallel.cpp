@@ -1,0 +1,107 @@
+#include "verify/parallel.hpp"
+
+#include <algorithm>
+
+namespace safenn::verify {
+
+TaskPool::TaskPool(std::size_t workers)
+    : workers_(std::max<std::size_t>(1, workers)) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back(&TaskPool::worker_loop, this);
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    // Sequential fast path: no locks, exceptions propagate directly (the
+    // first failing task, which is also the lowest-indexed one).
+    for (const auto& task : tasks) task();
+    return;
+  }
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_ = &tasks;
+    next_ = 0;
+    in_flight_ = 0;
+    errors_.assign(tasks.size(), nullptr);
+    gen = ++generation_;
+  }
+  cv_start_.notify_all();
+  drain(gen);
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return next_ >= tasks.size() && in_flight_ == 0; });
+    tasks_ = nullptr;
+    for (std::exception_ptr& e : errors_) {
+      if (e) {
+        first_error = e;
+        break;
+      }
+    }
+    errors_.clear();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TaskPool::drain(std::uint64_t gen) {
+  for (;;) {
+    const std::function<void()>* task = nullptr;
+    std::size_t idx = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // A straggler from a previous batch must not claim work from the
+      // next one: the generation check pins this loop to its batch.
+      if (stop_ || generation_ != gen || tasks_ == nullptr ||
+          next_ >= tasks_->size()) {
+        return;
+      }
+      idx = next_++;
+      ++in_flight_;
+      task = &(*tasks_)[idx];
+    }
+    try {
+      (*task)();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      errors_[idx] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+      if (tasks_ != nullptr && next_ >= tasks_->size() && in_flight_ == 0) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t gen;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] {
+        return stop_ || (generation_ != seen && tasks_ != nullptr);
+      });
+      if (stop_) return;
+      gen = seen = generation_;
+    }
+    drain(gen);
+  }
+}
+
+}  // namespace safenn::verify

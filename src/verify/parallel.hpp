@@ -1,0 +1,62 @@
+// Worker pool for the parallel verification engines.
+//
+// Deliberately synchronous: run() executes a fixed batch of independent
+// tasks and blocks until every one has returned. The input-splitting
+// verifier relies on this barrier for determinism — each branch-and-bound
+// round evaluates a chunk of boxes concurrently, then merges the
+// outcomes in a fixed order, so the search trajectory (and therefore the
+// verdict, the proven bound, and the incumbent) does not depend on how
+// many workers executed the chunk or how the OS scheduled them.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safenn::verify {
+
+/// Persistent pool of `workers - 1` threads (the caller participates as
+/// the last worker). With one worker no threads are spawned and run()
+/// executes inline — the sequential path stays allocation- and
+/// synchronization-free.
+class TaskPool {
+ public:
+  explicit TaskPool(std::size_t workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  /// Runs every task in `tasks` exactly once, blocking until all have
+  /// finished. Tasks must be independent (no ordering guarantees). If
+  /// any task throws, the exception of the lowest-indexed failing task
+  /// is rethrown after the batch completes (deterministic choice).
+  void run(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+  /// Claims and executes tasks of the generation-`gen` batch until none
+  /// remain (or the batch changed underneath a straggler).
+  void drain(std::uint64_t gen);
+
+  const std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::vector<std::function<void()>>* tasks_ = nullptr;  // guarded by mu_
+  std::size_t next_ = 0;            // next unclaimed task index
+  std::size_t in_flight_ = 0;       // claimed but unfinished tasks
+  std::uint64_t generation_ = 0;    // bumped per run() batch
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace safenn::verify

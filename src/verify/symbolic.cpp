@@ -1,0 +1,271 @@
+#include "verify/symbolic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace safenn::verify {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Minimum of a linear form coef.row(r) . x + cst[r] over the box.
+double concretize_lo(const Matrix& coef, const Vector& cst, std::size_t r,
+                     const Box& box) {
+  double v = cst[r];
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    const double c = coef(r, i);
+    v += c >= 0.0 ? c * box[i].lo : c * box[i].hi;
+  }
+  return v;
+}
+
+/// Maximum of a linear form coef.row(r) . x + cst[r] over the box.
+double concretize_hi(const Matrix& coef, const Vector& cst, std::size_t r,
+                     const Box& box) {
+  double v = cst[r];
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    const double c = coef(r, i);
+    v += c >= 0.0 ? c * box[i].hi : c * box[i].lo;
+  }
+  return v;
+}
+
+}  // namespace
+
+SymbolicPropagator::SymbolicPropagator(const nn::Network& net) : net_(&net) {
+  w_pos_.reserve(net.num_layers());
+  w_neg_.reserve(net.num_layers());
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const Matrix& w = net.layer(li).weights();
+    Matrix pos(w.rows(), w.cols());
+    Matrix neg(w.rows(), w.cols());
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        const double v = w(r, c);
+        if (v >= 0.0) {
+          pos(r, c) = v;
+        } else {
+          neg(r, c) = v;
+        }
+      }
+    }
+    w_pos_.push_back(std::move(pos));
+    w_neg_.push_back(std::move(neg));
+  }
+}
+
+SymbolicBounds SymbolicPropagator::propagate(const Box& input_box) const {
+  const nn::Network& net = *net_;
+  const std::size_t n = net.input_size();
+  require(input_box.size() == n,
+          "SymbolicPropagator: box dimension mismatch");
+  for (const Interval& iv : input_box) {
+    require(iv.lo <= iv.hi, "SymbolicPropagator: empty interval in box");
+  }
+
+  SymbolicBounds out;
+  out.layers.reserve(net.num_layers());
+
+  // Rolling state: symbolic forms and concrete intervals of the previous
+  // layer's post-activations (the inputs themselves before layer 0).
+  SymbolicForms prev;
+  std::vector<Interval> prev_post = input_box;
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const nn::DenseLayer& layer = net.layer(li);
+    const std::size_t width = layer.out_size();
+    const Matrix& w = layer.weights();
+    const Vector& b = layer.biases();
+
+    // Symbolic pre-activation forms. Layer 0 sees the inputs exactly
+    // (z = Wx + b), so both forms are W itself; deeper layers compose
+    // through the weight sign-split: a positive weight keeps the bound
+    // side, a negative weight swaps it.
+    SymbolicForms pre;
+    if (li == 0) {
+      pre.lo_coef = w;
+      pre.hi_coef = w;
+      pre.lo_const = b;
+      pre.hi_const = b;
+    } else {
+      pre.lo_coef = Matrix::gemm(w_pos_[li], prev.lo_coef);
+      pre.lo_coef.add_scaled(1.0, Matrix::gemm(w_neg_[li], prev.hi_coef));
+      pre.hi_coef = Matrix::gemm(w_pos_[li], prev.hi_coef);
+      pre.hi_coef.add_scaled(1.0, Matrix::gemm(w_neg_[li], prev.lo_coef));
+      pre.lo_const = w_pos_[li].matvec(prev.lo_const);
+      pre.lo_const.add_scaled(1.0, w_neg_[li].matvec(prev.hi_const));
+      pre.lo_const += b;
+      pre.hi_const = w_pos_[li].matvec(prev.hi_const);
+      pre.hi_const.add_scaled(1.0, w_neg_[li].matvec(prev.lo_const));
+      pre.hi_const += b;
+    }
+
+    LayerBounds lb;
+    lb.pre.resize(width);
+    lb.post.resize(width);
+    SymbolicForms post;
+    post.lo_coef.resize(width, n);
+    post.hi_coef.resize(width, n);
+    post.lo_const = Vector(width);
+    post.hi_const = Vector(width);
+    post.lo_coef.fill(0.0);
+    post.hi_coef.fill(0.0);
+
+    for (std::size_t r = 0; r < width; ++r) {
+      // Plain interval bound from the previous concrete posts — the
+      // intersection below is what makes the result provably no looser
+      // than propagate_bounds.
+      double ilo = b[r];
+      double ihi = ilo;
+      for (std::size_t c = 0; c < layer.in_size(); ++c) {
+        const double wv = w(r, c);
+        if (wv >= 0.0) {
+          ilo += wv * prev_post[c].lo;
+          ihi += wv * prev_post[c].hi;
+        } else {
+          ilo += wv * prev_post[c].hi;
+          ihi += wv * prev_post[c].lo;
+        }
+      }
+      Interval z;
+      z.lo = std::max(ilo, concretize_lo(pre.lo_coef, pre.lo_const, r,
+                                         input_box));
+      z.hi = std::min(ihi, concretize_hi(pre.hi_coef, pre.hi_const, r,
+                                         input_box));
+      if (z.lo > z.hi) z.lo = z.hi;  // FP-noise guard (both sides sound)
+      lb.pre[r] = z;
+
+      const nn::Activation act = layer.activation();
+      if (act == nn::Activation::kIdentity) {
+        for (std::size_t i = 0; i < n; ++i) {
+          post.lo_coef(r, i) = pre.lo_coef(r, i);
+          post.hi_coef(r, i) = pre.hi_coef(r, i);
+        }
+        post.lo_const[r] = pre.lo_const[r];
+        post.hi_const[r] = pre.hi_const[r];
+        lb.post[r] = z;
+        continue;
+      }
+      if (act == nn::Activation::kRelu) {
+        if (z.hi <= 0.0) {
+          // Stable inactive: output pinned to 0 (forms already zeroed).
+          lb.post[r] = Interval{0.0, 0.0};
+          continue;
+        }
+        if (z.lo >= 0.0) {
+          // Stable active: identity pass-through.
+          for (std::size_t i = 0; i < n; ++i) {
+            post.lo_coef(r, i) = pre.lo_coef(r, i);
+            post.hi_coef(r, i) = pre.hi_coef(r, i);
+          }
+          post.lo_const[r] = pre.lo_const[r];
+          post.hi_const[r] = pre.hi_const[r];
+          lb.post[r] = z;
+          continue;
+        }
+        // Unstable: triangle upper chord through (lo, 0) and (hi, hi);
+        // lower bound is the DeepPoly choice between y >= 0 and y >= z
+        // (keep whichever chord hugs the ReLU tighter on this interval).
+        const double slope = z.hi / (z.hi - z.lo);
+        for (std::size_t i = 0; i < n; ++i) {
+          post.hi_coef(r, i) = slope * pre.hi_coef(r, i);
+        }
+        post.hi_const[r] = slope * (pre.hi_const[r] - z.lo);
+        const double lam = z.hi >= -z.lo ? 1.0 : 0.0;
+        if (lam > 0.0) {
+          for (std::size_t i = 0; i < n; ++i) {
+            post.lo_coef(r, i) = pre.lo_coef(r, i);
+          }
+          post.lo_const[r] = pre.lo_const[r];
+        }
+        Interval y{0.0, z.hi};
+        y.lo = std::max(y.lo, concretize_lo(post.lo_coef, post.lo_const, r,
+                                            input_box));
+        y.hi = std::min(y.hi, concretize_hi(post.hi_coef, post.hi_const, r,
+                                            input_box));
+        if (y.lo > y.hi) y.lo = y.hi;
+        lb.post[r] = y;
+        continue;
+      }
+      // Smooth monotone activation: concretize and carry the interval as
+      // constant forms (sound; keeps mixed ReLU/tanh/identity stacks
+      // supported, exactly matching interval propagation there).
+      const Interval y{nn::activate(act, z.lo), nn::activate(act, z.hi)};
+      post.lo_const[r] = y.lo;
+      post.hi_const[r] = y.hi;
+      lb.post[r] = y;
+    }
+
+    prev_post = lb.post;
+    out.layers.push_back(std::move(lb));
+    prev = std::move(post);
+  }
+
+  out.output = std::move(prev);
+  return out;
+}
+
+Interval SymbolicPropagator::objective_interval(const SymbolicBounds& bounds,
+                                                const Box& input_box,
+                                                const lp::LinearTerms& terms) {
+  require(!bounds.layers.empty(), "objective_interval: empty bounds");
+  const std::vector<Interval>& outs = bounds.layers.back().post;
+  const SymbolicForms& f = bounds.output;
+  const std::size_t n = input_box.size();
+
+  // Combined symbolic forms of the objective: a positive coefficient
+  // keeps each output's bound side, a negative one swaps it.
+  Vector lo_coef(n);
+  Vector hi_coef(n);
+  double lo_const = 0.0;
+  double hi_const = 0.0;
+  // Interval combination of the (already symbolic-tightened) concrete
+  // output bounds, kept as a second sound estimate to intersect with.
+  Interval ival{0.0, 0.0};
+  for (const auto& [idx, coef] : terms) {
+    require(idx >= 0 && static_cast<std::size_t>(idx) < outs.size(),
+            "objective_interval: output index out of range");
+    const std::size_t r = static_cast<std::size_t>(idx);
+    if (coef >= 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        lo_coef[i] += coef * f.lo_coef(r, i);
+        hi_coef[i] += coef * f.hi_coef(r, i);
+      }
+      lo_const += coef * f.lo_const[r];
+      hi_const += coef * f.hi_const[r];
+      ival.lo += coef * outs[r].lo;
+      ival.hi += coef * outs[r].hi;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        lo_coef[i] += coef * f.hi_coef(r, i);
+        hi_coef[i] += coef * f.lo_coef(r, i);
+      }
+      lo_const += coef * f.hi_const[r];
+      hi_const += coef * f.lo_const[r];
+      ival.lo += coef * outs[r].hi;
+      ival.hi += coef * outs[r].lo;
+    }
+  }
+
+  Interval acc{lo_const, hi_const};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cl = lo_coef[i];
+    acc.lo += cl >= 0.0 ? cl * input_box[i].lo : cl * input_box[i].hi;
+    const double ch = hi_coef[i];
+    acc.hi += ch >= 0.0 ? ch * input_box[i].hi : ch * input_box[i].lo;
+  }
+  acc.lo = std::max(acc.lo, ival.lo);
+  acc.hi = std::min(acc.hi, ival.hi);
+  if (acc.lo > acc.hi) acc.lo = acc.hi;
+  return acc;
+}
+
+std::vector<LayerBounds> symbolic_bounds(const nn::Network& net,
+                                         const Box& input_box) {
+  return SymbolicPropagator(net).propagate(input_box).layers;
+}
+
+}  // namespace safenn::verify

@@ -1,0 +1,79 @@
+// Symbolic linear bound propagation (Neurify/DeepPoly-style).
+//
+// Where interval propagation forgets every cross-neuron correlation at
+// each layer, symbolic propagation carries, for every neuron, a *linear*
+// lower and upper bounding function of the network inputs:
+//
+//     lo_coef.row(r) . x + lo_const[r]  <=  y_r  <=  hi_coef.row(r) . x + hi_const[r]
+//
+// valid for all x in the input box. Unstable ReLUs are relaxed with the
+// triangle bounds (upper: slope*(z - lo); lower: z or 0, whichever chord
+// loses less area — the DeepPoly rule), stable ReLUs and identity layers
+// pass the forms through exactly, and smooth monotone activations fall
+// back to their concrete interval (forms degrade to constants, staying
+// sound for mixed ReLU/tanh/identity stacks).
+//
+// Concretizing the forms against the box and intersecting with plain
+// interval propagation yields `LayerBounds` that are *provably never
+// looser* than `propagate_bounds` — the drop-in tightening used by the
+// MILP big-M constants, the LP-OBBT seed, and the input-splitting
+// verifier's LP-free box pruning (paper Sec. IV(ii): "scalability of
+// automated verification requires improvement").
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "lp/problem.hpp"
+#include "nn/network.hpp"
+#include "verify/interval.hpp"
+
+namespace safenn::verify {
+
+/// Linear lower/upper bounding functions of the network *inputs* for one
+/// layer's post-activations (one row per neuron, one column per input).
+struct SymbolicForms {
+  linalg::Matrix lo_coef;   // out x in
+  linalg::Vector lo_const;  // out
+  linalg::Matrix hi_coef;   // out x in
+  linalg::Vector hi_const;  // out
+};
+
+/// Result of one symbolic propagation over a box.
+struct SymbolicBounds {
+  /// Concretized per-layer bounds, element-wise at least as tight as
+  /// propagate_bounds on the same box (intersected by construction).
+  std::vector<LayerBounds> layers;
+  /// Symbolic forms of the output layer's post-activations; these admit
+  /// objective-level bounds over sub-boxes without solving an LP.
+  SymbolicForms output;
+};
+
+/// Reusable propagation engine: the per-layer weight sign-splits W+ / W-
+/// are computed once at construction, so the per-box cost in a
+/// branch-and-bound hot loop is pure GEMM work. Thread-safe for
+/// concurrent propagate() calls (all state is immutable after build).
+class SymbolicPropagator {
+ public:
+  explicit SymbolicPropagator(const nn::Network& net);
+
+  SymbolicBounds propagate(const Box& input_box) const;
+
+  /// Sound bounds on sum_i terms[i].second * out[terms[i].first] over the
+  /// box, from the output symbolic forms intersected with the concrete
+  /// output intervals. Never looser than linear_output_bounds.
+  static Interval objective_interval(const SymbolicBounds& bounds,
+                                     const Box& input_box,
+                                     const lp::LinearTerms& terms);
+
+ private:
+  const nn::Network* net_;
+  std::vector<linalg::Matrix> w_pos_;  // max(W, 0) per layer
+  std::vector<linalg::Matrix> w_neg_;  // min(W, 0) per layer
+};
+
+/// One-shot convenience: symbolic-tightened LayerBounds for the box.
+std::vector<LayerBounds> symbolic_bounds(const nn::Network& net,
+                                         const Box& input_box);
+
+}  // namespace safenn::verify

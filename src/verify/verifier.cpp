@@ -60,6 +60,7 @@ MaximizeResult MilpVerifier::maximize(const nn::Network& net,
       InputSplitOptions split_opts;
       split_opts.time_limit_seconds = options_.warm_start_split_seconds;
       split_opts.gap_tol = 1e-3;
+      split_opts.num_workers = options_.num_workers;
       const InputSplitResult sr =
           InputSplitVerifier(split_opts).maximize(net, region, expr);
       if (sr.has_value && (!have || sr.max_value > best_val)) {

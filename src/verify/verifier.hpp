@@ -41,6 +41,9 @@ struct VerifierOptions {
   /// Input splitting excels at finding strong incumbents; the MILP then
   /// only has to close the dual bound.
   double warm_start_split_seconds = 0.0;
+  /// Worker threads for the input-splitting warm start. Does not affect
+  /// results (see InputSplitOptions::num_workers).
+  int num_workers = 1;
 };
 
 /// Result of maximizing a linear output functional over an input region.

@@ -500,7 +500,7 @@ TEST_P(LpTighteningProperty, SoundAndNoLooserThanIntervals) {
 INSTANTIATE_TEST_SUITE_P(Seeds, LpTighteningProperty,
                          ::testing::Range<std::uint64_t>(0, 8));
 
-TEST(LpTightening, AllThreeModesAgreeOnExactMaximum) {
+TEST(LpTightening, AllModesAgreeOnExactMaximum) {
   Rng rng(501);
   Network net = Network::make_mlp({2, 6, 5, 1}, Activation::kRelu,
                                   Activation::kIdentity, rng);
@@ -511,7 +511,7 @@ TEST(LpTightening, AllThreeModesAgreeOnExactMaximum) {
   bool first = true;
   for (BoundTightening mode :
        {BoundTightening::kLooseBigM, BoundTightening::kInterval,
-        BoundTightening::kLpTighten}) {
+        BoundTightening::kSymbolic, BoundTightening::kLpTighten}) {
     VerifierOptions opts;
     opts.encoder.tightening = mode;
     opts.encoder.loose_big_m = 100.0;
@@ -688,6 +688,269 @@ TEST_P(ResilienceMonotone, LargerThresholdNeverShrinksRadius) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceMonotone,
                          ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace safenn::verify
+
+// ---------------------------------------------------------------------------
+// Symbolic bound propagation + parallel input splitting (appended suite).
+// ---------------------------------------------------------------------------
+#include "verify/symbolic.hpp"
+
+namespace safenn::verify {
+namespace {
+
+using linalg::Vector;
+using nn::Activation;
+using nn::Network;
+
+Network mixed_stack_net(Rng& rng) {
+  // ReLU -> tanh -> identity-hidden -> ReLU -> identity output: every
+  // activation family the propagators support, in one stack.
+  Network net;
+  const Activation acts[] = {Activation::kRelu, Activation::kTanh,
+                             Activation::kIdentity, Activation::kRelu,
+                             Activation::kIdentity};
+  const std::size_t widths[] = {3, 6, 5, 5, 4, 2};
+  for (std::size_t i = 0; i < 5; ++i) {
+    nn::DenseLayer l(widths[i], widths[i + 1], acts[i]);
+    l.init_weights(rng);
+    net.add_layer(std::move(l));
+  }
+  return net;
+}
+
+// The tentpole property: symbolic bounds are sound (dense sampling never
+// escapes them) and provably no looser than interval propagation.
+class SymbolicProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymbolicProperty, SoundAndNeverLooserThanIntervals) {
+  Rng rng(GetParam() + 700);
+  Network net = Network::make_mlp({3, 7, 6, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  Box box(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double lo = rng.uniform(-1.5, 0.5);
+    box[i] = Interval{lo, lo + rng.uniform(0.05, 2.0)};
+  }
+  const auto interval_b = propagate_bounds(net, box);
+  const auto symbolic_b = symbolic_bounds(net, box);
+  ASSERT_EQ(symbolic_b.size(), interval_b.size());
+
+  // (a) Never looser (pre and post, every neuron, every layer).
+  for (std::size_t li = 0; li < symbolic_b.size(); ++li) {
+    for (std::size_t r = 0; r < symbolic_b[li].pre.size(); ++r) {
+      EXPECT_GE(symbolic_b[li].pre[r].lo, interval_b[li].pre[r].lo - 1e-9);
+      EXPECT_LE(symbolic_b[li].pre[r].hi, interval_b[li].pre[r].hi + 1e-9);
+      EXPECT_GE(symbolic_b[li].post[r].lo, interval_b[li].post[r].lo - 1e-9);
+      EXPECT_LE(symbolic_b[li].post[r].hi, interval_b[li].post[r].hi + 1e-9);
+    }
+  }
+  // (b) Sound: densely sampled true activations stay inside.
+  for (int trial = 0; trial < 300; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i)
+      x[i] = rng.uniform(box[i].lo, box[i].hi);
+    const nn::ForwardTrace trace = net.forward_trace(x);
+    for (std::size_t li = 0; li < symbolic_b.size(); ++li) {
+      for (std::size_t r = 0; r < symbolic_b[li].pre.size(); ++r) {
+        EXPECT_GE(trace.pre_activations[li][r],
+                  symbolic_b[li].pre[r].lo - 1e-7);
+        EXPECT_LE(trace.pre_activations[li][r],
+                  symbolic_b[li].pre[r].hi + 1e-7);
+        EXPECT_GE(trace.post_activations[li][r],
+                  symbolic_b[li].post[r].lo - 1e-7);
+        EXPECT_LE(trace.post_activations[li][r],
+                  symbolic_b[li].post[r].hi + 1e-7);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymbolicProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Symbolic, MixedStackSoundAndNoLooser) {
+  Rng rng(710);
+  Network net = mixed_stack_net(rng);
+  const Box box(3, Interval{-0.9, 1.1});
+  const auto interval_b = propagate_bounds(net, box);
+  const auto symbolic_b = symbolic_bounds(net, box);
+  for (std::size_t li = 0; li < symbolic_b.size(); ++li) {
+    for (std::size_t r = 0; r < symbolic_b[li].post.size(); ++r) {
+      EXPECT_GE(symbolic_b[li].post[r].lo, interval_b[li].post[r].lo - 1e-9);
+      EXPECT_LE(symbolic_b[li].post[r].hi, interval_b[li].post[r].hi + 1e-9);
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector x(3);
+    for (std::size_t i = 0; i < 3; ++i)
+      x[i] = rng.uniform(box[i].lo, box[i].hi);
+    const Vector y = net.forward(x);
+    const auto& out = symbolic_b.back().post;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_GE(y[i], out[i].lo - 1e-7);
+      EXPECT_LE(y[i], out[i].hi + 1e-7);
+    }
+  }
+}
+
+TEST(Symbolic, ObjectiveIntervalBoundsTrueMaximum) {
+  Rng rng(711);
+  Network net = Network::make_mlp({2, 6, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  const Box box(2, Interval{-1.0, 1.0});
+  SymbolicPropagator prop(net);
+  const SymbolicBounds sb = prop.propagate(box);
+  const lp::LinearTerms terms{{0, 1.0}, {1, -0.5}};
+  const Interval obj = SymbolicPropagator::objective_interval(sb, box, terms);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vector x{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vector y = net.forward(x);
+    const double v = y[0] - 0.5 * y[1];
+    EXPECT_GE(v, obj.lo - 1e-7);
+    EXPECT_LE(v, obj.hi + 1e-7);
+  }
+}
+
+// ISSUE edge cases: pre-activation intervals touching zero exactly.
+TEST(Symbolic, EdgeCaseBoundsTouchingZero) {
+  // z = x over x in [0, 1]: lo == 0, boundary-stable-active.
+  Network active;
+  {
+    nn::DenseLayer l(1, 1, Activation::kRelu);
+    l.weights() = linalg::Matrix{{1.0}};
+    active.add_layer(std::move(l));
+  }
+  {
+    const auto b = symbolic_bounds(active, Box(1, Interval{0.0, 1.0}));
+    EXPECT_EQ(classify(b[0].pre[0]), NeuronStability::kStableActive);
+    EXPECT_DOUBLE_EQ(b[0].post[0].lo, 0.0);
+    EXPECT_DOUBLE_EQ(b[0].post[0].hi, 1.0);
+  }
+  // z = x over x in [-1, 0]: hi == 0, stable inactive; output pinned.
+  {
+    const auto b = symbolic_bounds(active, Box(1, Interval{-1.0, 0.0}));
+    EXPECT_EQ(classify(b[0].pre[0]), NeuronStability::kStableInactive);
+    EXPECT_DOUBLE_EQ(b[0].post[0].lo, 0.0);
+    EXPECT_DOUBLE_EQ(b[0].post[0].hi, 0.0);
+  }
+  // Degenerate point box at the kink: both bounds zero.
+  {
+    const auto b = symbolic_bounds(active, Box(1, Interval{0.0, 0.0}));
+    EXPECT_DOUBLE_EQ(b[0].pre[0].lo, 0.0);
+    EXPECT_DOUBLE_EQ(b[0].pre[0].hi, 0.0);
+    EXPECT_EQ(classify(b[0].pre[0]), NeuronStability::kStableActive);
+  }
+  // propagate_bounds agrees on the same edge cases.
+  const auto ib = propagate_bounds(active, Box(1, Interval{-1.0, 0.0}));
+  EXPECT_DOUBLE_EQ(ib[0].post[0].hi, 0.0);
+}
+
+TEST(Symbolic, FewerOrEqualBinariesThanInterval) {
+  Rng rng(712);
+  Network net = Network::make_mlp({3, 10, 10, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(3, Interval{-0.8, 0.8});
+  EncoderOptions interval_opts;
+  interval_opts.tightening = BoundTightening::kInterval;
+  EncoderOptions sym_opts;
+  sym_opts.tightening = BoundTightening::kSymbolic;
+  const EncodedNetwork e_int = encode_network(net, region, interval_opts);
+  const EncodedNetwork e_sym = encode_network(net, region, sym_opts);
+  EXPECT_LE(e_sym.num_binaries, e_int.num_binaries);
+}
+
+// Parallel engine: identical trajectory for any worker count. This is
+// the determinism contract from InputSplitOptions::num_workers — not
+// just "same verdict", but bit-for-bit equal values and counters.
+class InputSplitParallel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InputSplitParallel, WorkerCountDoesNotChangeResults) {
+  Rng rng(GetParam() + 720);
+  Network net = Network::make_mlp({3, 8, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(3, Interval{-1.2, 1.2});
+  OutputExpr expr{{{0, 1.0}}};
+
+  InputSplitResult ref;
+  bool first = true;
+  for (int workers : {1, 2, 4}) {
+    InputSplitOptions opts;
+    opts.gap_tol = 1e-5;
+    opts.time_limit_seconds = 60.0;
+    opts.num_workers = workers;
+    const InputSplitResult r =
+        InputSplitVerifier(opts).maximize(net, region, expr);
+    ASSERT_TRUE(r.exact) << "seed " << GetParam() << " workers " << workers;
+    if (first) {
+      ref = r;
+      first = false;
+      continue;
+    }
+    EXPECT_EQ(r.max_value, ref.max_value) << "workers " << workers;
+    EXPECT_EQ(r.upper_bound, ref.upper_bound) << "workers " << workers;
+    EXPECT_EQ(r.boxes_explored, ref.boxes_explored) << "workers " << workers;
+    EXPECT_EQ(r.boxes_pruned_symbolic, ref.boxes_pruned_symbolic)
+        << "workers " << workers;
+    EXPECT_EQ(r.lp_iterations, ref.lp_iterations) << "workers " << workers;
+    ASSERT_EQ(r.witness.size(), ref.witness.size());
+    for (std::size_t i = 0; i < r.witness.size(); ++i) {
+      EXPECT_EQ(r.witness[i], ref.witness[i]) << "workers " << workers;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InputSplitParallel,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(InputSplitParallel, SymbolicOnOffAgreeOnMaximum) {
+  Rng rng(730);
+  Network net = Network::make_mlp({2, 7, 5, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  InputRegion region;
+  region.box = Box(2, Interval{-1.4, 1.4});
+  OutputExpr expr{{{0, 1.0}}};
+  InputSplitOptions with_sym;
+  with_sym.gap_tol = 1e-6;
+  with_sym.time_limit_seconds = 60.0;
+  InputSplitOptions without_sym = with_sym;
+  without_sym.use_symbolic = false;
+  const InputSplitResult a =
+      InputSplitVerifier(with_sym).maximize(net, region, expr);
+  const InputSplitResult b =
+      InputSplitVerifier(without_sym).maximize(net, region, expr);
+  ASSERT_TRUE(a.exact);
+  ASSERT_TRUE(b.exact);
+  EXPECT_NEAR(a.max_value, b.max_value, 1e-5);
+  EXPECT_GE(a.upper_bound, a.max_value - 1e-9);
+  EXPECT_GE(b.upper_bound, b.max_value - 1e-9);
+  EXPECT_EQ(b.boxes_pruned_symbolic, 0);
+}
+
+TEST(InputSplitParallel, ParallelProveVerdictsMatchSequential) {
+  Rng rng(731);
+  Network net = Network::make_mlp({2, 6, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  SafetyProperty prop;
+  prop.region.box = Box(2, Interval{-1.0, 1.0});
+  prop.expr.terms = {{0, 1.0}};
+  InputSplitOptions seq;
+  seq.time_limit_seconds = 30.0;
+  const InputSplitResult m =
+      InputSplitVerifier(seq).maximize(net, prop.region, prop.expr);
+  ASSERT_TRUE(m.exact);
+  for (double offset : {0.1, -0.1}) {
+    prop.threshold = m.max_value + offset;
+    InputSplitOptions par = seq;
+    par.num_workers = 4;
+    EXPECT_EQ(InputSplitVerifier(seq).prove(net, prop),
+              InputSplitVerifier(par).prove(net, prop))
+        << "offset " << offset;
+  }
+}
 
 }  // namespace
 }  // namespace safenn::verify
