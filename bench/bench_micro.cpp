@@ -62,6 +62,42 @@ void BM_NetworkForwardBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkForwardBatch)->Arg(1)->Arg(8)->Arg(32);
 
+void BM_TrainerEpochSteadyState(benchmark::State& state) {
+  // Steady-state epoch cost of Trainer::train with every per-batch
+  // scratch hoisted (batch/out-grad/delta matrices, the Adam step
+  // buffers and the loss/regularizer vectors are allocated once per
+  // train() call, not per batch): each iteration is one full Adam epoch
+  // over 256 samples. The argument is num_workers; 0 means the fused
+  // sequential engine, 1 the sharded engine forced at one worker — their
+  // gap is the parallel path's bookkeeping overhead, which BENCH_train
+  // bounds at <= 5%.
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  nn::Network net = nn::Network::make_mlp({12, 32, 32, 4},
+                                          nn::Activation::kRelu,
+                                          nn::Activation::kIdentity, rng);
+  std::vector<linalg::Vector> xs, ys;
+  for (int i = 0; i < 256; ++i) {
+    linalg::Vector x(12), y(4);
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y) v = rng.normal();
+    xs.push_back(std::move(x));
+    ys.push_back(std::move(y));
+  }
+  nn::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.num_workers = workers == 0 ? 1 : workers;
+  cfg.force_parallel_path = workers > 0;
+  nn::MseLoss loss;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Trainer(cfg).train(net, loss, xs, ys));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_TrainerEpochSteadyState)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_MatvecTransposed(benchmark::State& state) {
   // Probes the zero-skip branch kept in Matrix::matvec_transposed: the
   // argument is the percentage of zero entries in x (backprop deltas

@@ -79,4 +79,12 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t Rng::stream_seed(std::uint64_t base, std::uint64_t index) {
+  // One golden-ratio stride per index, then the same SplitMix64 mix the
+  // constructor uses: a pure function of (base, index), so every stream
+  // is fixed before any worker starts drawing.
+  std::uint64_t x = base + 0x9E3779B97F4A7C15ull * index;
+  return splitmix64(x);
+}
+
 }  // namespace safenn

@@ -50,6 +50,15 @@ class Rng {
   /// must not share a stream).
   Rng split();
 
+  /// Seed for the `index`-th parallel stream of a component seeded with
+  /// `base`: one SplitMix64 mix over a golden-ratio stride, so
+  /// consecutive indices give decorrelated seeds that depend only on
+  /// (base, index) — never on which worker draws first or how draws
+  /// interleave. This is the designated derivation for fixed-up-front
+  /// per-task streams (e.g. one stream per scenario in the parallel
+  /// dataset builder).
+  static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

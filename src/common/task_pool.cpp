@@ -1,8 +1,8 @@
-#include "verify/parallel.hpp"
+#include "common/task_pool.hpp"
 
 #include <algorithm>
 
-namespace safenn::verify {
+namespace safenn {
 
 TaskPool::TaskPool(std::size_t workers)
     : workers_(std::max<std::size_t>(1, workers)) {
@@ -104,4 +104,4 @@ void TaskPool::worker_loop() {
   }
 }
 
-}  // namespace safenn::verify
+}  // namespace safenn

@@ -1,12 +1,12 @@
-// Worker pool for the parallel verification engines.
+// Deterministic worker pool — the repo-wide parallel execution substrate.
 //
 // Deliberately synchronous: run() executes a fixed batch of independent
-// tasks and blocks until every one has returned. The input-splitting
-// verifier relies on this barrier for determinism — each branch-and-bound
-// round evaluates a chunk of boxes concurrently, then merges the
-// outcomes in a fixed order, so the search trajectory (and therefore the
-// verdict, the proven bound, and the incumbent) does not depend on how
-// many workers executed the chunk or how the OS scheduled them.
+// tasks and blocks until every one has returned. Every parallel consumer
+// in the library (input-splitting verification, data-parallel training,
+// scenario generation) relies on this barrier for determinism — work is
+// evaluated concurrently as pure functions of pre-assigned slots, then
+// merged in a fixed order, so results do not depend on how many workers
+// executed the batch or how the OS scheduled them.
 #pragma once
 
 #include <condition_variable>
@@ -17,7 +17,7 @@
 #include <thread>
 #include <vector>
 
-namespace safenn::verify {
+namespace safenn {
 
 /// Persistent pool of `workers - 1` threads (the caller participates as
 /// the last worker). With one worker no threads are spawned and run()
@@ -59,4 +59,4 @@ class TaskPool {
   std::vector<std::exception_ptr> errors_;
 };
 
-}  // namespace safenn::verify
+}  // namespace safenn

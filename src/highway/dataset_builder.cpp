@@ -1,6 +1,52 @@
 #include "highway/dataset_builder.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/task_pool.hpp"
+
 namespace safenn::highway {
+namespace {
+
+/// Everything one scenario contributes, produced independently of every
+/// other scenario: HighwaySim owns its own Rng seeded from the battery
+/// (scenario seeds are fixed before any worker starts), so a scenario's
+/// samples are a pure function of its Scenario record.
+struct ScenarioSlot {
+  std::vector<std::pair<linalg::Vector, linalg::Vector>> samples;
+  std::vector<int> repeats;  // oversampling factor per sample
+  std::size_t lane_change_samples = 0;
+  std::size_t risky_samples = 0;
+};
+
+void simulate_scenario(const Scenario& scenario, const SceneEncoder& encoder,
+                       const DatasetBuildConfig& config, ScenarioSlot& slot) {
+  HighwaySim sim(scenario.sim);
+  sim.run(config.warmup_steps);
+  for (int step = 0; step < config.sample_steps; ++step) {
+    sim.step();
+    if (step % config.sample_every != 0) continue;
+    for (const VehicleState& ego : sim.vehicles()) {
+      linalg::Vector x = encoder.encode(sim, ego.id);
+      linalg::Vector action(kActionDims);
+      action[kActionLateral] = ego.lateral_velocity;
+      action[kActionAccel] = ego.a;
+
+      const bool lane_change_now =
+          ego.changing_lane && ego.lateral_progress <= 0.11;
+      const bool risky = sim.was_risky(ego.id);
+      if (risky) ++slot.risky_samples;
+      if (lane_change_now) ++slot.lane_change_samples;
+
+      slot.repeats.push_back(lane_change_now ? config.lane_change_repeat : 1);
+      slot.samples.emplace_back(std::move(x), std::move(action));
+    }
+  }
+}
+
+}  // namespace
 
 BuiltDataset build_highway_dataset(const SceneEncoder& encoder,
                                    const DatasetBuildConfig& config) {
@@ -9,28 +55,28 @@ BuiltDataset build_highway_dataset(const SceneEncoder& encoder,
 
   const auto scenarios =
       standard_scenario_battery(config.seed, config.risky_probability);
-  for (const Scenario& scenario : scenarios) {
-    HighwaySim sim(scenario.sim);
-    sim.run(config.warmup_steps);
-    for (int step = 0; step < config.sample_steps; ++step) {
-      sim.step();
-      if (step % config.sample_every != 0) continue;
-      for (const VehicleState& ego : sim.vehicles()) {
-        const linalg::Vector x = encoder.encode(sim, ego.id);
-        linalg::Vector action(kActionDims);
-        action[kActionLateral] = ego.lateral_velocity;
-        action[kActionAccel] = ego.a;
 
-        const bool lane_change_now =
-            ego.changing_lane && ego.lateral_progress <= 0.11;
-        const bool risky = sim.was_risky(ego.id);
-        if (risky) ++out.risky_samples;
-        if (lane_change_now) ++out.lane_change_samples;
+  // Simulate scenarios concurrently into pre-sized slots...
+  std::vector<ScenarioSlot> slots(scenarios.size());
+  TaskPool pool(static_cast<std::size_t>(std::max(1, config.num_workers)));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    tasks.push_back([&, i] {
+      simulate_scenario(scenarios[i], encoder, config, slots[i]);
+    });
+  }
+  pool.run(tasks);
 
-        const int repeats = lane_change_now ? config.lane_change_repeat : 1;
-        for (int rep = 0; rep < repeats; ++rep) {
-          out.data.add(x, action);
-        }
+  // ...then merge in ascending scenario index, preserving each slot's
+  // sample order: the concatenation is exactly the sequential loop's
+  // emission order, so the dataset bytes never depend on worker count.
+  for (ScenarioSlot& slot : slots) {
+    out.risky_samples += slot.risky_samples;
+    out.lane_change_samples += slot.lane_change_samples;
+    for (std::size_t s = 0; s < slot.samples.size(); ++s) {
+      for (int rep = 0; rep < slot.repeats[s]; ++rep) {
+        out.data.add(slot.samples[s].first, slot.samples[s].second);
       }
     }
   }

@@ -177,51 +177,69 @@ BatchTrace Network::forward_trace_batch(const linalg::Matrix& x) const {
 void Network::backward_batch(const BatchTrace& trace,
                              const linalg::Matrix& out_grads,
                              Gradients& grads) const {
+  std::vector<linalg::Matrix> deltas;
+  backward_deltas_batch(trace, out_grads, deltas);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    accumulate_layer_gradients(trace, deltas[li], li, grads);
+  }
+}
+
+void Network::backward_deltas_batch(const BatchTrace& trace,
+                                    const linalg::Matrix& out_grads,
+                                    std::vector<linalg::Matrix>& deltas) const {
   require(trace.pre_activations.size() == layers_.size(),
-          "Network::backward_batch: trace does not match network depth");
-  require(grads.weight_grads.size() == layers_.size(),
-          "Network::backward_batch: gradient shape mismatch");
+          "Network::backward_deltas_batch: trace does not match network depth");
   const std::size_t batch = trace.input.rows();
   require(out_grads.rows() == batch && out_grads.cols() == output_size(),
-          "Network::backward_batch: output gradient shape mismatch");
+          "Network::backward_deltas_batch: output gradient shape mismatch");
 
+  deltas.resize(layers_.size());
+  linalg::Matrix upstream, deriv;
   // delta = dL/dZ of the current layer, one sample per row.
-  linalg::Matrix delta, upstream, deriv;
   activate_derivative(layers_.back().activation(),
                       trace.pre_activations.back(), deriv);
-  delta.resize(batch, output_size());
   {
+    linalg::Matrix& delta = deltas.back();
+    delta.resize(batch, output_size());
     const double* g = out_grads.data();
     const double* d = deriv.data();
     double* out = delta.data();
     for (std::size_t i = 0; i < delta.size(); ++i) out[i] = g[i] * d[i];
   }
 
-  for (std::size_t li = layers_.size(); li-- > 0;) {
-    const linalg::Matrix& layer_input =
-        (li == 0) ? trace.input : trace.post_activations[li - 1];
-    // Summed weight gradient of the whole batch in one GEMM; the rank-1
-    // update order inside matches per-sample add_outer accumulation.
-    grads.weight_grads[li].add_gemm_tn(1.0, delta, layer_input);
-    {
-      // Bias gradients: column sums of delta, rows ascending.
-      double* bg = grads.bias_grads[li].data();
-      const std::size_t width = delta.cols();
-      for (std::size_t b = 0; b < batch; ++b) {
-        const double* row = delta.data() + b * width;
-        for (std::size_t c = 0; c < width; ++c) bg[c] += row[c];
-      }
-    }
-    if (li > 0) {
-      linalg::Matrix::gemm_into(delta, layers_[li].weights(), upstream);
-      activate_derivative(layers_[li - 1].activation(),
-                          trace.pre_activations[li - 1], deriv);
-      delta.resize(batch, layers_[li].in_size());
-      const double* u = upstream.data();
-      const double* d = deriv.data();
-      double* out = delta.data();
-      for (std::size_t i = 0; i < delta.size(); ++i) out[i] = u[i] * d[i];
-    }
+  for (std::size_t li = layers_.size(); li-- > 1;) {
+    linalg::Matrix::gemm_into(deltas[li], layers_[li].weights(), upstream);
+    activate_derivative(layers_[li - 1].activation(),
+                        trace.pre_activations[li - 1], deriv);
+    linalg::Matrix& delta = deltas[li - 1];
+    delta.resize(batch, layers_[li].in_size());
+    const double* u = upstream.data();
+    const double* d = deriv.data();
+    double* out = delta.data();
+    for (std::size_t i = 0; i < delta.size(); ++i) out[i] = u[i] * d[i];
+  }
+}
+
+void Network::accumulate_layer_gradients(const BatchTrace& trace,
+                                         const linalg::Matrix& delta,
+                                         std::size_t li,
+                                         Gradients& grads) const {
+  require(li < layers_.size(),
+          "Network::accumulate_layer_gradients: layer index out of range");
+  require(grads.weight_grads.size() == layers_.size(),
+          "Network::accumulate_layer_gradients: gradient shape mismatch");
+  const std::size_t batch = delta.rows();
+  const linalg::Matrix& layer_input =
+      (li == 0) ? trace.input : trace.post_activations[li - 1];
+  // Summed weight gradient of the whole batch in one GEMM; the rank-1
+  // update order inside matches per-sample add_outer accumulation.
+  grads.weight_grads[li].add_gemm_tn(1.0, delta, layer_input);
+  // Bias gradients: column sums of delta, rows ascending.
+  double* bg = grads.bias_grads[li].data();
+  const std::size_t width = delta.cols();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* row = delta.data() + b * width;
+    for (std::size_t c = 0; c < width; ++c) bg[c] += row[c];
   }
 }
 

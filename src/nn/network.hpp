@@ -97,10 +97,34 @@ class Network {
   /// Accumulates the batch-summed parameter gradients into pre-shaped
   /// `grads`; weight gradients are one delta^T * input GEMM per layer.
   /// The accumulated sums match per-sample backward() summed in row
-  /// order bit for bit.
+  /// order bit for bit. Implemented as backward_deltas_batch followed by
+  /// accumulate_layer_gradients over every layer.
   void backward_batch(const BatchTrace& trace,
                       const linalg::Matrix& out_grads,
                       Gradients& grads) const;
+
+  /// Delta half of batched backprop: fills `deltas[li]` with dL/dZ of
+  /// layer li (one sample per row) for every layer, touching no
+  /// parameter gradients. Row b of every delta matrix depends only on
+  /// row b of `out_grads` and row b of the trace, so a row-shard of the
+  /// batch produces rows bitwise identical to the full batch — the
+  /// data-parallel trainer runs this per shard concurrently. `deltas`
+  /// is resized to num_layers() and its storage reused across calls.
+  void backward_deltas_batch(const BatchTrace& trace,
+                             const linalg::Matrix& out_grads,
+                             std::vector<linalg::Matrix>& deltas) const;
+
+  /// Gradient half of batched backprop for one layer: accumulates
+  /// weight_grads[li] += delta^T * layer_input (rank-1 updates in
+  /// ascending row order, via add_gemm_tn) and bias_grads[li] += column
+  /// sums of delta in ascending row order. Because the accumulation
+  /// order is ascending rows with no blocking over the batch dimension,
+  /// chaining this call over consecutive row shards in ascending shard
+  /// order is bitwise identical to one call on the full batch — the
+  /// reduction-order determinism the parallel trainer relies on.
+  void accumulate_layer_gradients(const BatchTrace& trace,
+                                  const linalg::Matrix& delta, std::size_t li,
+                                  Gradients& grads) const;
 
   /// Gradient of output component `out_index` w.r.t. the input vector
   /// (used by saliency-based traceability).

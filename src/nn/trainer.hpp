@@ -42,6 +42,17 @@ struct TrainConfig {
   OutputRegularizer regularizer;  // optional
   double regularizer_weight = 1.0;
   std::function<void(const EpochStats&)> on_epoch;  // optional
+  /// Data-parallel workers: > 1 shards every mini-batch into contiguous
+  /// per-worker row ranges that run forward/backward concurrently, with
+  /// gradients reduced in fixed ascending shard order. Final weights,
+  /// per-epoch losses and optimizer state are bitwise identical for any
+  /// worker count and to the sequential path (see DESIGN.md "Parallel
+  /// training & data generation").
+  std::size_t num_workers = 1;
+  /// Test/bench knob: run the sharded data-parallel engine even at
+  /// num_workers == 1, so its overhead against the fused sequential path
+  /// is measurable. Results are bitwise identical either way.
+  bool force_parallel_path = false;
 };
 
 /// Trains a network in place. Stateless between calls except through the
@@ -56,7 +67,9 @@ class Trainer {
                const std::vector<linalg::Vector>& inputs,
                const std::vector<linalg::Vector>& targets);
 
-  /// Mean loss over a sample set without updating parameters.
+  /// Mean loss over a sample set without updating parameters. Runs the
+  /// forward passes in batched chunks (one GEMM per layer); the result
+  /// is bitwise identical to per-sample forward() summed in index order.
   static double evaluate(const Network& net, const Loss& loss,
                          const std::vector<linalg::Vector>& inputs,
                          const std::vector<linalg::Vector>& targets);

@@ -11,9 +11,9 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "common/task_pool.hpp"
 #include "lp/simplex.hpp"
 #include "verify/interval.hpp"
-#include "verify/parallel.hpp"
 #include "verify/symbolic.hpp"
 
 namespace safenn::verify {

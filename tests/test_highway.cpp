@@ -336,5 +336,63 @@ TEST(DatasetBuilder, Deterministic) {
   }
 }
 
+// --- Parallel dataset generation: byte-identical at any worker count. ---
+
+DatasetBuildConfig small_build_config(int num_workers) {
+  DatasetBuildConfig cfg;
+  cfg.warmup_steps = 10;
+  cfg.sample_steps = 24;
+  cfg.sample_every = 2;
+  cfg.risky_probability = 0.3;  // exercise the risky counters too
+  cfg.seed = 11;
+  cfg.num_workers = num_workers;
+  return cfg;
+}
+
+class DatasetParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetParallel, DatasetBitwiseIdenticalToSequential) {
+  const int workers = GetParam();
+  SceneEncoder encoder;
+  const BuiltDataset sequential =
+      build_highway_dataset(encoder, small_build_config(1));
+  const BuiltDataset parallel =
+      build_highway_dataset(encoder, small_build_config(workers));
+
+  EXPECT_EQ(parallel.risky_samples, sequential.risky_samples);
+  EXPECT_EQ(parallel.lane_change_samples, sequential.lane_change_samples);
+  ASSERT_EQ(parallel.data.size(), sequential.data.size());
+  ASSERT_GT(sequential.data.size(), 0u);
+  for (std::size_t i = 0; i < sequential.data.size(); ++i) {
+    const linalg::Vector& xs = sequential.data.input(i);
+    const linalg::Vector& xp = parallel.data.input(i);
+    ASSERT_EQ(xp.size(), xs.size());
+    for (std::size_t d = 0; d < xs.size(); ++d) {
+      ASSERT_EQ(xp[d], xs[d]) << "sample " << i << " feature " << d;
+    }
+    const linalg::Vector& ts = sequential.data.target(i);
+    const linalg::Vector& tp = parallel.data.target(i);
+    for (std::size_t d = 0; d < ts.size(); ++d) {
+      ASSERT_EQ(tp[d], ts[d]) << "sample " << i << " target " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, DatasetParallel, ::testing::Values(2, 4));
+
+TEST(DatasetParallel, MoreWorkersThanScenariosIsFine) {
+  // The battery has 6 scenarios; 16 workers leaves most idle.
+  SceneEncoder encoder;
+  const BuiltDataset a = build_highway_dataset(encoder, small_build_config(1));
+  const BuiltDataset b =
+      build_highway_dataset(encoder, small_build_config(16));
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    for (std::size_t d = 0; d < a.data.input(i).size(); ++d) {
+      ASSERT_EQ(a.data.input(i)[d], b.data.input(i)[d]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace safenn::highway

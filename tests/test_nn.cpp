@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -608,6 +609,186 @@ TEST(Network, BackwardIntoAccumulatesAcrossCalls) {
                        2.0 * once.bias_grads[li][i]);
     }
   }
+}
+
+// --- Data-parallel training: bitwise determinism across worker counts. ---
+
+TEST(Network, ShardChainedAccumulationBitwiseMatchesFullBatch) {
+  // The reduction-order lemma the parallel trainer stands on: chaining
+  // accumulate_layer_gradients over contiguous row shards in ascending
+  // shard order must equal one full-batch backward_batch bit for bit,
+  // for any shard structure (here deliberately uneven: 5 + 1 + 7).
+  Rng rng(120);
+  Network net = Network::make_mlp({6, 9, 8, 4}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  const std::size_t batch = 13;
+  const std::vector<Vector> xs = random_inputs(rng, batch, 6);
+  const std::vector<Vector> gs = random_inputs(rng, batch, 4);
+
+  BatchTrace full_trace;
+  net.forward_trace_batch(pack_rows(xs), full_trace);
+  Gradients expected = net.zero_gradients();
+  net.backward_batch(full_trace, pack_rows(gs), expected);
+
+  const std::size_t bounds[] = {0, 5, 6, 13};
+  std::vector<BatchTrace> traces(3);
+  std::vector<std::vector<Matrix>> deltas(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::vector<Vector> sx(xs.begin() + bounds[s],
+                                 xs.begin() + bounds[s + 1]);
+    const std::vector<Vector> sg(gs.begin() + bounds[s],
+                                 gs.begin() + bounds[s + 1]);
+    net.forward_trace_batch(pack_rows(sx), traces[s]);
+    net.backward_deltas_batch(traces[s], pack_rows(sg), deltas[s]);
+  }
+  Gradients got = net.zero_gradients();
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      net.accumulate_layer_gradients(traces[s], deltas[s][li], li, got);
+    }
+  }
+
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (std::size_t i = 0; i < expected.weight_grads[li].size(); ++i) {
+      ASSERT_EQ(got.weight_grads[li].data()[i],
+                expected.weight_grads[li].data()[i])
+          << "layer " << li;
+    }
+    for (std::size_t i = 0; i < expected.bias_grads[li].size(); ++i) {
+      ASSERT_EQ(got.bias_grads[li][i], expected.bias_grads[li][i])
+          << "layer " << li;
+    }
+  }
+}
+
+TEST(TrainerEvaluate, BatchedBitwiseMatchesPerSample) {
+  // 300 samples crosses the 256-row chunk boundary inside evaluate().
+  Rng rng(130);
+  Network net = Network::make_mlp({4, 10, 7, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  const std::vector<Vector> xs = random_inputs(rng, 300, 4);
+  const std::vector<Vector> ys = random_inputs(rng, 300, 2);
+  MseLoss loss;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    expected += loss.value(net.forward(xs[i]), ys[i]);
+  }
+  expected /= static_cast<double>(xs.size());
+  EXPECT_EQ(Trainer::evaluate(net, loss, xs, ys), expected);
+}
+
+/// One full training run at a given worker count; everything seeded, so
+/// any two runs start from identical nets and data.
+struct TrainRun {
+  Network net;
+  std::vector<double> epoch_losses;
+  double final_loss = 0.0;
+};
+
+TrainRun run_parallel_training(std::size_t workers, bool force_parallel,
+                               Optimizer opt, bool with_regularizer,
+                               std::size_t samples = 83,
+                               std::size_t batch_size = 16) {
+  Rng rng(1234);
+  TrainRun run;
+  run.net = Network::make_mlp({5, 12, 9, 3}, Activation::kRelu,
+                              Activation::kIdentity, rng);
+  std::vector<Vector> xs = random_inputs(rng, samples, 5);
+  std::vector<Vector> ys = random_inputs(rng, samples, 3);
+
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = batch_size;
+  cfg.learning_rate = 1e-2;
+  cfg.optimizer = opt;
+  cfg.grad_clip = 0.5;  // tight enough to trigger on some batches
+  cfg.num_workers = workers;
+  cfg.force_parallel_path = force_parallel;
+  if (with_regularizer) {
+    cfg.regularizer_weight = 2.0;
+    cfg.regularizer = [](const Vector&, const Vector& out, Vector& grad) {
+      double p = 0.0;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        p += out[i] * out[i];
+        grad[i] += 2.0 * out[i];
+      }
+      return p;
+    };
+  }
+  cfg.on_epoch = [&](const EpochStats& s) {
+    run.epoch_losses.push_back(s.mean_loss);
+  };
+  run.final_loss = Trainer(cfg).train(run.net, MseLoss{}, xs, ys);
+  return run;
+}
+
+void expect_identical_runs(const TrainRun& a, const TrainRun& b,
+                           const std::string& label) {
+  ASSERT_EQ(a.epoch_losses.size(), b.epoch_losses.size()) << label;
+  for (std::size_t e = 0; e < a.epoch_losses.size(); ++e) {
+    EXPECT_EQ(a.epoch_losses[e], b.epoch_losses[e])
+        << label << " epoch " << e;
+  }
+  EXPECT_EQ(a.final_loss, b.final_loss) << label;
+  ASSERT_EQ(a.net.num_layers(), b.net.num_layers()) << label;
+  for (std::size_t li = 0; li < a.net.num_layers(); ++li) {
+    const Matrix& wa = a.net.layer(li).weights();
+    const Matrix& wb = b.net.layer(li).weights();
+    ASSERT_EQ(wa.size(), wb.size()) << label;
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      ASSERT_EQ(wa.data()[i], wb.data()[i])
+          << label << " layer " << li << " weight " << i;
+    }
+    const Vector& ba = a.net.layer(li).biases();
+    const Vector& bb = b.net.layer(li).biases();
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      ASSERT_EQ(ba[i], bb[i]) << label << " layer " << li << " bias " << i;
+    }
+  }
+}
+
+class TrainerParallel : public ::testing::TestWithParam<Optimizer> {};
+
+TEST_P(TrainerParallel, WeightsAndLossesBitwiseAcrossWorkerCounts) {
+  const Optimizer opt = GetParam();
+  // Reference: the fused sequential engine. (Matching it after 4 Adam
+  // epochs forces the optimizer moments to match bit for bit at every
+  // intermediate step too.)
+  const TrainRun sequential =
+      run_parallel_training(1, false, opt, /*with_regularizer=*/false);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    const TrainRun parallel = run_parallel_training(
+        workers, /*force_parallel=*/true, opt, /*with_regularizer=*/false);
+    expect_identical_runs(sequential, parallel,
+                          "workers=" + std::to_string(workers));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, TrainerParallel,
+                         ::testing::Values(Optimizer::kSgd,
+                                           Optimizer::kMomentum,
+                                           Optimizer::kAdam));
+
+TEST(TrainerParallel, RegularizedRunIsBitwiseIdenticalAcrossWorkers) {
+  const TrainRun sequential =
+      run_parallel_training(1, false, Optimizer::kAdam, true);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    const TrainRun parallel = run_parallel_training(
+        workers, true, Optimizer::kAdam, /*with_regularizer=*/true);
+    expect_identical_runs(sequential, parallel,
+                          "regularized workers=" + std::to_string(workers));
+  }
+}
+
+TEST(TrainerParallel, MoreWorkersThanBatchRowsHandlesEmptyShards) {
+  // batch_size 3 with 4 workers leaves at least one shard empty every
+  // batch (and the last batch of 83 % 3 = 2 rows leaves two empty).
+  const TrainRun sequential = run_parallel_training(
+      1, false, Optimizer::kAdam, false, /*samples=*/83, /*batch_size=*/3);
+  const TrainRun parallel = run_parallel_training(
+      4, true, Optimizer::kAdam, false, /*samples=*/83, /*batch_size=*/3);
+  expect_identical_runs(sequential, parallel, "workers>batch");
 }
 
 TEST(Network, GradientsZeroResets) {
