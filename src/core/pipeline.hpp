@@ -40,12 +40,17 @@ struct TrainedPredictor {
   nn::GaussianMixture predict(const linalg::Vector& scene) const;
 
   /// Batched prediction, one scene per row: every layer is one GEMM
-  /// instead of B matvecs. Row i of the result is bitwise identical to
-  /// predict() on row i.
+  /// instead of B matvecs. With the default kReference backend row i of
+  /// the result is bitwise identical to predict() on row i; the opt-in
+  /// kSimd backend (serving) is tolerance-checked, not bitwise.
   std::vector<nn::GaussianMixture> predict_batch(
-      const linalg::Matrix& scenes) const;
+      const linalg::Matrix& scenes,
+      linalg::KernelBackend backend =
+          linalg::KernelBackend::kReference) const;
   std::vector<nn::GaussianMixture> predict_batch(
-      const std::vector<linalg::Vector>& scenes) const;
+      const std::vector<linalg::Vector>& scenes,
+      linalg::KernelBackend backend =
+          linalg::KernelBackend::kReference) const;
 };
 
 /// Packs scenes into the batch-as-rows matrix convention.

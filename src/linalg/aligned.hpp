@@ -1,0 +1,61 @@
+// 64-byte aligned storage for linalg containers.
+//
+// The SIMD kernels (linalg/kernels.hpp) load rows with vector
+// instructions; giving every Matrix/Vector buffer cache-line alignment
+// keeps those loads from straddling cache lines at the row starts and
+// makes the alignment assumption checkable instead of accidental.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace safenn::linalg {
+
+/// Alignment (bytes) of every Matrix/Vector data buffer: one cache line,
+/// which also covers the widest vector register in use (AVX-512 = 64 B).
+inline constexpr std::size_t kStorageAlignment = 64;
+
+/// Minimal C++17 aligned allocator: std::allocator semantics with
+/// `kStorageAlignment`-aligned storage from the aligned operator new.
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kStorageAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kStorageAlignment});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Storage type used by Matrix and Vector.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+/// Debug-build check that a buffer honours kStorageAlignment (empty
+/// buffers may hand out any pointer).
+inline void debug_assert_aligned(const void* p) {
+  assert(p == nullptr ||
+         reinterpret_cast<std::uintptr_t>(p) % kStorageAlignment == 0);
+  (void)p;
+}
+
+}  // namespace safenn::linalg

@@ -1,0 +1,415 @@
+#include "linalg/kernels.hpp"
+
+#include "common/error.hpp"
+
+// Architecture gates. The AVX2 functions carry a target attribute, so
+// they compile in a portable (no -mavx2) build and are only entered
+// after the runtime __builtin_cpu_supports check; NEON is baseline on
+// AArch64 so a compile-time gate suffices there.
+#if defined(SAFENN_ENABLE_SIMD) && (defined(__x86_64__) || defined(__i386__))
+#define SAFENN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(SAFENN_ENABLE_SIMD) && defined(__ARM_NEON)
+#define SAFENN_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+#if defined(_OPENMP)
+#define SAFENN_OMP_SIMD _Pragma("omp simd")
+#else
+#define SAFENN_OMP_SIMD
+#endif
+
+namespace safenn::linalg {
+
+std::string to_string(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kReference: return "reference";
+    case KernelBackend::kSimd: return "simd";
+  }
+  throw Error("to_string: unknown kernel backend");
+}
+
+KernelBackend kernel_backend_from_string(const std::string& name) {
+  if (name == "reference") return KernelBackend::kReference;
+  if (name == "simd") return KernelBackend::kSimd;
+  throw Error("kernel_backend_from_string: unknown backend '" + name + "'");
+}
+
+const char* to_string(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kPortable: return "portable";
+    case SimdIsa::kAvx2Fma: return "avx2+fma";
+    case SimdIsa::kNeon: return "neon";
+  }
+  throw Error("to_string: unknown SIMD ISA");
+}
+
+bool simd_kernels_compiled() {
+#if defined(SAFENN_SIMD_X86) || defined(SAFENN_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+SimdIsa active_simd_isa() {
+  static const SimdIsa isa = [] {
+#if defined(SAFENN_SIMD_X86)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return SimdIsa::kAvx2Fma;
+    }
+#elif defined(SAFENN_SIMD_NEON)
+    return SimdIsa::kNeon;
+#endif
+    return SimdIsa::kPortable;
+  }();
+  return isa;
+}
+
+namespace kernels {
+namespace {
+
+// ---------------------------------------------------------------------
+// Portable fallback: on a host with no usable vector unit there is
+// nothing to win by reassociating, so the NT fallback reuses the
+// reference register tile verbatim — same loads, same rounding, and by
+// construction never slower than the kReference path.
+// ---------------------------------------------------------------------
+
+void portable_accumulate_nt(double* c, const double* a, const double* b,
+                            double s, std::size_t m, std::size_t k,
+                            std::size_t n) {
+  const std::size_t n_tile = n - n % kJr;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j < n_tile; j += kJr) {
+      nt_dot_tile<kJr>(arow, b + j * k, k, s, crow + j);
+    }
+    for (; j < n; ++j) {
+      nt_dot_tile<1>(arow, b + j * k, k, s, crow + j);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 + FMA kernels. The NT kernel reassociates the contraction (lane
+// partial sums); NN/TN keep the reference ascending-p order over
+// independent output elements but fuse each multiply-add. Either way the
+// results are only tolerance-close to the compiled reference — GCC/Clang
+// contract the scalar kernels' mul+add at their own discretion
+// (-ffp-contract), so exact equality of GEMM outputs across backends is
+// not a property we can promise portably. ReLU has no rounding and stays
+// exact.
+// ---------------------------------------------------------------------
+
+#if defined(SAFENN_SIMD_X86)
+
+__attribute__((target("avx2,fma"))) inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);  // {l0+l2, l1+l3}
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+__attribute__((target("avx2,fma"))) void avx2_accumulate_nt(
+    double* c, const double* a, const double* b, double s, std::size_t m,
+    std::size_t k, std::size_t n) {
+  const std::size_t k4 = k - k % 4;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    // kJr B rows share each pass over arow, one vector accumulator each.
+    for (; j + kJr <= n; j += kJr) {
+      const double* b0 = b + j * k;
+      const double* b1 = b0 + k;
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (std::size_t p = 0; p < k4; p += 4) {
+        const __m256d av = _mm256_loadu_pd(arow + p);
+        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b0 + p), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b1 + p), acc1);
+        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b2 + p), acc2);
+        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b3 + p), acc3);
+      }
+      double s0 = hsum(acc0), s1 = hsum(acc1), s2 = hsum(acc2),
+             s3 = hsum(acc3);
+      for (std::size_t p = k4; p < k; ++p) {
+        const double av = arow[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      crow[j] += s * s0;
+      crow[j + 1] += s * s1;
+      crow[j + 2] += s * s2;
+      crow[j + 3] += s * s3;
+    }
+    for (; j < n; ++j) {
+      const double* brow = b + j * k;
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t p = 0; p < k4; p += 4) {
+        acc = _mm256_fmadd_pd(_mm256_loadu_pd(arow + p),
+                              _mm256_loadu_pd(brow + p), acc);
+      }
+      double sum = hsum(acc);
+      for (std::size_t p = k4; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] += s * sum;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void avx2_accumulate_nn(
+    double* c, const double* a, const double* b, std::size_t m,
+    std::size_t k, std::size_t n) {
+  // Same ascending-k outer structure as the reference kernel; the inner
+  // j update is element-independent and fused (one rounding per step).
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m256d ap = _mm256_set1_pd(arow[p]);
+      const double* brow = b + p * n;
+      std::size_t j = 0;
+      for (; j < n4; j += 4) {
+        const __m256d bv = _mm256_loadu_pd(brow + j);
+        _mm256_storeu_pd(
+            crow + j,
+            _mm256_fmadd_pd(ap, bv, _mm256_loadu_pd(crow + j)));
+      }
+      const double apv = arow[p];
+      for (; j < n; ++j) crow[j] += apv * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void avx2_accumulate_tn(
+    double* c, const double* a, const double* b, double s, std::size_t k,
+    std::size_t m, std::size_t n) {
+  const std::size_t n4 = n - n % 4;
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * m;
+    const double* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double sa = s * arow[i];
+      const __m256d sav = _mm256_set1_pd(sa);
+      double* crow = c + i * n;
+      std::size_t j = 0;
+      for (; j < n4; j += 4) {
+        const __m256d bv = _mm256_loadu_pd(brow + j);
+        _mm256_storeu_pd(
+            crow + j,
+            _mm256_fmadd_pd(sav, bv, _mm256_loadu_pd(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] += sa * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void avx2_relu(const double* in,
+                                                   double* out,
+                                                   std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const std::size_t n4 = n - n % 4;
+  std::size_t i = 0;
+  // maxpd with the zero operand second returns +0.0 for -0.0 and 0.0 for
+  // NaN inputs — exactly what `x > 0.0 ? x : 0.0` yields.
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_max_pd(_mm256_loadu_pd(in + i), zero));
+  }
+  for (; i < n; ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
+#endif  // SAFENN_SIMD_X86
+
+// ---------------------------------------------------------------------
+// NEON kernels (AArch64): 2-lane doubles, same shape as the AVX2 path.
+// ---------------------------------------------------------------------
+
+#if defined(SAFENN_SIMD_NEON)
+
+void neon_accumulate_nt(double* c, const double* a, const double* b,
+                        double s, std::size_t m, std::size_t k,
+                        std::size_t n) {
+  const std::size_t k2 = k - k % 2;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      float64x2_t acc = vdupq_n_f64(0.0);
+      for (std::size_t p = 0; p < k2; p += 2) {
+        acc = vfmaq_f64(acc, vld1q_f64(arow + p), vld1q_f64(brow + p));
+      }
+      double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+      for (std::size_t p = k2; p < k; ++p) sum += arow[p] * brow[p];
+      crow[j] += s * sum;
+    }
+  }
+}
+
+void neon_accumulate_nn(double* c, const double* a, const double* b,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  const std::size_t n2 = n - n % 2;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double apv = arow[p];
+      const float64x2_t ap = vdupq_n_f64(apv);
+      const double* brow = b + p * n;
+      std::size_t j = 0;
+      for (; j < n2; j += 2) {
+        vst1q_f64(crow + j, vfmaq_f64(vld1q_f64(crow + j), ap,
+                                      vld1q_f64(brow + j)));
+      }
+      for (; j < n; ++j) crow[j] += apv * brow[j];
+    }
+  }
+}
+
+void neon_accumulate_tn(double* c, const double* a, const double* b,
+                        double s, std::size_t k, std::size_t m,
+                        std::size_t n) {
+  const std::size_t n2 = n - n % 2;
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * m;
+    const double* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double sa = s * arow[i];
+      const float64x2_t sav = vdupq_n_f64(sa);
+      double* crow = c + i * n;
+      std::size_t j = 0;
+      for (; j < n2; j += 2) {
+        vst1q_f64(crow + j, vfmaq_f64(vld1q_f64(crow + j), sav,
+                                      vld1q_f64(brow + j)));
+      }
+      for (; j < n; ++j) crow[j] += sa * brow[j];
+    }
+  }
+}
+
+void neon_relu(const double* in, double* out, std::size_t n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  const std::size_t n2 = n - n % 2;
+  std::size_t i = 0;
+  for (; i < n2; i += 2) {
+    vst1q_f64(out + i, vmaxq_f64(vld1q_f64(in + i), zero));
+  }
+  for (; i < n; ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
+#endif  // SAFENN_SIMD_NEON
+
+}  // namespace
+
+void simd_accumulate_nt(double* c, const double* a, const double* b,
+                        double s, std::size_t m, std::size_t k,
+                        std::size_t n) {
+  switch (active_simd_isa()) {
+#if defined(SAFENN_SIMD_X86)
+    case SimdIsa::kAvx2Fma:
+      avx2_accumulate_nt(c, a, b, s, m, k, n);
+      return;
+#endif
+#if defined(SAFENN_SIMD_NEON)
+    case SimdIsa::kNeon:
+      neon_accumulate_nt(c, a, b, s, m, k, n);
+      return;
+#endif
+    default:
+      portable_accumulate_nt(c, a, b, s, m, k, n);
+      return;
+  }
+}
+
+void simd_accumulate_nn(double* c, const double* a, const double* b,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  switch (active_simd_isa()) {
+#if defined(SAFENN_SIMD_X86)
+    case SimdIsa::kAvx2Fma:
+      avx2_accumulate_nn(c, a, b, m, k, n);
+      return;
+#endif
+#if defined(SAFENN_SIMD_NEON)
+    case SimdIsa::kNeon:
+      neon_accumulate_nn(c, a, b, m, k, n);
+      return;
+#endif
+    default:
+      // Same element-wise loop as the reference NN kernel (modulo its
+      // K-panel blocking, which preserves per-element update order).
+      for (std::size_t i = 0; i < m; ++i) {
+        const double* arow = a + i * k;
+        double* crow = c + i * n;
+        for (std::size_t p = 0; p < k; ++p) {
+          const double ap = arow[p];
+          const double* brow = b + p * n;
+          SAFENN_OMP_SIMD
+          for (std::size_t j = 0; j < n; ++j) crow[j] += ap * brow[j];
+        }
+      }
+      return;
+  }
+}
+
+void simd_accumulate_tn(double* c, const double* a, const double* b,
+                        double s, std::size_t k, std::size_t m,
+                        std::size_t n) {
+  switch (active_simd_isa()) {
+#if defined(SAFENN_SIMD_X86)
+    case SimdIsa::kAvx2Fma:
+      avx2_accumulate_tn(c, a, b, s, k, m, n);
+      return;
+#endif
+#if defined(SAFENN_SIMD_NEON)
+    case SimdIsa::kNeon:
+      neon_accumulate_tn(c, a, b, s, k, m, n);
+      return;
+#endif
+    default:
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* arow = a + p * m;
+        const double* brow = b + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double sa = s * arow[i];
+          double* crow = c + i * n;
+          SAFENN_OMP_SIMD
+          for (std::size_t j = 0; j < n; ++j) crow[j] += sa * brow[j];
+        }
+      }
+      return;
+  }
+}
+
+void simd_relu(const double* in, double* out, std::size_t n) {
+  switch (active_simd_isa()) {
+#if defined(SAFENN_SIMD_X86)
+    case SimdIsa::kAvx2Fma:
+      avx2_relu(in, out, n);
+      return;
+#endif
+#if defined(SAFENN_SIMD_NEON)
+    case SimdIsa::kNeon:
+      neon_relu(in, out, n);
+      return;
+#endif
+    default:
+      SAFENN_OMP_SIMD
+      for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+      return;
+  }
+}
+
+}  // namespace kernels
+}  // namespace safenn::linalg

@@ -1,0 +1,108 @@
+// Kernel backend selection for the GEMM family and batched activations.
+//
+// Two backends exist behind every hot kernel:
+//
+//   kReference — the cache-blocked scalar kernels with ascending-k
+//     single-accumulator chains. Their rounding is bit-identical to the
+//     per-sample matvec/add_outer path, which is what the batched-vs-
+//     per-sample equivalence tests, data-parallel training determinism
+//     and the MILP/SMT encodings all rely on. This is the default
+//     everywhere.
+//
+//   kSimd — explicitly vectorized kernels, selected per-host at runtime:
+//     AVX2+FMA on x86-64 CPUs that support it, NEON on AArch64, and a
+//     portable fallback that reuses the reference tile otherwise. The NT kernel (the
+//     batched forward) reassociates the contraction sum across vector
+//     lanes, and all three GEMM kernels fuse multiply-adds, so their
+//     results are NOT bitwise equal to the compiled reference (whose
+//     own contraction behaviour is a compiler choice, -ffp-contract) —
+//     callers opt in (serving hot path) and the backend is gated by the
+//     tolerance harness in linalg/verify_kernels.hpp. The ReLU kernel
+//     (max with zero, no rounding at all) stays exactly equal.
+//
+// Building with -DSAFENN_ENABLE_SIMD=OFF compiles no intrinsics at all;
+// kSimd then always resolves to the portable kernel.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace safenn::linalg {
+
+/// Which kernel implementation a GEMM/activation call dispatches to.
+enum class KernelBackend {
+  kReference,  ///< Scalar ascending-k kernels; bitwise-reproducible.
+  kSimd,       ///< Vectorized kernels; NT path is tolerance-checked.
+};
+
+std::string to_string(KernelBackend backend);
+KernelBackend kernel_backend_from_string(const std::string& name);
+
+/// Instruction set the kSimd backend resolves to on this host.
+enum class SimdIsa {
+  kPortable,  ///< Scalar fallback sharing the reference register tile.
+  kAvx2Fma,   ///< x86-64 AVX2 + FMA intrinsics.
+  kNeon,      ///< AArch64 NEON intrinsics.
+};
+
+/// Runtime-detected ISA (cached after the first call). kPortable when the
+/// build has SIMD disabled or the CPU lacks the required extensions.
+SimdIsa active_simd_isa();
+const char* to_string(SimdIsa isa);
+
+/// True when this build compiled the explicit vector kernels
+/// (SAFENN_ENABLE_SIMD=ON and a recognised architecture).
+bool simd_kernels_compiled();
+
+namespace kernels {
+
+// Register tile width shared by the reference NT kernel's main loop and
+// its remainder loop (and mirrored by the SIMD j-tiles).
+inline constexpr std::size_t kJr = 4;
+
+/// One j-tile of the NT kernel: W independent ascending-k dot products of
+/// `arow` against W consecutive length-k rows of B starting at `brows`,
+/// accumulated into crow[0..W) scaled by `s`. Each accumulator is a
+/// single ascending-k chain — the rounding contract the reference
+/// backend's bitwise guarantees rest on. Used with W = kJr by the main
+/// loop and W = 1 by the remainder loop of both the reference kernel and
+/// the portable kSimd fallback.
+template <std::size_t W>
+inline void nt_dot_tile(const double* arow, const double* brows,
+                        std::size_t k, double s, double* crow) {
+  double sums[W] = {};
+  for (std::size_t p = 0; p < k; ++p) {
+    const double av = arow[p];
+    for (std::size_t w = 0; w < W; ++w) sums[w] += av * brows[w * k + p];
+  }
+  for (std::size_t w = 0; w < W; ++w) crow[w] += s * sums[w];
+}
+
+// Vectorized counterparts of the reference kernels in matrix.cpp, with
+// identical raw-pointer contracts. Each dispatches on active_simd_isa().
+
+/// c (m x n) += s * a (m x k) * b^T with b (n x k). Reassociated over k
+/// (vector-lane partial sums); tolerance-checked, not bitwise.
+void simd_accumulate_nt(double* c, const double* a, const double* b,
+                        double s, std::size_t m, std::size_t k,
+                        std::size_t n);
+
+/// c (m x n) += a (m x k) * b (k x n). Vectorized over j with fused
+/// multiply-adds; tolerance-checked like the NT kernel.
+void simd_accumulate_nn(double* c, const double* a, const double* b,
+                        std::size_t m, std::size_t k, std::size_t n);
+
+/// c (m x n) += s * a^T * b with a (k x m), b (k x n): rank-1 updates in
+/// ascending p order, vectorized over j with fused multiply-adds;
+/// tolerance-checked.
+void simd_accumulate_tn(double* c, const double* a, const double* b,
+                        double s, std::size_t k, std::size_t m,
+                        std::size_t n);
+
+/// out[i] = max(in[i], 0). Exactly equal to the scalar ReLU (including
+/// -0.0 and NaN handling of maxpd with the zero operand second).
+void simd_relu(const double* in, double* out, std::size_t n);
+
+}  // namespace kernels
+
+}  // namespace safenn::linalg

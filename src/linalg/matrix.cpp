@@ -19,7 +19,8 @@ namespace {
 constexpr std::size_t kKc = 64;
 // Register tile width for the NT kernel: kJr rows of B share one pass
 // over a row of A, each with its own independent accumulator chain.
-constexpr std::size_t kJr = 4;
+// (Defined in kernels.hpp so the SIMD j-tiles mirror it.)
+using kernels::kJr;
 
 /// c (m x n) += a (m x k) * b (k x n), row-major raw pointers.
 void accumulate_nn(double* c, const double* a, const double* b,
@@ -39,6 +40,8 @@ void accumulate_nn(double* c, const double* a, const double* b,
 }
 
 /// c (m x n) += s * a (m x k) * b^T, where b is (n x k): row-dot-row.
+/// Both the kJr-wide main loop and the remainder run the same shared
+/// inner kernel (kernels::nt_dot_tile), instantiated at the two widths.
 void accumulate_nt(double* c, const double* a, const double* b, double s,
                    std::size_t m, std::size_t k, std::size_t n) {
   for (std::size_t i = 0; i < m; ++i) {
@@ -46,28 +49,10 @@ void accumulate_nt(double* c, const double* a, const double* b, double s,
     double* crow = c + i * n;
     std::size_t j = 0;
     for (; j + kJr <= n; j += kJr) {
-      const double* b0 = b + j * k;
-      const double* b1 = b0 + k;
-      const double* b2 = b1 + k;
-      const double* b3 = b2 + k;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double av = arow[p];
-        s0 += av * b0[p];
-        s1 += av * b1[p];
-        s2 += av * b2[p];
-        s3 += av * b3[p];
-      }
-      crow[j] += s * s0;
-      crow[j + 1] += s * s1;
-      crow[j + 2] += s * s2;
-      crow[j + 3] += s * s3;
+      kernels::nt_dot_tile<kJr>(arow, b + j * k, k, s, crow + j);
     }
     for (; j < n; ++j) {
-      const double* brow = b + j * k;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += s * acc;
+      kernels::nt_dot_tile<1>(arow, b + j * k, k, s, crow + j);
     }
   }
 }
@@ -90,7 +75,9 @@ void accumulate_tn(double* c, const double* a, const double* b, double s,
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  debug_assert_aligned(data_.data());
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
@@ -100,6 +87,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
     require(r.size() == cols_, "Matrix: ragged initializer");
     data_.insert(data_.end(), r.begin(), r.end());
   }
+  debug_assert_aligned(data_.data());
 }
 
 double& Matrix::at(std::size_t r, std::size_t c) {
@@ -145,6 +133,7 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
   data_.resize(rows * cols);
+  debug_assert_aligned(data_.data());
 }
 
 Matrix Matrix::transposed() const {
@@ -158,40 +147,64 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   return gemm(*this, rhs);
 }
 
-Matrix Matrix::gemm(const Matrix& a, const Matrix& b) {
+Matrix Matrix::gemm(const Matrix& a, const Matrix& b, KernelBackend backend) {
   Matrix out;
-  gemm_into(a, b, out);
+  gemm_into(a, b, out, backend);
   return out;
 }
 
-void Matrix::gemm_into(const Matrix& a, const Matrix& b, Matrix& out) {
+void Matrix::gemm_into(const Matrix& a, const Matrix& b, Matrix& out,
+                       KernelBackend backend) {
   require(a.cols_ == b.rows_, "Matrix::gemm: dimension mismatch");
   out.resize(a.rows_, b.cols_);
   out.fill(0.0);
-  accumulate_nn(out.data(), a.data(), b.data(), a.rows_, a.cols_, b.cols_);
+  if (backend == KernelBackend::kSimd) {
+    kernels::simd_accumulate_nn(out.data(), a.data(), b.data(), a.rows_,
+                                a.cols_, b.cols_);
+  } else {
+    accumulate_nn(out.data(), a.data(), b.data(), a.rows_, a.cols_, b.cols_);
+  }
 }
 
-void Matrix::gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out) {
+void Matrix::gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out,
+                          KernelBackend backend) {
   require(a.cols_ == b.cols_, "Matrix::gemm_nt: dimension mismatch");
   out.resize(a.rows_, b.rows_);
   out.fill(0.0);
-  accumulate_nt(out.data(), a.data(), b.data(), 1.0, a.rows_, a.cols_,
-                b.rows_);
+  if (backend == KernelBackend::kSimd) {
+    kernels::simd_accumulate_nt(out.data(), a.data(), b.data(), 1.0, a.rows_,
+                                a.cols_, b.rows_);
+  } else {
+    accumulate_nt(out.data(), a.data(), b.data(), 1.0, a.rows_, a.cols_,
+                  b.rows_);
+  }
 }
 
-Matrix& Matrix::add_gemm_nt(double s, const Matrix& a, const Matrix& b) {
+Matrix& Matrix::add_gemm_nt(double s, const Matrix& a, const Matrix& b,
+                            KernelBackend backend) {
   require(a.cols_ == b.cols_, "Matrix::add_gemm_nt: inner dimension mismatch");
   require(rows_ == a.rows_ && cols_ == b.rows_,
           "Matrix::add_gemm_nt: output shape mismatch");
-  accumulate_nt(data(), a.data(), b.data(), s, a.rows_, a.cols_, b.rows_);
+  if (backend == KernelBackend::kSimd) {
+    kernels::simd_accumulate_nt(data(), a.data(), b.data(), s, a.rows_,
+                                a.cols_, b.rows_);
+  } else {
+    accumulate_nt(data(), a.data(), b.data(), s, a.rows_, a.cols_, b.rows_);
+  }
   return *this;
 }
 
-Matrix& Matrix::add_gemm_tn(double s, const Matrix& a, const Matrix& b) {
+Matrix& Matrix::add_gemm_tn(double s, const Matrix& a, const Matrix& b,
+                            KernelBackend backend) {
   require(a.rows_ == b.rows_, "Matrix::add_gemm_tn: inner dimension mismatch");
   require(rows_ == a.cols_ && cols_ == b.cols_,
           "Matrix::add_gemm_tn: output shape mismatch");
-  accumulate_tn(data(), a.data(), b.data(), s, a.rows_, a.cols_, b.cols_);
+  if (backend == KernelBackend::kSimd) {
+    kernels::simd_accumulate_tn(data(), a.data(), b.data(), s, a.rows_,
+                                a.cols_, b.cols_);
+  } else {
+    accumulate_tn(data(), a.data(), b.data(), s, a.rows_, a.cols_, b.cols_);
+  }
   return *this;
 }
 

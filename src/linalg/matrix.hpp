@@ -3,8 +3,9 @@
 
 #include <cstddef>
 #include <initializer_list>
-#include <vector>
 
+#include "linalg/aligned.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/vector.hpp"
 
 namespace safenn::linalg {
@@ -52,21 +53,30 @@ class Matrix {
   Matrix transposed() const;
   Matrix operator*(const Matrix& rhs) const;
 
-  /// C = A B, cache-blocked. Accumulates over k in ascending order, so
-  /// each output entry rounds exactly like the matvec path.
-  static Matrix gemm(const Matrix& a, const Matrix& b);
+  /// C = A B, cache-blocked. With the default kReference backend each
+  /// output entry accumulates over k in ascending order and rounds
+  /// exactly like the matvec path; kSimd vectorizes over output columns
+  /// with fused multiply-adds and is tolerance-checked (see kernels.hpp).
+  static Matrix gemm(const Matrix& a, const Matrix& b,
+                     KernelBackend backend = KernelBackend::kReference);
   /// out = A B without reallocating when `out` already has the shape.
-  static void gemm_into(const Matrix& a, const Matrix& b, Matrix& out);
+  static void gemm_into(const Matrix& a, const Matrix& b, Matrix& out,
+                        KernelBackend backend = KernelBackend::kReference);
   /// out = A B^T (both operands traversed along contiguous rows; the
-  /// batched layer forward, with B = the out x in weight matrix).
-  static void gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out);
+  /// batched layer forward, with B = the out x in weight matrix). The
+  /// kSimd backend reassociates the k-contraction across vector lanes —
+  /// results are tolerance-checked against kReference, not bitwise.
+  static void gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out,
+                           KernelBackend backend = KernelBackend::kReference);
 
-  /// this += s * A B^T.
-  Matrix& add_gemm_nt(double s, const Matrix& a, const Matrix& b);
+  /// this += s * A B^T (kSimd: reassociated, tolerance-checked).
+  Matrix& add_gemm_nt(double s, const Matrix& a, const Matrix& b,
+                      KernelBackend backend = KernelBackend::kReference);
   /// this += s * A^T B (a (rows-of-A)-long sequence of rank-1 updates in
   /// ascending row order — the batched gradient accumulation, matching
-  /// per-sample add_outer order exactly).
-  Matrix& add_gemm_tn(double s, const Matrix& a, const Matrix& b);
+  /// per-sample add_outer order; kSimd fuses and is tolerance-checked).
+  Matrix& add_gemm_tn(double s, const Matrix& a, const Matrix& b,
+                      KernelBackend backend = KernelBackend::kReference);
 
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator*=(double s);
@@ -87,7 +97,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  aligned_vector<double> data_;  // 64-byte aligned for the SIMD kernels
 };
 
 bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);

@@ -7,11 +7,20 @@
 
 namespace safenn::linalg {
 
-Vector::Vector(std::size_t n, double fill) : data_(n, fill) {}
+Vector::Vector(std::size_t n, double fill) : data_(n, fill) {
+  debug_assert_aligned(data_.data());
+}
 
-Vector::Vector(std::initializer_list<double> values) : data_(values) {}
+Vector::Vector(std::initializer_list<double> values) : data_(values) {
+  debug_assert_aligned(data_.data());
+}
 
-Vector::Vector(std::vector<double> values) : data_(std::move(values)) {}
+Vector::Vector(std::vector<double> values)
+    : data_(values.begin(), values.end()) {
+  // Copies into aligned storage; the plain-allocator overload exists for
+  // callers assembling values in a std::vector first.
+  debug_assert_aligned(data_.data());
+}
 
 double& Vector::operator[](std::size_t i) {
   require(i < data_.size(), "Vector: index out of range");

@@ -5,6 +5,8 @@
 #include <initializer_list>
 #include <vector>
 
+#include "linalg/aligned.hpp"
+
 namespace safenn::linalg {
 
 /// Dense vector of doubles with checked element access and the handful of
@@ -25,7 +27,7 @@ class Vector {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
-  const std::vector<double>& values() const { return data_; }
+  const aligned_vector<double>& values() const { return data_; }
 
   auto begin() { return data_.begin(); }
   auto end() { return data_.end(); }
@@ -50,7 +52,7 @@ class Vector {
   void fill(double value);
 
  private:
-  std::vector<double> data_;
+  aligned_vector<double> data_;  // 64-byte aligned for the SIMD kernels
 };
 
 Vector operator+(Vector lhs, const Vector& rhs);

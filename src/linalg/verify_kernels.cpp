@@ -1,0 +1,175 @@
+#include "linalg/verify_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace safenn::linalg {
+namespace {
+
+constexpr double kToleranceSlack = 8.0;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+/// Compares `backend` against kReference for one op at one shape and
+/// appends the check. GEMM ops carry the derived dot tolerance; ReLU
+/// carries tolerance 0 (max has no rounding, so it must match exactly).
+void record(KernelReport& report, std::string op, std::size_t m,
+            std::size_t k, std::size_t n, double rms, double tolerance) {
+  KernelCheck check;
+  check.op = std::move(op);
+  check.m = m;
+  check.k = k;
+  check.n = n;
+  check.rms = rms;
+  check.tolerance = tolerance;
+  check.pass = rms <= tolerance;
+  report.worst_rms = std::max(report.worst_rms, rms);
+  const double ratio = tolerance > 0.0
+                           ? rms / tolerance
+                           : (rms > 0.0
+                                  ? std::numeric_limits<double>::infinity()
+                                  : 0.0);
+  if (ratio >= report.worst_ratio) {
+    report.worst_ratio = ratio;
+    report.worst_tolerance = tolerance;
+  }
+  report.pass = report.pass && check.pass;
+  report.checks.push_back(std::move(check));
+}
+
+void check_shape(KernelReport& report, KernelBackend backend,
+                 const GemmShape& shape, Rng& rng) {
+  const std::size_t m = shape.m, k = shape.k, n = shape.n;
+
+  // NT: c += s * a b^T — the reassociating kernel, tolerance-gated.
+  {
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(n, k, rng);
+    Matrix c_ref = random_matrix(m, n, rng);  // exercise accumulation
+    Matrix c_alt = c_ref;
+    const double s = 0.75;
+    c_ref.add_gemm_nt(s, a, b);
+    c_alt.add_gemm_nt(s, a, b, backend);
+    record(report, "gemm_nt", m, k, n,
+           rms_range(c_ref.data(), c_alt.data(), c_ref.size()),
+           dot_tolerance(k));
+  }
+
+  // NN: out = a b — same ascending-k update order, but whether each
+  // mul+add step is fused differs between the explicit kernels and what
+  // the compiler contracts the scalar loop into, so the k-length
+  // contraction tolerance applies here too.
+  {
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    Matrix out_ref, out_alt;
+    Matrix::gemm_into(a, b, out_ref);
+    Matrix::gemm_into(a, b, out_alt, backend);
+    record(report, "gemm_nn", m, k, n,
+           rms_range(out_ref.data(), out_alt.data(), out_ref.size()),
+           dot_tolerance(k));
+  }
+
+  // TN: c += s * a^T b — ascending rank-1 updates, contraction length k.
+  {
+    const Matrix a = random_matrix(k, m, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    Matrix c_ref = random_matrix(m, n, rng);
+    Matrix c_alt = c_ref;
+    const double s = -0.5;
+    c_ref.add_gemm_tn(s, a, b);
+    c_alt.add_gemm_tn(s, a, b, backend);
+    record(report, "gemm_tn", m, k, n,
+           rms_range(c_ref.data(), c_alt.data(), c_ref.size()),
+           dot_tolerance(k));
+  }
+
+  // ReLU over m*n elements (signs mixed, zeros included) — exact.
+  {
+    const std::size_t count = m * n;
+    Matrix z = random_matrix(m, n, rng);
+    if (count > 0) z.data()[count / 2] = 0.0;
+    if (count > 1) z.data()[count / 3] = -0.0;
+    Matrix out_ref(m, n), out_alt(m, n);
+    for (std::size_t i = 0; i < count; ++i) {
+      out_ref.data()[i] = z.data()[i] > 0.0 ? z.data()[i] : 0.0;
+    }
+    kernels::simd_relu(z.data(), out_alt.data(), count);
+    // kReference trivially reuses the scalar loop, so only gate kSimd.
+    if (backend == KernelBackend::kReference) out_alt = out_ref;
+    record(report, "relu", m, 0, n,
+           rms_range(out_ref.data(), out_alt.data(), count), 0.0);
+  }
+}
+
+}  // namespace
+
+double rms_range(const double* a, const double* b, std::size_t n) {
+  if (n == 0) return 0.0;
+  double sq_diff = 0.0;
+  double mag = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sq_diff += d * d;
+    mag = std::max({mag, std::abs(a[i]), std::abs(b[i])});
+  }
+  return std::sqrt(sq_diff / static_cast<double>(n)) / mag;
+}
+
+double dot_tolerance(std::size_t k) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  return kToleranceSlack * static_cast<double>(std::max<std::size_t>(k, 1)) *
+         eps;
+}
+
+std::string KernelReport::summary() const {
+  std::ostringstream os;
+  os << to_string(backend) << " (" << to_string(isa) << "): "
+     << checks.size() << " checks, worst rms " << worst_rms
+     << " vs tolerance " << worst_tolerance << " -> "
+     << (pass ? "PASS" : "FAIL");
+  return os.str();
+}
+
+KernelReport verify_kernel_backend(KernelBackend backend,
+                                   const KernelVerifyConfig& config) {
+  KernelReport report;
+  report.backend = backend;
+  report.isa = active_simd_isa();
+  Rng rng(config.seed);
+
+  // Fixed awkward shapes: empty, 1x1, sub-tile n (< kJr), remainder
+  // lanes (n % kJr != 0), odd and sub-vector k.
+  std::vector<GemmShape> shapes = {
+      {0, 0, 0}, {0, 3, 2},  {1, 1, 1},  {1, 3, 1},  {2, 1, 5},
+      {3, 2, 3}, {1, 7, 2},  {5, 5, 5},  {4, 9, 6},  {2, 13, 7},
+      {7, 4, 9}, {6, 33, 10}, {3, 84, 15}, {32, 84, 32},
+  };
+  for (std::size_t t = 0; t < config.random_trials; ++t) {
+    GemmShape s;
+    s.m = 1 + rng.uniform_index(config.max_dim);
+    s.k = 1 + rng.uniform_index(config.max_dim);
+    s.n = 1 + rng.uniform_index(config.max_dim);
+    shapes.push_back(s);
+  }
+  shapes.insert(shapes.end(), config.extra_shapes.begin(),
+                config.extra_shapes.end());
+
+  for (const GemmShape& shape : shapes) {
+    check_shape(report, backend, shape, rng);
+  }
+  return report;
+}
+
+}  // namespace safenn::linalg

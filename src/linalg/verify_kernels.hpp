@@ -1,0 +1,93 @@
+// Kernel equivalence harness: tolerance-checked comparison of a kernel
+// backend against the reference scalar kernels.
+//
+// SIMD vectorization of the NT GEMM reassociates the k-contraction, so
+// "equal" can no longer mean bitwise — this harness supplies the
+// principled replacement (after MIOpen's test/verify.hpp rms_range):
+// a magnitude-normalized RMS of the elementwise differences, compared
+// against a tolerance DERIVED from the contraction length and the
+// floating-point epsilon instead of a magic constant.
+//
+// Derivation of dot_tolerance(k): both the ascending-k reference sum and
+// a lane-reassociated (optionally FMA-fused) sum of a length-k dot
+// product satisfy the standard backward error bound
+//     |fl(sum) - sum| <= (k - 1) * eps * sum_i |a_i * b_i|,
+// so their difference is at most 2 (k-1) eps sum|a_i b_i|. rms_range
+// normalizes differences by the largest output magnitude (floored at 1),
+// which absorbs the sum|a_i b_i| factor up to a data-dependent constant
+// for the standardized inputs the harness draws. Folding the factor 2
+// and that constant into one slack multiplier gives
+//     dot_tolerance(k) = kToleranceSlack * max(k, 1) * eps.
+// The bound is linear in k and proportional to eps — tightening the
+// precision or shortening the contraction tightens the gate, and a
+// kernel that drops even one element of a modest dot product fails it
+// (see the corruption unit tests).
+//
+// Every future backend (GPU evaluator, quantized path used as a real
+// backend) is expected to be validated through this same harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+
+namespace safenn::linalg {
+
+/// Magnitude-normalized RMS difference between two equal-length ranges:
+///   sqrt(mean((a_i - b_i)^2)) / max(max|a_i|, max|b_i|, 1).
+/// Returns +infinity when the lengths differ, 0 for two empty ranges.
+double rms_range(const double* a, const double* b, std::size_t n);
+
+/// Tolerance on rms_range for outputs contracted over `k` terms (see the
+/// derivation above). Monotone in k; dot_tolerance(0) == dot_tolerance(1).
+double dot_tolerance(std::size_t k);
+
+/// One compared operation at one shape.
+struct KernelCheck {
+  std::string op;             // "gemm_nt", "gemm_nn", "gemm_tn", "relu"
+  std::size_t m = 0, k = 0, n = 0;
+  double rms = 0.0;           // observed rms_range vs reference
+  double tolerance = 0.0;     // dot_tolerance of the contraction (0: exact)
+  bool pass = false;
+};
+
+struct GemmShape {
+  std::size_t m = 0, k = 0, n = 0;
+};
+
+struct KernelVerifyConfig {
+  std::uint64_t seed = 20260808;
+  /// Randomized shapes per operation, on top of the fixed awkward set
+  /// (remainder lanes, odd k, 1x1, empty).
+  std::size_t random_trials = 16;
+  std::size_t max_dim = 48;
+  /// Extra shapes to pin, e.g. the serving network's (batch, in, out)
+  /// per layer so the deployed configuration is exactly what is checked.
+  std::vector<GemmShape> extra_shapes;
+};
+
+struct KernelReport {
+  KernelBackend backend = KernelBackend::kReference;
+  SimdIsa isa = SimdIsa::kPortable;
+  std::vector<KernelCheck> checks;
+  double worst_rms = 0.0;
+  double worst_ratio = 0.0;    // max over checks of rms / tolerance
+  double worst_tolerance = 0.0;  // tolerance of the worst-ratio check
+  bool pass = true;
+
+  std::string summary() const;
+};
+
+/// Runs every kernel of the GEMM family plus the batched ReLU under
+/// `backend` against the reference kernels over randomized + fixed
+/// awkward + configured shapes. All three GEMM ops are held to
+/// dot_tolerance(k) — the compiler is free to fuse the scalar kernels'
+/// mul+add steps (-ffp-contract), so exact GEMM equality across backends
+/// is compiler-dependent; ReLU is held to exact equality (no rounding).
+KernelReport verify_kernel_backend(KernelBackend backend,
+                                   const KernelVerifyConfig& config = {});
+
+}  // namespace safenn::linalg

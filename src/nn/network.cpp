@@ -89,15 +89,16 @@ linalg::Vector Network::forward(const linalg::Vector& x) const {
   return v;
 }
 
-linalg::Matrix Network::forward_batch(const linalg::Matrix& x) const {
+linalg::Matrix Network::forward_batch(const linalg::Matrix& x,
+                                      linalg::KernelBackend backend) const {
   require(!layers_.empty(), "Network::forward_batch: empty network");
   require(x.cols() == input_size(),
           "Network::forward_batch: input width mismatch");
   linalg::Matrix cur = x;
   linalg::Matrix z;
   for (const auto& l : layers_) {
-    l.pre_activation_batch(cur, z);
-    activate(l.activation(), z, cur);
+    l.pre_activation_batch(cur, z, backend);
+    activate(l.activation(), z, cur, backend);
   }
   return cur;
 }

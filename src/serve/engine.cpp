@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "linalg/verify_kernels.hpp"
 
 namespace safenn::serve {
 namespace {
@@ -13,9 +15,36 @@ double seconds_since(Clock::time_point start, Clock::time_point end) {
 
 }  // namespace
 
+linalg::KernelBackend resolve_serving_backend(
+    const core::TrainedPredictor& predictor,
+    linalg::KernelBackend requested, std::size_t max_batch) {
+  if (requested != linalg::KernelBackend::kSimd) return requested;
+  // Pin the exact (batch, in, out) GEMM shapes this predictor will run,
+  // on top of the harness's randomized + awkward shape sweep.
+  linalg::KernelVerifyConfig config;
+  const nn::Network& net = predictor.network;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    const nn::DenseLayer& layer = net.layer(li);
+    config.extra_shapes.push_back(
+        {max_batch == 0 ? 1 : max_batch, layer.in_size(), layer.out_size()});
+  }
+  const linalg::KernelReport report =
+      linalg::verify_kernel_backend(requested, config);
+  if (report.pass) {
+    log_info("serve: simd kernel backend admitted (",
+             linalg::to_string(report.isa), ", worst rms ", report.worst_rms,
+             " <= tolerance ", report.worst_tolerance, ")");
+    return requested;
+  }
+  log_warn("serve: simd kernel backend REJECTED by tolerance harness (",
+           report.summary(), "); falling back to reference kernels");
+  return linalg::KernelBackend::kReference;
+}
+
 ShieldedEngine::ShieldedEngine(const core::TrainedPredictor& predictor,
-                               const core::SafetyMonitor& monitor)
-    : predictor_(predictor), monitor_(monitor) {}
+                               const core::SafetyMonitor& monitor,
+                               linalg::KernelBackend backend)
+    : predictor_(predictor), monitor_(monitor), backend_(backend) {}
 
 ServeResponse ShieldedEngine::serve(const ServeRequest& request,
                                     Clock::time_point now) const {
@@ -66,7 +95,7 @@ std::vector<ServeResponse> ShieldedEngine::serve_batch(
               scenes.data() + r * scenes.cols());
   }
   const std::vector<nn::GaussianMixture> mixtures =
-      predictor_.predict_batch(scenes);
+      predictor_.predict_batch(scenes, backend_);
   for (std::size_t r = 0; r < live.size(); ++r) {
     const std::size_t i = live[r];
     core::GuardDecision decision =

@@ -11,16 +11,33 @@
 #pragma once
 
 #include "core/monitor.hpp"
+#include "linalg/kernels.hpp"
 #include "serve/request_queue.hpp"
 
 namespace safenn::serve {
+
+/// Resolves the kernel backend a server should actually run: kReference
+/// passes through; kSimd is admitted only after the tolerance harness
+/// (linalg/verify_kernels.hpp) passes on this host with the predictor's
+/// own layer shapes pinned — on any violation the request degrades to
+/// kReference (logged), keeping the deployed artifact traceable to the
+/// verified reference kernels.
+linalg::KernelBackend resolve_serving_backend(
+    const core::TrainedPredictor& predictor,
+    linalg::KernelBackend requested, std::size_t max_batch);
 
 /// Stateless per-call engine over a shared const predictor and a shared
 /// thread-safe monitor; safe to use from any number of workers.
 class ShieldedEngine {
  public:
+  /// `backend` selects the kernels for batched forward passes; single-
+  /// request serve() always runs the per-sample reference path. Callers
+  /// wanting the gate should pass resolve_serving_backend(...) here (the
+  /// InferenceServer facade does).
   ShieldedEngine(const core::TrainedPredictor& predictor,
-                 const core::SafetyMonitor& monitor);
+                 const core::SafetyMonitor& monitor,
+                 linalg::KernelBackend backend =
+                     linalg::KernelBackend::kReference);
 
   /// Serves one request at time `now`: deadline check, then guarded
   /// prediction. Fills everything except `queue_seconds` (the caller
@@ -41,10 +58,12 @@ class ShieldedEngine {
 
   const core::SafetyMonitor& monitor() const { return monitor_; }
   const core::TrainedPredictor& predictor() const { return predictor_; }
+  linalg::KernelBackend backend() const { return backend_; }
 
  private:
   const core::TrainedPredictor& predictor_;
   const core::SafetyMonitor& monitor_;
+  linalg::KernelBackend backend_;
 };
 
 }  // namespace safenn::serve

@@ -103,7 +103,9 @@ InferenceServer::InferenceServer(const core::TrainedPredictor& predictor,
                                  Config config)
     : config_(config),
       queue_(config.queue_capacity),
-      engine_(predictor, monitor),
+      engine_(predictor, monitor,
+              resolve_serving_backend(predictor, config.backend,
+                                      config.pool.max_batch)),
       pool_(queue_, engine_, metrics_, config.pool) {
   pool_.start();
 }

@@ -60,6 +60,13 @@ class InferenceServer {
     WorkerPoolConfig pool;
     /// Per-request service deadline from submit time; <= 0 means none.
     double deadline_seconds = 0.0;
+    /// Kernel backend for the batched forward hot path. kSimd is opt-in
+    /// and gated: the constructor runs the tolerance harness over the
+    /// predictor's layer shapes and falls back to kReference (with a
+    /// warning) if any kernel exceeds its derived tolerance on this
+    /// host. Trainer/verifier paths are unaffected — they always run
+    /// the reference kernels.
+    linalg::KernelBackend backend = linalg::KernelBackend::kReference;
   };
 
   /// Starts the workers immediately. `predictor` and `monitor` must
@@ -85,6 +92,8 @@ class InferenceServer {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   const RequestQueue& queue() const { return queue_; }
+  /// Backend actually serving (post tolerance-harness gate).
+  linalg::KernelBackend backend() const { return engine_.backend(); }
 
  private:
   ServeRequest make_request(linalg::Vector&& scene);

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "linalg/aligned.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "linalg/verify_kernels.hpp"
 
 namespace safenn::linalg {
 namespace {
@@ -328,6 +333,179 @@ TEST_P(MatmulProperty, ProductConsistentWithComposedMatvec) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, MatmulProperty,
                          ::testing::Range<std::uint64_t>(0, 12));
+
+// --- Storage alignment -------------------------------------------------
+
+bool is_storage_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kStorageAlignment == 0;
+}
+
+TEST(Alignment, MatrixStorageIs64ByteAligned) {
+  Matrix m(3, 5, 1.0);
+  EXPECT_TRUE(is_storage_aligned(m.data()));
+  m.resize(17, 9);  // reallocation must preserve the guarantee
+  EXPECT_TRUE(is_storage_aligned(m.data()));
+  const Matrix moved = std::move(m);
+  EXPECT_TRUE(is_storage_aligned(moved.data()));
+}
+
+TEST(Alignment, VectorStorageIs64ByteAligned) {
+  Vector v(7, 2.0);
+  EXPECT_TRUE(is_storage_aligned(v.data()));
+  const Vector from_std(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(is_storage_aligned(from_std.data()));
+}
+
+// --- Kernel backend dispatch -------------------------------------------
+
+TEST(KernelBackend, StringRoundTrip) {
+  EXPECT_EQ(to_string(KernelBackend::kReference), "reference");
+  EXPECT_EQ(to_string(KernelBackend::kSimd), "simd");
+  EXPECT_EQ(kernel_backend_from_string("reference"),
+            KernelBackend::kReference);
+  EXPECT_EQ(kernel_backend_from_string("simd"), KernelBackend::kSimd);
+  EXPECT_THROW(kernel_backend_from_string("avx512"), Error);
+}
+
+TEST(KernelBackend, ActiveIsaConsistentWithBuild) {
+  const SimdIsa isa = active_simd_isa();
+  if (!simd_kernels_compiled()) {
+    EXPECT_EQ(isa, SimdIsa::kPortable);
+  }
+  EXPECT_NE(std::string(to_string(isa)), "");
+  EXPECT_EQ(isa, active_simd_isa());  // cached — stable across calls
+}
+
+// Awkward shapes for the SIMD kernels: empty, 1x1, n below the kJr tile,
+// remainder lanes (n % 4 != 0), odd / sub-vector k, and a full tile.
+const std::size_t kAwkwardShapes[][3] = {
+    {0, 0, 0}, {1, 1, 1},  {2, 3, 2},   {1, 7, 3},   {5, 2, 5},
+    {4, 9, 6}, {3, 13, 7}, {6, 33, 10}, {3, 84, 15}, {32, 84, 32}};
+
+TEST(SimdKernels, GemmNtWithinToleranceAtAwkwardShapes) {
+  Rng rng(41);
+  for (const auto& s : kAwkwardShapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const Matrix a = random_matrix(rng, m, k);
+    const Matrix b = random_matrix(rng, n, k);
+    Matrix c_ref = random_matrix(rng, m, n);
+    Matrix c_simd = c_ref;
+    c_ref.add_gemm_nt(0.5, a, b);
+    c_simd.add_gemm_nt(0.5, a, b, KernelBackend::kSimd);
+    const double rms = rms_range(c_ref.data(), c_simd.data(), c_ref.size());
+    EXPECT_LE(rms, dot_tolerance(k)) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(SimdKernels, GemmNnAndTnWithinToleranceAtAwkwardShapes) {
+  Rng rng(43);
+  for (const auto& s : kAwkwardShapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    {
+      const Matrix a = random_matrix(rng, m, k);
+      const Matrix b = random_matrix(rng, k, n);
+      Matrix out_ref, out_simd;
+      Matrix::gemm_into(a, b, out_ref);
+      Matrix::gemm_into(a, b, out_simd, KernelBackend::kSimd);
+      EXPECT_LE(rms_range(out_ref.data(), out_simd.data(), out_ref.size()),
+                dot_tolerance(k))
+          << "nn " << m << "x" << k << "x" << n;
+    }
+    {
+      const Matrix a = random_matrix(rng, k, m);
+      const Matrix b = random_matrix(rng, k, n);
+      Matrix c_ref = random_matrix(rng, m, n);
+      Matrix c_simd = c_ref;
+      c_ref.add_gemm_tn(-0.5, a, b);
+      c_simd.add_gemm_tn(-0.5, a, b, KernelBackend::kSimd);
+      EXPECT_LE(rms_range(c_ref.data(), c_simd.data(), c_ref.size()),
+                dot_tolerance(k))
+          << "tn " << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, ReluExactIncludingSignedZeroAndNan) {
+  Rng rng(47);
+  const std::size_t n = 133;  // exercises the vector body and the tail
+  std::vector<double> in(n), ref(n), simd(n);
+  for (std::size_t i = 0; i < n; ++i) in[i] = rng.uniform(-2.0, 2.0);
+  in[0] = -0.0;
+  in[1] = 0.0;
+  in[2] = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < n; ++i) ref[i] = in[i] > 0.0 ? in[i] : 0.0;
+  kernels::simd_relu(in.data(), simd.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(ref[i], simd[i]) << "index " << i;
+  }
+  EXPECT_FALSE(std::signbit(simd[0]));  // relu(-0.0) == +0.0
+  EXPECT_EQ(simd[2], 0.0);              // relu(NaN) == 0.0, like the scalar
+}
+
+// --- rms_range / dot_tolerance -----------------------------------------
+
+TEST(RmsRange, ZeroForIdenticalRanges) {
+  Rng rng(53);
+  const Matrix m = random_matrix(rng, 6, 9);
+  EXPECT_EQ(rms_range(m.data(), m.data(), m.size()), 0.0);
+  EXPECT_EQ(rms_range(nullptr, nullptr, 0), 0.0);
+}
+
+TEST(RmsRange, SingleElementCorruptionFailsTheGate) {
+  // A kernel that drops one term of a modest dot product must land far
+  // outside dot_tolerance — the harness is sensitive to real defects.
+  Rng rng(59);
+  const std::size_t n = 64, k = 84;
+  Matrix a = random_matrix(rng, 1, n);
+  Matrix b = a;
+  b.data()[n / 2] += 1e-8;  // one wrong element, still "close"
+  const double rms = rms_range(a.data(), b.data(), n);
+  EXPECT_GT(rms, dot_tolerance(k));
+  EXPECT_LT(rms, 1.0);  // magnitude-normalized, not absolute
+}
+
+TEST(RmsRange, NormalizedByLargestMagnitude) {
+  const double a[] = {1000.0, -2000.0};
+  const double b[] = {1000.0, -2000.0 + 2e-10};
+  // Absolute diff 2e-10, magnitude 2000 -> rms_range ~ 7e-14.
+  const double rms = rms_range(a, b, 2);
+  EXPECT_NEAR(rms, 2e-10 / std::sqrt(2.0) / 2000.0, 1e-15);
+}
+
+TEST(DotTolerance, MonotoneAndEpsilonProportional) {
+  EXPECT_EQ(dot_tolerance(0), dot_tolerance(1));
+  EXPECT_LT(dot_tolerance(1), dot_tolerance(2));
+  EXPECT_LT(dot_tolerance(84), dot_tolerance(128));
+  EXPECT_DOUBLE_EQ(dot_tolerance(2), 2.0 * dot_tolerance(1));
+  EXPECT_LT(dot_tolerance(1 << 20), 1e-8);  // stays tiny even for huge k
+}
+
+// --- Tolerance harness -------------------------------------------------
+
+TEST(KernelHarness, ReferenceBackendIsExactlyEqualToItself) {
+  const KernelReport report =
+      verify_kernel_backend(KernelBackend::kReference);
+  EXPECT_TRUE(report.pass) << report.summary();
+  EXPECT_EQ(report.worst_rms, 0.0);
+}
+
+TEST(KernelHarness, SimdBackendPassesOnThisHost) {
+  KernelVerifyConfig config;
+  config.extra_shapes.push_back({32, 84, 32});  // serving-layer shape
+  const KernelReport report =
+      verify_kernel_backend(KernelBackend::kSimd, config);
+  EXPECT_TRUE(report.pass) << report.summary();
+  EXPECT_FALSE(report.checks.empty());
+  // Every GEMM check carries the k-derived tolerance; relu stays exact.
+  for (const KernelCheck& check : report.checks) {
+    if (check.op == "relu") {
+      EXPECT_EQ(check.tolerance, 0.0);
+      EXPECT_EQ(check.rms, 0.0) << report.summary();
+    } else {
+      EXPECT_EQ(check.tolerance, dot_tolerance(check.k)) << check.op;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace safenn::linalg

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "linalg/verify_kernels.hpp"
 #include "nn/loss.hpp"
 #include "nn/mdn.hpp"
 #include "nn/network.hpp"
@@ -789,6 +790,44 @@ TEST(TrainerParallel, MoreWorkersThanBatchRowsHandlesEmptyShards) {
   const TrainRun parallel = run_parallel_training(
       4, true, Optimizer::kAdam, false, /*samples=*/83, /*batch_size=*/3);
   expect_identical_runs(sequential, parallel, "workers>batch");
+}
+
+TEST(SimdForward, BatchWithinToleranceOfReference) {
+  // The kSimd backend reassociates the layer contractions, so the batched
+  // forward is held to the summed per-layer dot tolerance (1-Lipschitz
+  // activations do not amplify it) instead of bitwise equality.
+  Rng rng(90);
+  Network net = Network::make_mlp({12, 17, 9, 5}, Activation::kRelu,
+                                  Activation::kTanh, rng);
+  const std::vector<Vector> xs = random_inputs(rng, 33, 12);  // odd batch
+  const Matrix x = pack_rows(xs);
+  const Matrix ref = net.forward_batch(x);
+  const Matrix simd = net.forward_batch(x, linalg::KernelBackend::kSimd);
+  ASSERT_EQ(simd.rows(), ref.rows());
+  double tolerance = 0.0;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    tolerance += linalg::dot_tolerance(net.layer(li).in_size());
+  }
+  EXPECT_LE(linalg::rms_range(ref.data(), simd.data(), ref.size()),
+            tolerance);
+}
+
+TEST(SimdForward, ReluBatchActivationIsExact) {
+  // ReLU is a max against zero — no rounding, so the SIMD activation must
+  // match the scalar one exactly even though the GEMMs only match within
+  // tolerance.
+  Rng rng(91);
+  Matrix z(7, 13);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z.data()[i] = rng.uniform(-1.0, 1.0);
+  }
+  z.data()[0] = -0.0;
+  Matrix ref, simd;
+  activate(Activation::kRelu, z, ref);
+  activate(Activation::kRelu, z, simd, linalg::KernelBackend::kSimd);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref.data()[i], simd.data()[i]) << "index " << i;
+  }
 }
 
 TEST(Network, GradientsZeroResets) {

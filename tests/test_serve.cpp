@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "highway/safety_rules.hpp"
+#include "linalg/verify_kernels.hpp"
 #include "serve/metrics.hpp"
 #include "serve/worker_pool.hpp"
 
@@ -410,6 +411,81 @@ TEST_F(EngineFixture, ConcurrentInterventionsMatchSequentialReplay) {
 // -------------------------------------------------------------------------
 // Metrics.
 // -------------------------------------------------------------------------
+
+TEST_F(EngineFixture, SimdBackendGateAdmitsOrFallsBackToReference) {
+  // kReference passes through the gate untouched.
+  EXPECT_EQ(resolve_serving_backend(predictor_,
+                                    linalg::KernelBackend::kReference, 16),
+            linalg::KernelBackend::kReference);
+  // kSimd must resolve to whatever the tolerance harness says on this
+  // host — and the harness itself must agree with the gate's verdict.
+  const linalg::KernelBackend resolved = resolve_serving_backend(
+      predictor_, linalg::KernelBackend::kSimd, 16);
+  const linalg::KernelReport report =
+      linalg::verify_kernel_backend(linalg::KernelBackend::kSimd);
+  EXPECT_EQ(resolved, report.pass ? linalg::KernelBackend::kSimd
+                                  : linalg::KernelBackend::kReference);
+}
+
+TEST_F(EngineFixture, SimdServeBatchMatchesReferenceDecisions) {
+  const auto scenes = make_scene_set(encoder_, region_, 33, 7);
+  const Clock::time_point now = Clock::now();
+  std::vector<ServeRequest> requests;
+  requests.reserve(scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    requests.push_back(make_request(i, scenes[i]));
+  }
+
+  core::SafetyMonitor ref_monitor(region_, 0.5);
+  ShieldedEngine ref_engine(predictor_, ref_monitor);
+  const std::vector<ServeResponse> expected =
+      ref_engine.serve_batch(requests, now);
+
+  core::SafetyMonitor simd_monitor(region_, 0.5);
+  ShieldedEngine simd_engine(predictor_, simd_monitor,
+                             linalg::KernelBackend::kSimd);
+  const std::vector<ServeResponse> simd =
+      simd_engine.serve_batch(requests, now);
+
+  // Guard decisions must agree and actions must coincide to far below
+  // any actuation-relevant precision (the forward outputs differ only by
+  // the reassociated contraction rounding).
+  ASSERT_EQ(simd.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(simd[i].outcome, expected[i].outcome) << i;
+    EXPECT_EQ(simd[i].intervened, expected[i].intervened) << i;
+    ASSERT_EQ(simd[i].action.size(), expected[i].action.size());
+    for (std::size_t d = 0; d < expected[i].action.size(); ++d) {
+      EXPECT_NEAR(simd[i].action[d], expected[i].action[d], 1e-9) << i;
+    }
+  }
+  EXPECT_EQ(simd_monitor.stats().interventions,
+            ref_monitor.stats().interventions);
+}
+
+TEST_F(EngineFixture, ServerWithSimdConfigResolvesGateAndServes) {
+  InferenceServer::Config config;
+  config.pool.workers = 2;
+  config.pool.max_batch = 8;
+  config.backend = linalg::KernelBackend::kSimd;
+  InferenceServer server(predictor_, monitor_, config);
+  // Whatever the gate decided, the server must report it and serve.
+  const linalg::KernelBackend active = server.backend();
+  EXPECT_TRUE(active == linalg::KernelBackend::kSimd ||
+              active == linalg::KernelBackend::kReference);
+  const auto scenes = make_scene_set(encoder_, region_, 24, 13);
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(scenes.size());
+  for (const Vector& scene : scenes) {
+    futures.push_back(server.submit_blocking(scene));
+  }
+  for (std::future<ServeResponse>& f : futures) {
+    const ServeResponse response = f.get();
+    EXPECT_NE(response.outcome, ServeOutcome::kRejected);
+    EXPECT_FALSE(response.action.size() == 0);
+  }
+  server.stop();
+}
 
 TEST(Metrics, HistogramPercentilesBracketSamples) {
   LatencyHistogram h;
