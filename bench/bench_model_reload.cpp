@@ -1,0 +1,273 @@
+// Model hot-reload under sustained offered load: publishes a chain of
+// versioned artifacts through the ModelRegistry, serves them through the
+// shielded inference service, and atomically swaps the live model several
+// times while a producer keeps the queue saturated.
+//
+// The run is an executable check of the reload guarantees (exit nonzero
+// on any violation), reported as JSON (stdout + SAFENN_RELOAD_JSON file,
+// default BENCH_reload.json):
+//   1. zero dropped requests — every submitted request is answered,
+//      none rejected, across every swap;
+//   2. correct version tagging — every response names the model version
+//      that served it, and every published version takes traffic;
+//   3. shield continuity — each version's intervention/assumption-hit
+//      counters equal a sequential replay of exactly the scenes that
+//      version served (bitwise, kReference determinism), and the global
+//      counters are the sum of the per-version slices.
+//
+// Env knobs: SAFENN_RELOAD_SCENES (default 6000), SAFENN_RELOAD_SWAPS
+// (default 4, min 3), SAFENN_RELOAD_WIDTH (hidden width, default 24),
+// SAFENN_RELOAD_WORKERS, SAFENN_RELOAD_JSON, SAFENN_RELOAD_DIR.
+// `--smoke` shrinks everything for CI.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/stopwatch.hpp"
+#include "core/monitor.hpp"
+#include "highway/safety_rules.hpp"
+#include "registry/registry.hpp"
+#include "serve/worker_pool.hpp"
+
+using namespace safenn;
+
+namespace {
+
+struct VersionReport {
+  std::string version;
+  std::uint64_t content_hash = 0;
+  std::size_t requests = 0;
+  std::uint64_t interventions = 0;
+  std::uint64_t replay_interventions = 0;
+  std::uint64_t assumption_hits = 0;
+  std::uint64_t replay_assumption_hits = 0;
+  bool match = false;
+};
+
+std::vector<linalg::Vector> replay_scenes(const data::Dataset& data,
+                                          std::size_t count) {
+  std::vector<linalg::Vector> scenes;
+  scenes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scenes.push_back(data.input(i % data.size()));
+  }
+  return scenes;
+}
+
+/// Derives version k's model from the base predictor: a deterministic
+/// lateral-bias shift gives each version a distinct intervention profile
+/// (so "the right model answered" is observable in the counters, not
+/// just in the tag).
+core::TrainedPredictor variant_predictor(const core::TrainedPredictor& base,
+                                         std::size_t k) {
+  core::TrainedPredictor p = base;
+  const std::size_t lat =
+      p.head.mean_index(0, highway::kActionLateral);
+  nn::DenseLayer& out = p.network.layer(p.network.num_layers() - 1);
+  out.biases()[lat] += 0.15 * static_cast<double>(k);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto n_scenes = static_cast<std::size_t>(
+      bench::env_long("SAFENN_RELOAD_SCENES", smoke ? 1200 : 6000));
+  // The acceptance bar is >= 3 atomic swaps under load.
+  const auto n_swaps = static_cast<std::size_t>(std::max<long>(
+      3, bench::env_long("SAFENN_RELOAD_SWAPS", smoke ? 3 : 4)));
+  const auto width = static_cast<std::size_t>(
+      bench::env_long("SAFENN_RELOAD_WIDTH", smoke ? 16 : 24));
+  const auto workers = static_cast<std::size_t>(
+      bench::env_long("SAFENN_RELOAD_WORKERS", 4));
+  const char* dir_env = std::getenv("SAFENN_RELOAD_DIR");
+  const std::string dir =
+      dir_env && *dir_env ? dir_env : "BENCH_reload_registry";
+
+  std::printf("# model hot-reload under load%s: %zu scenes, %zu swaps, "
+              "I4x%zu predictor, %zu workers\n",
+              smoke ? " (smoke)" : "", n_scenes, n_swaps, width, workers);
+
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const core::TrainedPredictor base =
+      bench::train_predictor(built.data, width, smoke ? 2 : 6);
+  const std::vector<linalg::Vector> scenes =
+      replay_scenes(built.data, n_scenes);
+  registry::MonitorConfig monitor_config;
+  monitor_config.region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built.data, encoder));
+  // Low threshold so the shield intervenes on the replay mix; the
+  // continuity check is vacuous at zero interventions.
+  monitor_config.lateral_threshold =
+      bench::env_double("SAFENN_RELOAD_THRESHOLD", -0.2);
+
+  // Publish the version chain through the registry (save -> load round
+  // trip, so the bench serves exactly what a deployment would read back).
+  std::filesystem::remove_all(dir);
+  registry::ModelRegistry reg(dir);
+  std::vector<registry::ModelArtifact> artifacts;
+  for (std::size_t k = 0; k <= n_swaps; ++k) {
+    registry::ModelArtifact artifact =
+        registry::make_artifact("v" + std::to_string(k + 1),
+                                variant_predictor(base, k), monitor_config);
+    reg.save(artifact);
+    artifacts.push_back(reg.load(artifact.version));
+  }
+  std::printf("# published %zu artifacts in %s\n", artifacts.size(),
+              dir.c_str());
+
+  serve::InferenceServer::Config cfg;
+  cfg.queue_capacity = 256;
+  cfg.pool.workers = workers;
+  cfg.pool.max_batch = 16;
+  serve::InferenceServer server(artifacts[0], cfg);
+
+  std::vector<std::future<serve::ServeResponse>> futures(scenes.size());
+  Stopwatch clock;
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < scenes.size(); ++i) {
+      futures[i] = server.submit_blocking(scenes[i]);
+    }
+  });
+
+  // Pace the swaps on the completion counter: each version takes a chunk
+  // of traffic (chunk >> queue depth, so swaps land mid-stream under
+  // sustained load, never at an idle queue).
+  const std::uint64_t chunk = scenes.size() / (n_swaps + 1);
+  for (std::size_t k = 1; k <= n_swaps; ++k) {
+    while (server.metrics().completed() <
+           static_cast<std::uint64_t>(k) * chunk) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.reload(artifacts[k]);
+  }
+  producer.join();
+  for (auto& f : futures) f.wait();
+  const double seconds = clock.seconds();
+  server.stop();
+
+  // ---- Check 1: zero dropped requests. ----
+  std::size_t rejected = 0;
+  std::map<std::string, std::vector<std::size_t>> by_version;
+  std::vector<serve::ServeResponse> responses;
+  responses.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    responses.push_back(futures[i].get());
+    const serve::ServeResponse& r = responses.back();
+    if (r.outcome == serve::ServeOutcome::kRejected) {
+      ++rejected;
+      continue;
+    }
+    by_version[r.model_version].push_back(i);
+  }
+  const bool zero_dropped =
+      rejected == 0 && server.metrics().completed() == scenes.size();
+
+  // ---- Check 2: every version tagged and serving. ----
+  bool versions_ok = by_version.size() == artifacts.size();
+  for (const registry::ModelArtifact& a : artifacts) {
+    versions_ok = versions_ok && by_version.count(a.version) > 0 &&
+                  !by_version[a.version].empty();
+  }
+  versions_ok =
+      versions_ok && server.metrics().reloads.load() == n_swaps &&
+      server.live_model().swap_count() == n_swaps &&
+      server.model_version() == artifacts.back().version;
+
+  // ---- Check 3: shield continuity, bitwise vs sequential replay. ----
+  std::vector<VersionReport> reports;
+  std::uint64_t sum_interventions = 0, sum_hits = 0;
+  bool continuity_ok = true;
+  for (const registry::ModelArtifact& artifact : artifacts) {
+    VersionReport report;
+    report.version = artifact.version;
+    report.content_hash = artifact.content_hash;
+    const std::vector<std::size_t>& indices = by_version[artifact.version];
+    report.requests = indices.size();
+    core::SafetyMonitor replay(artifact.monitor.region,
+                               artifact.monitor.lateral_threshold);
+    const core::TrainedPredictor predictor = artifact.predictor();
+    for (const std::size_t i : indices) replay.guard(predictor, scenes[i]);
+    report.replay_interventions = replay.stats().interventions;
+    report.replay_assumption_hits = replay.stats().assumption_hits;
+    const serve::VersionCounters& slice =
+        server.metrics().version_counters(artifact.version);
+    report.interventions = slice.interventions.load();
+    report.assumption_hits = slice.assumption_hits.load();
+    report.match = report.interventions == report.replay_interventions &&
+                   report.assumption_hits == report.replay_assumption_hits &&
+                   slice.completed() == report.requests;
+    continuity_ok = continuity_ok && report.match;
+    sum_interventions += report.interventions;
+    sum_hits += report.assumption_hits;
+    std::printf("%-4s  %6zu req  interventions %6llu (replay %6llu)  "
+                "hits %6llu (replay %6llu)  %s\n",
+                report.version.c_str(), report.requests,
+                static_cast<unsigned long long>(report.interventions),
+                static_cast<unsigned long long>(report.replay_interventions),
+                static_cast<unsigned long long>(report.assumption_hits),
+                static_cast<unsigned long long>(report.replay_assumption_hits),
+                report.match ? "match" : "MISMATCH");
+    reports.push_back(report);
+  }
+  continuity_ok = continuity_ok &&
+                  server.metrics().interventions.load() == sum_interventions &&
+                  server.metrics().assumption_hits.load() == sum_hits &&
+                  sum_interventions > 0;
+
+  const bool pass = zero_dropped && versions_ok && continuity_ok;
+  const double rps = static_cast<double>(scenes.size()) / seconds;
+  std::printf("# %zu swaps under %.0f req/s sustained: dropped=%zu, "
+              "versions=%zu/%zu, continuity %s => %s\n",
+              n_swaps, rps, rejected, by_version.size(), artifacts.size(),
+              continuity_ok ? "exact" : "BROKEN", pass ? "PASS" : "FAIL");
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"model_reload\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"scenes\": " << n_scenes << ",\n"
+       << "  \"swaps\": " << n_swaps << ",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"seconds\": " << seconds << ",\n"
+       << "  \"throughput_rps\": " << rps << ",\n"
+       << "  \"p99_total_ms\": "
+       << server.metrics().total_latency.percentile_ns(0.99) / 1e6 << ",\n"
+       << "  \"rejected\": " << rejected << ",\n"
+       << "  \"zero_dropped\": " << (zero_dropped ? "true" : "false") << ",\n"
+       << "  \"versions_ok\": " << (versions_ok ? "true" : "false") << ",\n"
+       << "  \"shield_continuity\": " << (continuity_ok ? "true" : "false")
+       << ",\n  \"versions\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const VersionReport& r = reports[i];
+    json << "    {\"version\": \"" << r.version << "\", \"content_hash\": \""
+         << hex64(r.content_hash) << "\", \"requests\": " << r.requests
+         << ", \"interventions\": " << r.interventions
+         << ", \"replay_interventions\": " << r.replay_interventions
+         << ", \"match\": " << (r.match ? "true" : "false") << "}"
+         << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+
+  const char* out_path = std::getenv("SAFENN_RELOAD_JSON");
+  const std::string path =
+      out_path && *out_path ? out_path : "BENCH_reload.json";
+  std::ofstream(path) << json.str();
+  std::printf("\n%s", json.str().c_str());
+  std::printf("# wrote %s\n", path.c_str());
+  return pass ? 0 : 1;
+}

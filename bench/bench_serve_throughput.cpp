@@ -8,8 +8,10 @@
 //
 // Env knobs: SAFENN_SERVE_SCENES (default 4000), SAFENN_SERVE_WIDTH
 // (hidden width, default 32), SAFENN_SERVE_MAX_WORKERS, SAFENN_SERVE_JSON.
+// `--smoke` shrinks the sweep for CI.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -80,20 +82,25 @@ ScalePoint run_point(const core::TrainedPredictor& predictor,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   const auto n_scenes = static_cast<std::size_t>(
-      bench::env_long("SAFENN_SERVE_SCENES", 4000));
+      bench::env_long("SAFENN_SERVE_SCENES", smoke ? 800 : 4000));
   const auto width = static_cast<std::size_t>(
-      bench::env_long("SAFENN_SERVE_WIDTH", 32));
+      bench::env_long("SAFENN_SERVE_WIDTH", smoke ? 16 : 32));
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   // Sweep to at least 4 workers even on small machines so the curve is
   // comparable across hosts; speedup is naturally bounded by `hw`.
   const auto max_workers = static_cast<std::size_t>(bench::env_long(
-      "SAFENN_SERVE_MAX_WORKERS", static_cast<long>(std::max<std::size_t>(4, hw))));
+      "SAFENN_SERVE_MAX_WORKERS",
+      smoke ? 2 : static_cast<long>(std::max<std::size_t>(4, hw))));
 
-  std::printf("# serving throughput scaling: %zu scenes, I4x%zu predictor, "
+  std::printf("# serving throughput scaling%s: %zu scenes, I4x%zu predictor, "
               "1..%zu workers (%zu hardware threads)\n",
-              n_scenes, width, max_workers, hw);
+              smoke ? " (smoke)" : "", n_scenes, width, max_workers, hw);
 
   highway::SceneEncoder encoder;
   const highway::BuiltDataset built = bench::standard_dataset(encoder);
@@ -105,7 +112,10 @@ int main() {
       replay_scenes(built.data, n_scenes);
   // Threshold low (even negative) so the shield actually intervenes on
   // the replay; the determinism check is vacuous at zero interventions.
-  const double threshold = bench::env_double("SAFENN_SERVE_THRESHOLD", -0.05);
+  // The briefly-trained smoke predictor sits deeper negative, so smoke
+  // needs a lower bar to exercise the shield at all.
+  const double threshold =
+      bench::env_double("SAFENN_SERVE_THRESHOLD", smoke ? -0.2 : -0.05);
 
   // Sequential ground truth for the determinism check.
   core::SafetyMonitor sequential(region, threshold);
@@ -142,6 +152,7 @@ int main() {
 
   std::ostringstream json;
   json << "{\n  \"bench\": \"serve_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
        << "  \"scenes\": " << n_scenes << ",\n"
        << "  \"hidden_width\": " << width << ",\n"
        << "  \"hardware_threads\": " << hw << ",\n"

@@ -1,7 +1,12 @@
-// Shielded inference serving demo: trains the MDN motion predictor,
-// wraps it in the SafetyMonitor-shielded serving runtime, and replays
-// simulator-generated scenes at a configurable offered load with a
-// per-request deadline. Prints the outcome mix and the metrics JSON.
+// Shielded inference serving demo — the full model lifecycle:
+//
+//   train -> make_artifact("v1") -> registry.save -> registry.load ->
+//   serve under load -> publish "v2" -> hot reload, zero dropped requests
+//
+// The server runs with watermark admission control (overload answers
+// immediately with the safe action instead of rejecting), a per-request
+// deadline, and per-model-version metrics. Prints the outcome mix and
+// the metrics JSON, whose "versions" section shows both models serving.
 //
 // Run:  ./examples/serve_predictor [workers] [rate_rps] [seconds]
 //                                  [deadline_ms] [hidden_width]
@@ -9,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -16,6 +22,7 @@
 #include "core/monitor.hpp"
 #include "highway/dataset_builder.hpp"
 #include "highway/safety_rules.hpp"
+#include "registry/registry.hpp"
 #include "serve/worker_pool.hpp"
 
 using namespace safenn;
@@ -43,20 +50,39 @@ int main(int argc, char** argv) {
   const core::TrainedPredictor predictor =
       core::train_motion_predictor(built.data, pcfg);
 
-  const verify::InputRegion region = highway::make_vehicle_on_left_region(
+  // Bundle predictor + shield configuration into a versioned artifact and
+  // publish it through the registry; serving loads it back, so what runs
+  // is exactly the hash-pinned bytes on disk.
+  registry::MonitorConfig monitor_config;
+  monitor_config.region = highway::make_vehicle_on_left_region(
       encoder, highway::data_domain_box(built.data, encoder));
-  core::SafetyMonitor monitor(region, 0.2);
+  monitor_config.lateral_threshold = 0.2;
+  const std::string dir = "serve_predictor_registry";
+  std::filesystem::remove_all(dir);
+  registry::ModelRegistry reg(dir);
+  {
+    registry::ModelArtifact v1 =
+        registry::make_artifact("v1", predictor, monitor_config);
+    reg.save(v1);
+  }
+  const registry::ModelArtifact v1 = reg.load("v1");
+  std::printf("published v1 (hash %016llx) in %s/\n",
+              static_cast<unsigned long long>(v1.content_hash), dir.c_str());
 
   serve::InferenceServer::Config cfg;
   cfg.queue_capacity = 1024;
   cfg.pool.workers = workers;
   cfg.pool.max_batch = 16;
   cfg.deadline_seconds = deadline_ms / 1e3;
-  serve::InferenceServer server(predictor, monitor, cfg);
+  // Overload sheds to the safe action at 75% queue depth instead of
+  // rejecting: the client always gets an actionable, shielded answer.
+  cfg.admission = serve::AdmissionPolicy::kDegradeAtWatermark;
+  serve::InferenceServer server(v1, cfg);
 
   std::printf("offering %.0f req/s for %.1fs to %zu workers "
-              "(deadline %.1fms, queue %zu)...\n",
-              rate, duration, workers, deadline_ms, cfg.queue_capacity);
+              "(deadline %.1fms, queue %zu, admission %s)...\n",
+              rate, duration, workers, deadline_ms, cfg.queue_capacity,
+              serve::to_string(cfg.admission));
   const auto start = serve::Clock::now();
   // rate <= 0 means unpaced: submit as fast as the producer loop runs.
   const bool paced = rate > 0.0;
@@ -69,33 +95,49 @@ int main(int argc, char** argv) {
   Stopwatch clock;
   auto next_send = start;
   std::size_t i = 0;
+  bool reloaded = false;
   while (clock.seconds() < duration) {
     if (paced) {
       std::this_thread::sleep_until(next_send);
       next_send += interval;
     }
-    // Load-shedding submit: a full queue rejects instead of queueing
-    // unboundedly, keeping every answered request inside the deadline.
     futures.push_back(server.submit(built.data.input(i % built.data.size())));
     ++i;
+    // Halfway through, publish a retuned model (tighter shield) and hot
+    // swap it in: in-flight work finishes on v1, new pops serve v2.
+    if (!reloaded && clock.seconds() >= duration / 2) {
+      registry::MonitorConfig tightened = monitor_config;
+      tightened.lateral_threshold = 0.1;
+      registry::ModelArtifact v2 =
+          registry::make_artifact("v2", predictor, tightened);
+      reg.save(v2);
+      const linalg::KernelBackend backend = server.reload(reg.load("v2"));
+      std::printf("hot-swapped to v2 after %llu requests (backend %s)\n",
+                  static_cast<unsigned long long>(
+                      server.metrics().completed()),
+                  linalg::to_string(backend).c_str());
+      reloaded = true;
+    }
   }
   for (auto& f : futures) f.wait();
   const double elapsed = clock.seconds();
   server.stop();
 
   const serve::MetricsRegistry& m = server.metrics();
-  std::printf("\noutcomes: served %llu, clamped %llu, degraded %llu, "
-              "rejected %llu (of %llu offered)\n",
+  std::printf("\noutcomes: served %llu, clamped %llu, degraded %llu "
+              "(%llu shed), rejected %llu (of %llu offered)\n",
               static_cast<unsigned long long>(m.served.load()),
               static_cast<unsigned long long>(m.clamped.load()),
               static_cast<unsigned long long>(m.degraded.load()),
+              static_cast<unsigned long long>(m.shed.load()),
               static_cast<unsigned long long>(m.rejected.load()),
               static_cast<unsigned long long>(m.submitted.load()));
-  std::printf("shield: %llu interventions over %llu assumption hits "
-              "(monitor rate %.4f)\n",
+  std::printf("shield: %llu interventions over %llu assumption hits; "
+              "%llu reloads, serving %s\n",
               static_cast<unsigned long long>(m.interventions.load()),
               static_cast<unsigned long long>(m.assumption_hits.load()),
-              monitor.stats().intervention_rate());
+              static_cast<unsigned long long>(m.reloads.load()),
+              server.model_version().c_str());
   std::printf("\nmetrics:\n%s\n", m.to_json(elapsed).c_str());
   return 0;
 }

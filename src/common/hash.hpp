@@ -1,0 +1,79 @@
+// Content hashing for artifact integrity (FNV-1a, 64-bit).
+//
+// The serialized-network format and the model registry both pin their
+// payloads with a content hash: a deployed artifact must be byte-for-byte
+// the one that was saved, or loading fails with a typed error. FNV-1a is
+// not cryptographic — it detects corruption and truncation, which is the
+// integrity property certification traceability needs here; swapping in a
+// stronger hash later only changes this header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace safenn {
+
+/// Streaming FNV-1a 64-bit hasher.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= static_cast<std::uint64_t>(bytes[i]);
+      h *= kPrime;
+    }
+    state_ = h;
+  }
+
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot hash of a byte string.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  Fnv1a64 h;
+  h.update(s);
+  return h.digest();
+}
+
+/// Fixed-width (16 char) lowercase hex rendering of a 64-bit digest.
+inline std::string hex64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Parses a hex64() string back to its value; throws safenn::Error on
+/// anything that is not exactly 16 hex digits.
+inline std::uint64_t parse_hex64(std::string_view s) {
+  require(s.size() == 16, "parse_hex64: expected 16 hex digits");
+  std::uint64_t value = 0;
+  for (char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw Error("parse_hex64: invalid hex digit");
+    }
+  }
+  return value;
+}
+
+}  // namespace safenn

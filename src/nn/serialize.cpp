@@ -5,12 +5,26 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace safenn::nn {
+namespace {
 
-void save_network(std::ostream& os, const Network& net) {
-  os << "safenn-network v1\n";
+constexpr const char* kMagic = "safenn-network";
+constexpr const char* kVersion = "v2";
+
+[[noreturn]] void fail(SerializeError::Kind kind, const std::string& what) {
+  throw SerializeError(kind, "load_network: " + what);
+}
+
+void check(bool cond, SerializeError::Kind kind, const std::string& what) {
+  if (!cond) fail(kind, what);
+}
+
+/// Serializes the layer payload (everything between the header line and
+/// the checksum line) — the byte range the checksum covers.
+std::string payload_text(const Network& net) {
+  std::ostringstream os;
   os << "layers " << net.num_layers() << '\n';
   os << std::setprecision(17);
   for (std::size_t li = 0; li < net.num_layers(); ++li) {
@@ -28,29 +42,30 @@ void save_network(std::ostream& os, const Network& net) {
       }
     }
   }
+  return os.str();
 }
 
-Network load_network(std::istream& is) {
-  std::string magic, version;
-  is >> magic >> version;
-  require(is.good() && magic == "safenn-network" && version == "v1",
-          "load_network: bad header");
-
+Network parse_payload(const std::string& payload) {
+  std::istringstream is(payload);
   std::string token;
   is >> token;
-  require(token == "layers", "load_network: expected 'layers'");
+  check(token == "layers", SerializeError::Kind::kMalformed,
+        "expected 'layers'");
   std::size_t num_layers = 0;
   is >> num_layers;
-  require(is.good() && num_layers > 0, "load_network: bad layer count");
+  check(is.good() && num_layers > 0, SerializeError::Kind::kMalformed,
+        "bad layer count");
 
   Network net;
   for (std::size_t li = 0; li < num_layers; ++li) {
     is >> token;
-    require(token == "layer", "load_network: expected 'layer'");
+    check(token == "layer", SerializeError::Kind::kMalformed,
+          "expected 'layer'");
     std::size_t in = 0, out = 0;
     std::string act_name;
     is >> in >> out >> act_name;
-    require(is.good() && in > 0 && out > 0, "load_network: bad layer shape");
+    check(is.good() && in > 0 && out > 0, SerializeError::Kind::kMalformed,
+          "bad layer shape");
     DenseLayer layer(in, out, activation_from_string(act_name));
     for (std::size_t i = 0; i < out; ++i) {
       is >> layer.biases()[i];
@@ -60,23 +75,110 @@ Network load_network(std::istream& is) {
         is >> layer.weights()(r, c);
       }
     }
-    require(is.good() || is.eof(), "load_network: truncated parameters");
-    require(!is.fail(), "load_network: malformed parameter value");
+    check(!is.fail(), SerializeError::Kind::kMalformed,
+          "malformed parameter value");
     net.add_layer(std::move(layer));
   }
   return net;
 }
 
+}  // namespace
+
+const char* to_string(SerializeError::Kind kind) {
+  switch (kind) {
+    case SerializeError::Kind::kBadMagic: return "bad-magic";
+    case SerializeError::Kind::kUnsupportedVersion:
+      return "unsupported-version";
+    case SerializeError::Kind::kTruncated: return "truncated";
+    case SerializeError::Kind::kChecksumMismatch: return "checksum-mismatch";
+    case SerializeError::Kind::kMalformed: return "malformed";
+    case SerializeError::Kind::kIo: return "io";
+  }
+  return "?";
+}
+
+void save_network(std::ostream& os, const Network& net) {
+  const std::string payload = payload_text(net);
+  os << kMagic << ' ' << kVersion << '\n'
+     << payload << "checksum " << hex64(fnv1a64(payload)) << '\n';
+}
+
+Network load_network(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return network_from_string(buffer.str());
+}
+
+std::string network_to_string(const Network& net) {
+  std::ostringstream os;
+  save_network(os, net);
+  return os.str();
+}
+
+Network network_from_string(const std::string& text) {
+  // Header line: "safenn-network v2\n".
+  const std::size_t header_end = text.find('\n');
+  check(header_end != std::string::npos, SerializeError::Kind::kBadMagic,
+        "missing header line");
+  {
+    std::istringstream header(text.substr(0, header_end));
+    std::string magic, version;
+    header >> magic >> version;
+    check(magic == kMagic, SerializeError::Kind::kBadMagic,
+          "not a safenn-network file");
+    check(version == kVersion, SerializeError::Kind::kUnsupportedVersion,
+          "unsupported format version '" + version + "' (want " + kVersion +
+              ")");
+  }
+
+  // Trailing line: "checksum <16-hex>\n" — its absence means the file was
+  // cut short; nothing is parsed until the payload hashes correctly.
+  const std::string marker = "checksum ";
+  const std::size_t marker_pos = text.rfind("\n" + marker);
+  check(marker_pos != std::string::npos && marker_pos > header_end,
+        SerializeError::Kind::kTruncated,
+        "missing checksum trailer (truncated file?)");
+  std::string recorded_hex =
+      text.substr(marker_pos + 1 + marker.size());
+  while (!recorded_hex.empty() &&
+         (recorded_hex.back() == '\n' || recorded_hex.back() == '\r')) {
+    recorded_hex.pop_back();
+  }
+  std::uint64_t recorded = 0;
+  try {
+    recorded = parse_hex64(recorded_hex);
+  } catch (const Error&) {
+    fail(SerializeError::Kind::kMalformed, "unparseable checksum value");
+  }
+
+  const std::string payload =
+      text.substr(header_end + 1, marker_pos - header_end);
+  const std::uint64_t actual = fnv1a64(payload);
+  check(actual == recorded, SerializeError::Kind::kChecksumMismatch,
+        "payload checksum " + hex64(actual) + " != recorded " + recorded_hex);
+
+  return parse_payload(payload);
+}
+
 void save_network_file(const std::string& path, const Network& net) {
   std::ofstream os(path);
-  require(os.is_open(), "save_network_file: cannot open '" + path + "'");
+  if (!os.is_open()) {
+    throw SerializeError(SerializeError::Kind::kIo,
+                         "save_network_file: cannot open '" + path + "'");
+  }
   save_network(os, net);
-  require(os.good(), "save_network_file: write failure on '" + path + "'");
+  if (!os.good()) {
+    throw SerializeError(SerializeError::Kind::kIo,
+                         "save_network_file: write failure on '" + path + "'");
+  }
 }
 
 Network load_network_file(const std::string& path) {
   std::ifstream is(path);
-  require(is.is_open(), "load_network_file: cannot open '" + path + "'");
+  if (!is.is_open()) {
+    throw SerializeError(SerializeError::Kind::kIo,
+                         "load_network_file: cannot open '" + path + "'");
+  }
   return load_network(is);
 }
 

@@ -1,0 +1,250 @@
+#include "registry/artifact.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/hash.hpp"
+#include "nn/serialize.hpp"
+
+namespace safenn::registry {
+namespace {
+
+constexpr const char* kMagic = "safenn-artifact";
+constexpr const char* kVersion = "v1";
+constexpr const char* kChecksumMarker = "artifact-checksum ";
+
+[[noreturn]] void fail(RegistryError::Kind kind, const std::string& what) {
+  throw RegistryError(kind, "load_artifact: " + what);
+}
+
+void check(bool cond, const std::string& what) {
+  if (!cond) fail(RegistryError::Kind::kBadArtifact, what);
+}
+
+const char* relation_name(lp::Relation r) {
+  switch (r) {
+    case lp::Relation::kLe: return "le";
+    case lp::Relation::kGe: return "ge";
+    case lp::Relation::kEq: return "eq";
+  }
+  return "?";
+}
+
+lp::Relation relation_from_name(const std::string& name) {
+  if (name == "le") return lp::Relation::kLe;
+  if (name == "ge") return lp::Relation::kGe;
+  if (name == "eq") return lp::Relation::kEq;
+  fail(RegistryError::Kind::kBadArtifact,
+       "unknown constraint relation '" + name + "'");
+}
+
+bool is_single_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Everything between the header line and the checksum trailer — the
+/// byte range the content hash covers.
+std::string payload_text(const ModelArtifact& artifact) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "version " << artifact.version << '\n';
+  os << "mdn " << artifact.head.components() << ' ' << artifact.head.dims()
+     << '\n';
+  os << "monitor-threshold " << artifact.monitor.lateral_threshold << '\n';
+  const verify::InputRegion& region = artifact.monitor.region;
+  os << "region-box " << region.box.size() << '\n';
+  for (const verify::Interval& iv : region.box) {
+    os << iv.lo << ' ' << iv.hi << '\n';
+  }
+  os << "region-constraints " << region.constraints.size() << '\n';
+  for (const verify::InputConstraint& c : region.constraints) {
+    os << c.terms.size();
+    for (const auto& [idx, coeff] : c.terms) os << ' ' << idx << ' ' << coeff;
+    os << ' ' << relation_name(c.relation) << ' ' << c.rhs << '\n';
+  }
+  // The embedded network text is the v2 serialized form verbatim — it
+  // carries its own checksum, so the network is double-pinned.
+  os << "network\n" << nn::network_to_string(artifact.network);
+  return os.str();
+}
+
+ModelArtifact parse_payload(const std::string& payload) {
+  std::istringstream is(payload);
+  std::string token;
+  ModelArtifact artifact;
+
+  is >> token;
+  check(token == "version", "expected 'version'");
+  is >> artifact.version;
+  check(is.good() && is_single_token(artifact.version), "bad version token");
+
+  is >> token;
+  check(token == "mdn", "expected 'mdn'");
+  std::size_t components = 0, dims = 0;
+  is >> components >> dims;
+  check(is.good() && components > 0 && dims > 0, "bad mdn head shape");
+  artifact.head = nn::MdnHead(components, dims);
+
+  is >> token;
+  check(token == "monitor-threshold", "expected 'monitor-threshold'");
+  is >> artifact.monitor.lateral_threshold;
+  check(!is.fail(), "bad monitor threshold");
+
+  is >> token;
+  check(token == "region-box", "expected 'region-box'");
+  std::size_t box_dims = 0;
+  is >> box_dims;
+  check(is.good() && box_dims > 0, "bad region box size");
+  artifact.monitor.region.box.resize(box_dims);
+  for (verify::Interval& iv : artifact.monitor.region.box) {
+    is >> iv.lo >> iv.hi;
+    check(!is.fail() && iv.lo <= iv.hi, "bad region interval");
+  }
+
+  is >> token;
+  check(token == "region-constraints", "expected 'region-constraints'");
+  std::size_t num_constraints = 0;
+  is >> num_constraints;
+  check(!is.fail(), "bad constraint count");
+  artifact.monitor.region.constraints.resize(num_constraints);
+  for (verify::InputConstraint& c : artifact.monitor.region.constraints) {
+    std::size_t terms = 0;
+    is >> terms;
+    check(is.good() && terms > 0, "bad constraint term count");
+    c.terms.resize(terms);
+    for (auto& [idx, coeff] : c.terms) {
+      is >> idx >> coeff;
+      check(!is.fail() && idx >= 0, "bad constraint term");
+    }
+    std::string relation;
+    is >> relation >> c.rhs;
+    check(!is.fail(), "bad constraint relation/rhs");
+    c.relation = relation_from_name(relation);
+  }
+
+  is >> token;
+  check(token == "network", "expected 'network'");
+  // Rest of the payload (after the marker's newline) is network v2 text.
+  is.get();  // consume '\n'
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  try {
+    artifact.network = nn::network_from_string(rest.str());
+  } catch (const nn::SerializeError& e) {
+    fail(RegistryError::Kind::kBadArtifact,
+         std::string("embedded network rejected: ") + e.what());
+  }
+  check(artifact.network.output_size() == artifact.head.raw_output_size(),
+        "network output width does not match mdn head layout");
+  check(artifact.network.input_size() == artifact.monitor.region.dims(),
+        "network input width does not match monitor region");
+  return artifact;
+}
+
+}  // namespace
+
+core::TrainedPredictor ModelArtifact::predictor() const {
+  core::TrainedPredictor p;
+  p.network = network;
+  p.head = head;
+  return p;
+}
+
+ModelArtifact make_artifact(std::string version,
+                            const core::TrainedPredictor& predictor,
+                            MonitorConfig monitor) {
+  require(is_single_token(version),
+          "make_artifact: version must be a non-empty whitespace-free token");
+  require(predictor.network.input_size() == monitor.region.dims(),
+          "make_artifact: monitor region dims != network input width");
+  ModelArtifact artifact;
+  artifact.version = std::move(version);
+  artifact.head = predictor.head;
+  artifact.network = predictor.network;
+  artifact.monitor = std::move(monitor);
+  return artifact;
+}
+
+std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact) {
+  const std::string payload = payload_text(artifact);
+  const std::uint64_t hash = fnv1a64(payload);
+  os << kMagic << ' ' << kVersion << '\n'
+     << payload << kChecksumMarker << hex64(hash) << '\n';
+  return hash;
+}
+
+ModelArtifact load_artifact(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::size_t header_end = text.find('\n');
+  check(header_end != std::string::npos, "missing header line");
+  {
+    std::istringstream header(text.substr(0, header_end));
+    std::string magic, version;
+    header >> magic >> version;
+    check(magic == kMagic, "not a safenn-artifact file");
+    check(version == kVersion,
+          "unsupported artifact format version '" + version + "'");
+  }
+
+  const std::size_t marker_pos =
+      text.rfind(std::string("\n") + kChecksumMarker);
+  check(marker_pos != std::string::npos && marker_pos > header_end,
+        "missing artifact-checksum trailer (truncated file?)");
+  std::string recorded_hex = text.substr(
+      marker_pos + 1 + std::string(kChecksumMarker).size());
+  while (!recorded_hex.empty() &&
+         (recorded_hex.back() == '\n' || recorded_hex.back() == '\r')) {
+    recorded_hex.pop_back();
+  }
+  std::uint64_t recorded = 0;
+  try {
+    recorded = parse_hex64(recorded_hex);
+  } catch (const Error&) {
+    fail(RegistryError::Kind::kBadArtifact, "unparseable checksum value");
+  }
+
+  const std::string payload =
+      text.substr(header_end + 1, marker_pos - header_end);
+  const std::uint64_t actual = fnv1a64(payload);
+  if (actual != recorded) {
+    fail(RegistryError::Kind::kHashMismatch,
+         "content hash " + hex64(actual) + " != recorded " + recorded_hex);
+  }
+
+  ModelArtifact artifact = parse_payload(payload);
+  artifact.content_hash = actual;
+  return artifact;
+}
+
+void save_artifact_file(const std::string& path, ModelArtifact& artifact) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    throw RegistryError(RegistryError::Kind::kIo,
+                        "save_artifact_file: cannot open '" + path + "'");
+  }
+  artifact.content_hash = save_artifact(os, artifact);
+  if (!os.good()) {
+    throw RegistryError(RegistryError::Kind::kIo,
+                        "save_artifact_file: write failure on '" + path + "'");
+  }
+}
+
+ModelArtifact load_artifact_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    throw RegistryError(RegistryError::Kind::kIo,
+                        "load_artifact_file: cannot open '" + path + "'");
+  }
+  return load_artifact(is);
+}
+
+}  // namespace safenn::registry

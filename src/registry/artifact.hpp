@@ -1,0 +1,68 @@
+// Versioned model artifacts.
+//
+// The paper's certification argument is about the *deployed artifact*:
+// the network that serves traffic must be the one that was trained,
+// verified, and shielded — and that link must survive redeployment. A
+// ModelArtifact bundles everything the serving runtime needs to stand up
+// a shielded model — the serialized network (nn/serialize v2, itself
+// checksummed), the MDN head layout, and the safety-monitor
+// configuration (assumption region + lateral threshold) — under a
+// version label and an artifact-level content hash over the byte stream.
+// Loading re-hashes and refuses anything that does not match bit for
+// bit: a corrupt, truncated, or tampered artifact is rejected with a
+// typed error, never partially loaded, never served.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/monitor.hpp"
+#include "core/pipeline.hpp"
+#include "registry/error.hpp"
+
+namespace safenn::registry {
+
+/// The SafetyMonitor configuration an artifact deploys with: the shield
+/// is part of the model, not of the server — swapping models swaps the
+/// monitored region and threshold with them.
+struct MonitorConfig {
+  verify::InputRegion region;
+  double lateral_threshold = 0.0;
+
+  /// Builds the runtime monitor this configuration describes.
+  core::SafetyMonitor make_monitor() const {
+    return core::SafetyMonitor(region, lateral_threshold);
+  }
+};
+
+/// A versioned, hash-pinned (network + MDN head + monitor config) bundle.
+struct ModelArtifact {
+  std::string version;     // single token, e.g. "v1" or "mdn-2026-08-08"
+  nn::MdnHead head{1, 1};  // raw-output layout of the MDN
+  nn::Network network;
+  MonitorConfig monitor;
+  /// FNV-1a 64 over the serialized payload; filled by save/load.
+  std::uint64_t content_hash = 0;
+
+  /// Materializes the predictor this artifact describes (copies the
+  /// network; reload-path cost, not hot-path cost).
+  core::TrainedPredictor predictor() const;
+};
+
+/// Bundles a trained predictor + monitor config under a version label.
+/// `version` must be a single non-empty token (no whitespace).
+ModelArtifact make_artifact(std::string version,
+                            const core::TrainedPredictor& predictor,
+                            MonitorConfig monitor);
+
+/// Writes `artifact` in the "safenn-artifact v1" text format and returns
+/// the content hash it recorded (also assigned to artifact.content_hash
+/// by the non-const overloads below).
+std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact);
+ModelArtifact load_artifact(std::istream& is);
+
+void save_artifact_file(const std::string& path, ModelArtifact& artifact);
+ModelArtifact load_artifact_file(const std::string& path);
+
+}  // namespace safenn::registry

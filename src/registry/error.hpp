@@ -1,0 +1,46 @@
+// Typed errors for the model registry.
+//
+// The registry is the gate between stored bytes and served models: every
+// rejection reason is typed so operators (and tests) can distinguish "the
+// file is corrupt" from "that version does not exist" from "the directory
+// is unreadable" — a corrupt artifact must never be served, and the
+// reason it was refused is itself audit evidence.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace safenn::registry {
+
+class RegistryError : public Error {
+ public:
+  enum class Kind {
+    kNotFound,          // no artifact with that version in the directory
+    kBadArtifact,       // file exists but is not a valid artifact
+    kHashMismatch,      // artifact bytes do not match the recorded hash
+    kDuplicateVersion,  // saving a version that already exists
+    kIo,                // filesystem failure (open/create/iterate)
+  };
+
+  RegistryError(Kind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+inline const char* to_string(RegistryError::Kind kind) {
+  switch (kind) {
+    case RegistryError::Kind::kNotFound: return "not-found";
+    case RegistryError::Kind::kBadArtifact: return "bad-artifact";
+    case RegistryError::Kind::kHashMismatch: return "hash-mismatch";
+    case RegistryError::Kind::kDuplicateVersion: return "duplicate-version";
+    case RegistryError::Kind::kIo: return "io";
+  }
+  return "?";
+}
+
+}  // namespace safenn::registry

@@ -1,0 +1,57 @@
+#include "registry/live_model.hpp"
+
+#include "common/error.hpp"
+
+namespace safenn::registry {
+
+ModelSnapshot::ModelSnapshot(std::string version,
+                             const core::TrainedPredictor& predictor,
+                             const core::SafetyMonitor& monitor,
+                             linalg::KernelBackend backend)
+    : version_(std::move(version)),
+      backend_(backend),
+      predictor_(&predictor),
+      monitor_(&monitor) {
+  require(!version_.empty(), "ModelSnapshot: empty version label");
+}
+
+ModelSnapshot::ModelSnapshot(const ModelArtifact& artifact,
+                             linalg::KernelBackend backend)
+    : version_(artifact.version),
+      backend_(backend),
+      content_hash_(artifact.content_hash),
+      owned_predictor_(std::make_unique<core::TrainedPredictor>(
+          artifact.predictor())),
+      // In-place construction: SafetyMonitor's atomic counters make it
+      // immovable.
+      owned_monitor_(std::make_unique<core::SafetyMonitor>(
+          artifact.monitor.region, artifact.monitor.lateral_threshold)),
+      predictor_(owned_predictor_.get()),
+      monitor_(owned_monitor_.get()) {
+  require(!version_.empty(), "ModelSnapshot: artifact has no version");
+}
+
+LiveModel::LiveModel(std::shared_ptr<const ModelSnapshot> initial)
+    : slot_(std::move(initial)) {
+  require(slot_ != nullptr, "LiveModel: null initial snapshot");
+}
+
+std::shared_ptr<const ModelSnapshot> LiveModel::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slot_;
+}
+
+std::shared_ptr<const ModelSnapshot> LiveModel::swap(
+    std::shared_ptr<const ModelSnapshot> next) {
+  require(next != nullptr, "LiveModel::swap: null snapshot");
+  std::shared_ptr<const ModelSnapshot> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = std::move(slot_);
+    slot_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return previous;
+}
+
+}  // namespace safenn::registry

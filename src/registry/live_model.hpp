@@ -1,0 +1,104 @@
+// Atomic hot-swap slot for the model serving under live traffic.
+//
+// RCU-style publication: readers (serving workers) grab a shared_ptr to
+// an immutable ModelSnapshot once per popped micro-batch and serve the
+// whole batch against it; a swap atomically publishes a new snapshot for
+// subsequent pops while in-flight batches finish on the snapshot they
+// hold. Readers touch the slot only between batches (never mid-batch),
+// no batch ever observes a half-swapped model, and the old model is
+// destroyed exactly when its last in-flight batch releases it.
+//
+// Shield continuity across swaps lives one level up: the serving
+// MetricsRegistry's outcome/intervention counters are global and
+// monotone across any number of swaps (plus per-version, so each model's
+// slice is separately auditable) — bench_model_reload asserts the totals
+// against a sequential per-version replay.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "linalg/kernels.hpp"
+#include "registry/artifact.hpp"
+
+namespace safenn::registry {
+
+/// An immutable (predictor, monitor, kernel backend) triple under a
+/// version label — everything a worker needs to serve one micro-batch.
+/// Snapshots either own their model (built from an artifact at reload)
+/// or wrap externally owned objects (the legacy construction path where
+/// the caller shares its monitor for offline-comparable stats).
+class ModelSnapshot {
+ public:
+  /// Wraps externally owned predictor/monitor (both must outlive the
+  /// snapshot — the InferenceServer reference constructor path).
+  ModelSnapshot(std::string version,
+                const core::TrainedPredictor& predictor,
+                const core::SafetyMonitor& monitor,
+                linalg::KernelBackend backend);
+
+  /// Materializes and owns the artifact's predictor and monitor. The
+  /// caller chooses the backend (serve runs its admission gate per
+  /// artifact before constructing the snapshot).
+  ModelSnapshot(const ModelArtifact& artifact, linalg::KernelBackend backend);
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  const std::string& version() const { return version_; }
+  const core::TrainedPredictor& predictor() const { return *predictor_; }
+  const core::SafetyMonitor& monitor() const { return *monitor_; }
+  linalg::KernelBackend backend() const { return backend_; }
+  /// Artifact content hash; 0 for wrapped (unregistered) models.
+  std::uint64_t content_hash() const { return content_hash_; }
+
+ private:
+  std::string version_;
+  linalg::KernelBackend backend_;
+  std::uint64_t content_hash_ = 0;
+  std::unique_ptr<core::TrainedPredictor> owned_predictor_;
+  std::unique_ptr<core::SafetyMonitor> owned_monitor_;
+  const core::TrainedPredictor* predictor_;
+  const core::SafetyMonitor* monitor_;
+};
+
+/// The swap slot itself. `current()` copies the published shared_ptr
+/// under a mutex held only for the refcount bump (readers pin once per
+/// micro-batch, so the lock is off the per-request path); `swap()`
+/// publishes a new snapshot and returns the previous one so the caller
+/// can inspect what was retired.
+///
+/// Not std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic::load
+/// drops its spinlock with a relaxed fetch_sub, so a subsequent locked
+/// swap has no release edge ordering it after the reader's pointer
+/// read — a real (if practically benign) memory-model race that TSan
+/// reports. A plain mutex gives the same publication semantics and is
+/// sanitizer-clean.
+class LiveModel {
+ public:
+  explicit LiveModel(std::shared_ptr<const ModelSnapshot> initial);
+
+  /// The snapshot new work should serve against.
+  std::shared_ptr<const ModelSnapshot> current() const;
+
+  /// Atomically publishes `next` and returns the retired snapshot.
+  /// In-flight readers keep their shared_ptr; the retired model dies
+  /// with its last reference.
+  std::shared_ptr<const ModelSnapshot> swap(
+      std::shared_ptr<const ModelSnapshot> next);
+
+  /// Number of swap() calls since construction.
+  std::uint64_t swap_count() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> slot_;
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+}  // namespace safenn::registry

@@ -1,0 +1,100 @@
+#include "registry/registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace safenn::registry {
+
+namespace fs = std::filesystem;
+
+ModelRegistry::ModelRegistry(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw RegistryError(RegistryError::Kind::kIo,
+                        "ModelRegistry: cannot create directory '" +
+                            directory_ + "': " + ec.message());
+  }
+}
+
+std::string ModelRegistry::path_for(const std::string& version) const {
+  return (fs::path(directory_) / (version + kExtension)).string();
+}
+
+bool ModelRegistry::contains(const std::string& version) const {
+  std::error_code ec;
+  return fs::exists(path_for(version), ec) && !ec;
+}
+
+std::string ModelRegistry::save(ModelArtifact& artifact) {
+  require(!artifact.version.empty(),
+          "ModelRegistry::save: artifact has no version");
+  const std::string path = path_for(artifact.version);
+  if (contains(artifact.version)) {
+    throw RegistryError(
+        RegistryError::Kind::kDuplicateVersion,
+        "ModelRegistry::save: version '" + artifact.version +
+            "' already published (artifacts are immutable; bump the "
+            "version)");
+  }
+  save_artifact_file(path, artifact);
+  log_info("registry: published ", artifact.version, " (hash ",
+           artifact.content_hash, ") at ", path);
+  return path;
+}
+
+ModelArtifact ModelRegistry::load(const std::string& version) const {
+  if (!contains(version)) {
+    throw RegistryError(RegistryError::Kind::kNotFound,
+                        "ModelRegistry::load: no artifact for version '" +
+                            version + "' in " + directory_);
+  }
+  ModelArtifact artifact = load_artifact_file(path_for(version));
+  if (artifact.version != version) {
+    throw RegistryError(
+        RegistryError::Kind::kBadArtifact,
+        "ModelRegistry::load: file " + path_for(version) +
+            " declares version '" + artifact.version + "'");
+  }
+  return artifact;
+}
+
+std::vector<std::string> ModelRegistry::list() const {
+  std::vector<std::string> versions;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != kExtension) continue;
+    versions.push_back(p.stem().string());
+  }
+  if (ec) {
+    throw RegistryError(RegistryError::Kind::kIo,
+                        "ModelRegistry::list: cannot iterate '" + directory_ +
+                            "': " + ec.message());
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+ModelRegistry::ScanResult ModelRegistry::load_all() const {
+  ScanResult result;
+  for (const std::string& version : list()) {
+    try {
+      result.artifacts.push_back(load(version));
+    } catch (const RegistryError& e) {
+      result.rejected.push_back(path_for(version) + ": [" +
+                                to_string(e.kind()) + "] " + e.what());
+      log_warn("registry: rejected ", path_for(version), " (",
+               to_string(e.kind()), ")");
+    }
+  }
+  return result;
+}
+
+}  // namespace safenn::registry

@@ -1,0 +1,64 @@
+// Directory-backed model registry.
+//
+// One artifact per file (`<version>.safenn`) in a flat directory. The
+// registry is the only supported path from disk bytes to a servable
+// model: every load re-hashes the payload and anything corrupt,
+// truncated, or version-mismatched is rejected with a typed
+// RegistryError — `load_all` reports rejects instead of returning them,
+// so a sweep over a directory with damaged files yields exactly the
+// artifacts that are safe to serve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "registry/artifact.hpp"
+
+namespace safenn::registry {
+
+class ModelRegistry {
+ public:
+  /// Opens (creating if needed) the registry directory.
+  explicit ModelRegistry(std::string directory);
+
+  /// Saves the artifact as `<version>.safenn`, assigns its content hash,
+  /// and returns the file path. Refuses to overwrite an existing version
+  /// (kDuplicateVersion): artifacts are immutable once published — a new
+  /// model is a new version.
+  std::string save(ModelArtifact& artifact);
+
+  /// Loads and validates one version. kNotFound when absent; corrupt or
+  /// tampered files raise kHashMismatch/kBadArtifact and are never
+  /// partially returned.
+  ModelArtifact load(const std::string& version) const;
+
+  bool contains(const std::string& version) const;
+
+  /// Sorted list of the versions present (by filename; validity is only
+  /// established by load/load_all).
+  std::vector<std::string> list() const;
+
+  /// Result of a full-directory sweep: validated artifacts (sorted by
+  /// version) plus a `path: reason` line per rejected file.
+  struct ScanResult {
+    std::vector<ModelArtifact> artifacts;
+    std::vector<std::string> rejected;
+  };
+
+  /// Loads every `.safenn` file, validating each; damaged files land in
+  /// `rejected` with their typed reason and are never returned as
+  /// artifacts.
+  ScanResult load_all() const;
+
+  const std::string& directory() const { return directory_; }
+
+  /// The on-disk path a version maps to.
+  std::string path_for(const std::string& version) const;
+
+  static constexpr const char* kExtension = ".safenn";
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace safenn::registry

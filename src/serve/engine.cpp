@@ -18,11 +18,16 @@ double seconds_since(Clock::time_point start, Clock::time_point end) {
 linalg::KernelBackend resolve_serving_backend(
     const core::TrainedPredictor& predictor,
     linalg::KernelBackend requested, std::size_t max_batch) {
+  return resolve_serving_backend(predictor.network, requested, max_batch);
+}
+
+linalg::KernelBackend resolve_serving_backend(
+    const nn::Network& net, linalg::KernelBackend requested,
+    std::size_t max_batch) {
   if (requested != linalg::KernelBackend::kSimd) return requested;
-  // Pin the exact (batch, in, out) GEMM shapes this predictor will run,
+  // Pin the exact (batch, in, out) GEMM shapes this network will run,
   // on top of the harness's randomized + awkward shape sweep.
   linalg::KernelVerifyConfig config;
-  const nn::Network& net = predictor.network;
   for (std::size_t li = 0; li < net.num_layers(); ++li) {
     const nn::DenseLayer& layer = net.layer(li);
     config.extra_shapes.push_back(
@@ -43,13 +48,22 @@ linalg::KernelBackend resolve_serving_backend(
 
 ShieldedEngine::ShieldedEngine(const core::TrainedPredictor& predictor,
                                const core::SafetyMonitor& monitor,
-                               linalg::KernelBackend backend)
-    : predictor_(predictor), monitor_(monitor), backend_(backend) {}
+                               linalg::KernelBackend backend,
+                               std::string version)
+    : predictor_(predictor),
+      monitor_(monitor),
+      backend_(backend),
+      version_(std::move(version)) {}
+
+ShieldedEngine::ShieldedEngine(const registry::ModelSnapshot& snapshot)
+    : ShieldedEngine(snapshot.predictor(), snapshot.monitor(),
+                     snapshot.backend(), snapshot.version()) {}
 
 ServeResponse ShieldedEngine::serve(const ServeRequest& request,
                                     Clock::time_point now) const {
   ServeResponse response;
   response.id = request.id;
+  response.model_version = version_;
   if (now > request.deadline) {
     // Bounded-latency fallback: the deadline is already blown, so answer
     // with the provably safe action instead of a late prediction.
@@ -77,6 +91,7 @@ std::vector<ServeResponse> ShieldedEngine::serve_batch(
   live.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     responses[i].id = requests[i].id;
+    responses[i].model_version = version_;
     if (now > requests[i].deadline) {
       responses[i].outcome = ServeOutcome::kDegraded;
       responses[i].action = monitor_.safe_action();

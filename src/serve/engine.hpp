@@ -8,36 +8,55 @@
 //   otherwise                                -> kServed
 // Rejection (queue full / runtime stopped) happens upstream at the
 // submit path and never reaches the engine.
+//
+// The engine is a stateless view over one model snapshot: under hot
+// reload, workers construct a fresh engine per popped micro-batch from
+// LiveModel::current(), so an in-flight batch finishes on the snapshot
+// it started with while the next pop sees the swapped-in model.
 #pragma once
 
 #include "core/monitor.hpp"
 #include "linalg/kernels.hpp"
+#include "registry/live_model.hpp"
 #include "serve/request_queue.hpp"
 
 namespace safenn::serve {
 
 /// Resolves the kernel backend a server should actually run: kReference
 /// passes through; kSimd is admitted only after the tolerance harness
-/// (linalg/verify_kernels.hpp) passes on this host with the predictor's
+/// (linalg/verify_kernels.hpp) passes on this host with the network's
 /// own layer shapes pinned — on any violation the request degrades to
 /// kReference (logged), keeping the deployed artifact traceable to the
-/// verified reference kernels.
+/// verified reference kernels. Re-run on every hot reload: admission is
+/// per artifact, not per process.
+linalg::KernelBackend resolve_serving_backend(
+    const nn::Network& network, linalg::KernelBackend requested,
+    std::size_t max_batch);
 linalg::KernelBackend resolve_serving_backend(
     const core::TrainedPredictor& predictor,
     linalg::KernelBackend requested, std::size_t max_batch);
 
 /// Stateless per-call engine over a shared const predictor and a shared
-/// thread-safe monitor; safe to use from any number of workers.
+/// thread-safe monitor; safe to use from any number of workers. Cheap to
+/// construct (three references + a version label) — the worker pool
+/// builds one per micro-batch from the live snapshot.
 class ShieldedEngine {
  public:
   /// `backend` selects the kernels for batched forward passes; single-
   /// request serve() always runs the per-sample reference path. Callers
   /// wanting the gate should pass resolve_serving_backend(...) here (the
-  /// InferenceServer facade does).
+  /// InferenceServer facade does). `version` tags every response this
+  /// engine produces.
   ShieldedEngine(const core::TrainedPredictor& predictor,
                  const core::SafetyMonitor& monitor,
                  linalg::KernelBackend backend =
-                     linalg::KernelBackend::kReference);
+                     linalg::KernelBackend::kReference,
+                 std::string version = {});
+
+  /// Engine over a model snapshot (predictor, monitor, backend, version
+  /// all from the snapshot). The snapshot must outlive the engine — the
+  /// worker holds its shared_ptr for the batch's duration.
+  explicit ShieldedEngine(const registry::ModelSnapshot& snapshot);
 
   /// Serves one request at time `now`: deadline check, then guarded
   /// prediction. Fills everything except `queue_seconds` (the caller
@@ -59,11 +78,13 @@ class ShieldedEngine {
   const core::SafetyMonitor& monitor() const { return monitor_; }
   const core::TrainedPredictor& predictor() const { return predictor_; }
   linalg::KernelBackend backend() const { return backend_; }
+  const std::string& version() const { return version_; }
 
  private:
   const core::TrainedPredictor& predictor_;
   const core::SafetyMonitor& monitor_;
   linalg::KernelBackend backend_;
+  std::string version_;
 };
 
 }  // namespace safenn::serve

@@ -67,6 +67,19 @@ void LatencyHistogram::reset() {
   sum_ns_.store(0, kRelaxed);
 }
 
+std::uint64_t VersionCounters::completed() const {
+  return served.load(kRelaxed) + clamped.load(kRelaxed) +
+         degraded.load(kRelaxed);
+}
+
+VersionCounters& MetricsRegistry::version_counters(
+    const std::string& version) {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  std::unique_ptr<VersionCounters>& slot = versions_[version];
+  if (!slot) slot = std::make_unique<VersionCounters>();
+  return *slot;
+}
+
 void MetricsRegistry::note_queue_depth(std::size_t depth) {
   std::uint64_t seen = queue_depth_peak.load(kRelaxed);
   while (depth > seen &&
@@ -103,6 +116,27 @@ std::string MetricsRegistry::to_json(double elapsed_seconds) const {
      << ", \"mean_batch_size\": " << mean_batch_size()
      << ", \"queue_depth_peak\": " << queue_depth_peak.load(kRelaxed)
      << "},\n"
+     << "  \"lifecycle\": {"
+     << "\"shed\": " << shed.load(kRelaxed)
+     << ", \"reloads\": " << reloads.load(kRelaxed) << "},\n"
+     << "  \"versions\": {";
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    bool first = true;
+    for (const auto& [version, counters] : versions_) {
+      os << (first ? "\n" : ",\n") << "    \"" << version << "\": {"
+         << "\"served\": " << counters->served.load(kRelaxed)
+         << ", \"clamped\": " << counters->clamped.load(kRelaxed)
+         << ", \"degraded\": " << counters->degraded.load(kRelaxed)
+         << ", \"assumption_hits\": "
+         << counters->assumption_hits.load(kRelaxed)
+         << ", \"interventions\": " << counters->interventions.load(kRelaxed)
+         << "}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "},\n"
      << "  \"latency\": {\n";
   json_histogram(os, "queue", queue_latency);
   os << ",\n";
@@ -125,8 +159,17 @@ void MetricsRegistry::reset() {
   total_latency.reset();
   for (auto* c : {&submitted, &served, &clamped, &degraded, &rejected,
                   &assumption_hits, &interventions, &batches, &batch_items,
-                  &queue_depth_peak}) {
+                  &queue_depth_peak, &shed, &reloads}) {
     c->store(0, kRelaxed);
+  }
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  // Zero in place: references handed out by version_counters() stay valid.
+  for (auto& [version, counters] : versions_) {
+    for (auto* c : {&counters->served, &counters->clamped,
+                    &counters->degraded, &counters->assumption_hits,
+                    &counters->interventions}) {
+      c->store(0, kRelaxed);
+    }
   }
 }
 

@@ -10,6 +10,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 namespace safenn::serve {
@@ -36,6 +39,20 @@ class LatencyHistogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Per-model-version outcome slice: under hot reload the global counters
+/// keep running across swaps (shield continuity), while each version's
+/// own slice stays separately auditable — a sequential replay of the
+/// scenes a version served must reproduce its counters exactly.
+struct VersionCounters {
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> clamped{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> assumption_hits{0};
+  std::atomic<std::uint64_t> interventions{0};
+
+  std::uint64_t completed() const;
 };
 
 /// All counters a serving run exposes. Every member is individually
@@ -65,8 +82,20 @@ class MetricsRegistry {
 
   std::atomic<std::uint64_t> queue_depth_peak{0};
 
+  // Admission control + model lifecycle observability: `shed` counts
+  // requests answered with the safe default at the queue-depth watermark
+  // (a subset of `degraded`); `reloads` counts hot swaps.
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> reloads{0};
+
   /// Monotone max update of the queue-depth high-water mark.
   void note_queue_depth(std::size_t depth);
+
+  /// The per-version counter slice for `version`, created on first use.
+  /// The returned reference stays valid for the registry's lifetime
+  /// (reset() clears counts but keeps the slices); lookup takes a mutex,
+  /// so callers on the hot path should resolve once per batch.
+  VersionCounters& version_counters(const std::string& version);
 
   /// Requests that received a response through the engine path.
   std::uint64_t completed() const;
@@ -78,6 +107,11 @@ class MetricsRegistry {
   std::string to_json(double elapsed_seconds = 0.0) const;
 
   void reset();
+
+ private:
+  // unique_ptr values keep counter addresses stable across map growth.
+  mutable std::mutex versions_mu_;
+  std::map<std::string, std::unique_ptr<VersionCounters>> versions_;
 };
 
 }  // namespace safenn::serve

@@ -37,6 +37,10 @@ struct ServeResponse {
   linalg::Vector action;        // empty for kRejected
   bool assumption_hit = false;  // scene inside the monitored region
   bool intervened = false;      // shield clamped the action
+  /// Version label of the model snapshot that produced this response —
+  /// the per-response traceability link that survives hot swaps. Empty
+  /// only for kRejected (no model was involved).
+  std::string model_version;
   double queue_seconds = 0.0;   // enqueue -> dequeue
   double infer_seconds = 0.0;   // engine time (0 for degraded/rejected)
 };

@@ -1,6 +1,8 @@
 #include "serve/worker_pool.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "common/log.hpp"
 
@@ -21,11 +23,26 @@ std::uint64_t ns_between(Clock::time_point start, Clock::time_point end) {
           .count());
 }
 
+std::size_t watermark_depth(std::size_t capacity, double fraction) {
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  const auto depth =
+      static_cast<std::size_t>(std::floor(f * static_cast<double>(capacity)));
+  return std::max<std::size_t>(1, depth);
+}
+
 }  // namespace
 
-WorkerPool::WorkerPool(RequestQueue& queue, const ShieldedEngine& engine,
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kRejectWhenFull: return "reject-when-full";
+    case AdmissionPolicy::kDegradeAtWatermark: return "degrade-at-watermark";
+  }
+  return "?";
+}
+
+WorkerPool::WorkerPool(RequestQueue& queue, const registry::LiveModel& live,
                        MetricsRegistry& metrics, WorkerPoolConfig config)
-    : queue_(queue), engine_(engine), metrics_(metrics), config_(config) {
+    : queue_(queue), live_(live), metrics_(metrics), config_(config) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
 }
@@ -61,10 +78,16 @@ void WorkerPool::worker_loop() {
     metrics_.batches.fetch_add(1, kRelaxed);
     metrics_.batch_items.fetch_add(n, kRelaxed);
     const Clock::time_point dequeue_time = Clock::now();
+    // Pin the live snapshot for this whole batch: a concurrent reload()
+    // affects the NEXT pop, never a batch already in flight.
+    const std::shared_ptr<const registry::ModelSnapshot> snapshot =
+        live_.current();
+    const ShieldedEngine engine(*snapshot);
+    VersionCounters& version = metrics_.version_counters(snapshot->version());
     // One batched forward for the whole micro-batch; the engine applies
     // the monitor's guard per row, so decisions match per-request serve().
     std::vector<ServeResponse> responses =
-        engine_.serve_batch(batch, dequeue_time);
+        engine.serve_batch(batch, dequeue_time);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ServeRequest& request = batch[i];
       ServeResponse& response = responses[i];
@@ -74,20 +97,28 @@ void WorkerPool::worker_loop() {
       switch (response.outcome) {
         case ServeOutcome::kServed:
           metrics_.served.fetch_add(1, kRelaxed);
+          version.served.fetch_add(1, kRelaxed);
           break;
         case ServeOutcome::kClamped:
           metrics_.clamped.fetch_add(1, kRelaxed);
+          version.clamped.fetch_add(1, kRelaxed);
           break;
         case ServeOutcome::kDegraded:
           metrics_.degraded.fetch_add(1, kRelaxed);
+          version.degraded.fetch_add(1, kRelaxed);
           break;
         case ServeOutcome::kRejected:
           metrics_.rejected.fetch_add(1, kRelaxed);
           break;
       }
-      if (response.assumption_hit)
+      if (response.assumption_hit) {
         metrics_.assumption_hits.fetch_add(1, kRelaxed);
-      if (response.intervened) metrics_.interventions.fetch_add(1, kRelaxed);
+        version.assumption_hits.fetch_add(1, kRelaxed);
+      }
+      if (response.intervened) {
+        metrics_.interventions.fetch_add(1, kRelaxed);
+        version.interventions.fetch_add(1, kRelaxed);
+      }
       metrics_.queue_latency.record(
           ns_between(request.enqueue_time, dequeue_time));
       metrics_.infer_latency.record(to_ns(response.infer_seconds));
@@ -103,14 +134,48 @@ InferenceServer::InferenceServer(const core::TrainedPredictor& predictor,
                                  Config config)
     : config_(config),
       queue_(config.queue_capacity),
-      engine_(predictor, monitor,
-              resolve_serving_backend(predictor, config.backend,
-                                      config.pool.max_batch)),
-      pool_(queue_, engine_, metrics_, config.pool) {
+      live_(std::make_shared<const registry::ModelSnapshot>(
+          config.model_version, predictor, monitor,
+          resolve_serving_backend(predictor, config.backend,
+                                  config.pool.max_batch))),
+      pool_(queue_, live_, metrics_, config.pool),
+      watermark_depth_(
+          watermark_depth(queue_.capacity(), config.queue_watermark)) {
+  pool_.start();
+}
+
+InferenceServer::InferenceServer(const registry::ModelArtifact& artifact,
+                                 Config config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      live_(std::make_shared<const registry::ModelSnapshot>(
+          artifact,
+          resolve_serving_backend(artifact.network, config.backend,
+                                  config.pool.max_batch))),
+      pool_(queue_, live_, metrics_, config.pool),
+      watermark_depth_(
+          watermark_depth(queue_.capacity(), config.queue_watermark)) {
   pool_.start();
 }
 
 InferenceServer::~InferenceServer() { stop(); }
+
+linalg::KernelBackend InferenceServer::reload(
+    const registry::ModelArtifact& artifact) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  // Re-run the admission gate for the NEW artifact's layer shapes: kSimd
+  // is admitted per artifact, never inherited across a swap.
+  const linalg::KernelBackend backend = resolve_serving_backend(
+      artifact.network, config_.backend, config_.pool.max_batch);
+  std::shared_ptr<const registry::ModelSnapshot> previous = live_.swap(
+      std::make_shared<const registry::ModelSnapshot>(artifact, backend));
+  metrics_.reloads.fetch_add(1, kRelaxed);
+  log_info("serve: hot-swapped model ", previous->version(), " -> ",
+           artifact.version, " (backend ", linalg::to_string(backend),
+           ", hash ", artifact.content_hash,
+           "); in-flight batches finish on ", previous->version());
+  return backend;
+}
 
 ServeRequest InferenceServer::make_request(linalg::Vector&& scene) {
   ServeRequest request;
@@ -130,6 +195,12 @@ std::future<ServeResponse> InferenceServer::submit(linalg::Vector scene) {
   metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
   ServeRequest request = make_request(std::move(scene));
   std::future<ServeResponse> future = request.promise.get_future();
+  if (config_.admission == AdmissionPolicy::kDegradeAtWatermark &&
+      !queue_.closed() && queue_.size() >= watermark_depth_) {
+    // Shed with the safe default: bounded latency AND a safe answer.
+    fulfil_shed(request);
+    return future;
+  }
   // A failed push leaves `request` (and its promise) with us.
   if (!queue_.try_push(std::move(request))) {
     fulfil_rejected(request);
@@ -157,6 +228,22 @@ void InferenceServer::fulfil_rejected(ServeRequest& request) {
   ServeResponse response;
   response.id = request.id;
   response.outcome = ServeOutcome::kRejected;
+  request.promise.set_value(std::move(response));
+}
+
+void InferenceServer::fulfil_shed(ServeRequest& request) {
+  const std::shared_ptr<const registry::ModelSnapshot> snapshot =
+      live_.current();
+  metrics_.degraded.fetch_add(1, std::memory_order_relaxed);
+  metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+  metrics_.version_counters(snapshot->version())
+      .degraded.fetch_add(1, std::memory_order_relaxed);
+  metrics_.note_queue_depth(queue_.size());
+  ServeResponse response;
+  response.id = request.id;
+  response.outcome = ServeOutcome::kDegraded;
+  response.action = snapshot->monitor().safe_action();
+  response.model_version = snapshot->version();
   request.promise.set_value(std::move(response));
 }
 

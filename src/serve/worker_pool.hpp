@@ -2,21 +2,28 @@
 //
 // WorkerPool: N threads drain the RequestQueue in micro-batches through
 // the ShieldedEngine, fulfil each request's promise, and account every
-// outcome in the MetricsRegistry. stop() closes the queue, lets workers
-// drain what is already enqueued (no request is ever dropped with a
-// broken promise), then joins.
+// outcome in the MetricsRegistry (globally and per model version).
+// Workers resolve the live model snapshot once per popped batch: an
+// in-flight batch finishes on the snapshot it started with, the next
+// pop sees whatever reload() published — the atomic hot-swap path.
+// stop() closes the queue, lets workers drain what is already enqueued
+// (no request is ever dropped with a broken promise), then joins.
 //
-// InferenceServer: owns queue + engine + pool + metrics and exposes the
-// client API — submit() load-sheds when the queue is full (kRejected,
-// resolved immediately); submit_blocking() waits for space (replay /
-// benchmark producers).
+// InferenceServer: owns queue + live model + pool + metrics and exposes
+// the client API — submit() applies the admission policy (reject when
+// full, or shed to the safe action at a queue-depth watermark);
+// submit_blocking() waits for space (replay / benchmark producers);
+// reload() atomically swaps in a new model artifact under live traffic,
+// re-running the kernel-backend admission gate for the new artifact.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "registry/live_model.hpp"
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
@@ -30,7 +37,7 @@ struct WorkerPoolConfig {
 
 class WorkerPool {
  public:
-  WorkerPool(RequestQueue& queue, const ShieldedEngine& engine,
+  WorkerPool(RequestQueue& queue, const registry::LiveModel& live,
              MetricsRegistry& metrics, WorkerPoolConfig config);
   ~WorkerPool();
 
@@ -47,11 +54,28 @@ class WorkerPool {
   void worker_loop();
 
   RequestQueue& queue_;
-  const ShieldedEngine& engine_;
+  const registry::LiveModel& live_;
   MetricsRegistry& metrics_;
   WorkerPoolConfig config_;
   std::vector<std::thread> threads_;
 };
+
+/// What submit() does when the queue backs up. Either way latency stays
+/// bounded — the policies differ in what the client gets back.
+enum class AdmissionPolicy {
+  /// Status quo: accept until the queue is full, then kRejected (the
+  /// caller gets no action and must handle the refusal).
+  kRejectWhenFull,
+  /// Shed load with a safe default: at the queue-depth watermark the
+  /// request is answered immediately with the live model's
+  /// SafetyMonitor::safe_action() as kDegraded — the client always
+  /// receives an actionable (and provably safe) answer, overload never
+  /// builds unbounded latency, and the shield guarantee is preserved
+  /// because the fallback is the same one deadline overruns use.
+  kDegradeAtWatermark,
+};
+
+const char* to_string(AdmissionPolicy policy);
 
 class InferenceServer {
  public:
@@ -60,31 +84,56 @@ class InferenceServer {
     WorkerPoolConfig pool;
     /// Per-request service deadline from submit time; <= 0 means none.
     double deadline_seconds = 0.0;
-    /// Kernel backend for the batched forward hot path. kSimd is opt-in
-    /// and gated: the constructor runs the tolerance harness over the
-    /// predictor's layer shapes and falls back to kReference (with a
-    /// warning) if any kernel exceeds its derived tolerance on this
-    /// host. Trainer/verifier paths are unaffected — they always run
-    /// the reference kernels.
+    /// Requested kernel backend for the batched forward hot path. kSimd
+    /// is opt-in and gated: construction AND every reload() run the
+    /// tolerance harness over the (new) model's layer shapes and fall
+    /// back to kReference (with a warning) if any kernel exceeds its
+    /// derived tolerance on this host. Trainer/verifier paths are
+    /// unaffected — they always run the reference kernels.
     linalg::KernelBackend backend = linalg::KernelBackend::kReference;
+    /// Overload behavior of submit(); see AdmissionPolicy.
+    AdmissionPolicy admission = AdmissionPolicy::kRejectWhenFull;
+    /// Queue-depth fraction (of queue_capacity, clamped to (0, 1]) at
+    /// which kDegradeAtWatermark starts shedding.
+    double queue_watermark = 0.75;
+    /// Version label for the reference-constructor path (the artifact
+    /// constructor and reload() take the version from the artifact).
+    std::string model_version = "unversioned";
   };
 
   /// Starts the workers immediately. `predictor` and `monitor` must
-  /// outlive the server; the monitor is shared so its intervention stats
-  /// stay comparable with offline replays.
+  /// outlive the server (and any snapshot still in flight after a later
+  /// reload); the monitor is shared so its intervention stats stay
+  /// comparable with offline replays.
   InferenceServer(const core::TrainedPredictor& predictor,
                   const core::SafetyMonitor& monitor, Config config);
+
+  /// Serves a registry artifact: the server owns the materialized
+  /// predictor + monitor via the live snapshot. The backend admission
+  /// gate runs against the artifact's own layer shapes.
+  InferenceServer(const registry::ModelArtifact& artifact, Config config);
+
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Load-shedding submit: when the queue is full (or the server is
-  /// stopped) the returned future resolves immediately with kRejected.
+  /// Admission-controlled submit: applies Config::admission when the
+  /// queue backs up (immediate kRejected, or immediate safe-action
+  /// kDegraded at the watermark). Never blocks.
   std::future<ServeResponse> submit(linalg::Vector scene);
 
   /// Blocking submit: waits for queue space; rejects only once stopped.
+  /// Bypasses the watermark (replay producers want everything served).
   std::future<ServeResponse> submit_blocking(linalg::Vector scene);
+
+  /// Atomically hot-swaps the serving model under live traffic:
+  /// re-resolves the kernel backend for the new artifact (kSimd
+  /// admission is per artifact), publishes the new snapshot for
+  /// subsequent micro-batches, and lets in-flight batches finish on the
+  /// old model. Returns the backend the new model actually serves with.
+  /// Thread-safe; concurrent reloads serialize.
+  linalg::KernelBackend reload(const registry::ModelArtifact& artifact);
 
   /// Stops accepting work, drains the backlog, joins workers. Idempotent.
   void stop();
@@ -92,18 +141,24 @@ class InferenceServer {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   const RequestQueue& queue() const { return queue_; }
-  /// Backend actually serving (post tolerance-harness gate).
-  linalg::KernelBackend backend() const { return engine_.backend(); }
+  /// Backend actually serving (post tolerance-harness gate, live model).
+  linalg::KernelBackend backend() const { return live_.current()->backend(); }
+  /// Version label of the live model.
+  std::string model_version() const { return live_.current()->version(); }
+  const registry::LiveModel& live_model() const { return live_; }
 
  private:
   ServeRequest make_request(linalg::Vector&& scene);
   void fulfil_rejected(ServeRequest& request);
+  void fulfil_shed(ServeRequest& request);
 
   Config config_;
   MetricsRegistry metrics_;
   RequestQueue queue_;
-  ShieldedEngine engine_;
+  registry::LiveModel live_;
   WorkerPool pool_;
+  std::mutex reload_mu_;
+  std::size_t watermark_depth_ = 0;
   std::atomic<std::uint64_t> next_id_{0};
 };
 

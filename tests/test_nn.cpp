@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "linalg/verify_kernels.hpp"
 #include "nn/loss.hpp"
@@ -380,6 +382,115 @@ TEST(Serialize, RejectsTruncatedFile) {
   std::string text = ss.str();
   std::stringstream truncated(text.substr(0, text.size() / 2));
   EXPECT_THROW(load_network(truncated), Error);
+}
+
+// Every rejection path carries a typed kind so callers (registry, ops
+// tooling) can distinguish corruption from version skew from bad input.
+SerializeError::Kind load_kind(const std::string& text) {
+  try {
+    network_from_string(text);
+  } catch (const SerializeError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected SerializeError for:\n" << text;
+  return SerializeError::Kind::kIo;
+}
+
+TEST(Serialize, TypedErrorKindsCoverEveryRejection) {
+  Rng rng(14);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  const std::string text = network_to_string(net);
+  ASSERT_EQ(text.rfind("safenn-network v2\n", 0), 0u);
+
+  // Not a network file at all.
+  EXPECT_EQ(load_kind("not-a-network at all\n"),
+            SerializeError::Kind::kBadMagic);
+  EXPECT_EQ(load_kind(""), SerializeError::Kind::kBadMagic);
+
+  // Recognized magic, unknown format version (both older and newer).
+  for (const char* version : {"v1", "v99"}) {
+    std::string skewed = text;
+    skewed.replace(0, skewed.find('\n'),
+                   std::string("safenn-network ") + version);
+    EXPECT_EQ(load_kind(skewed), SerializeError::Kind::kUnsupportedVersion)
+        << version;
+  }
+
+  // Truncation anywhere before the trailer loses the checksum line
+  // (the trailer is "checksum <16-hex>\n" = 26 bytes).
+  for (const std::size_t keep :
+       {text.find('\n') + 1, text.size() / 2, text.size() - 27}) {
+    EXPECT_EQ(load_kind(text.substr(0, keep)),
+              SerializeError::Kind::kTruncated)
+        << "kept " << keep << " of " << text.size();
+  }
+
+  // Truncation inside the trailer leaves a short, unparseable hex field.
+  EXPECT_EQ(load_kind(text.substr(0, text.size() - 4)),
+            SerializeError::Kind::kMalformed);
+
+  // A single flipped payload digit no longer hashes to the recorded sum.
+  {
+    std::string corrupt = text;
+    const std::size_t pos = corrupt.find("layers ") + 7;
+    corrupt[pos] = corrupt[pos] == '7' ? '8' : '7';
+    EXPECT_EQ(load_kind(corrupt), SerializeError::Kind::kChecksumMismatch);
+  }
+
+  // Unparseable checksum hex.
+  {
+    std::string bad = text;
+    const std::size_t pos = bad.rfind("checksum ");
+    bad.replace(pos, bad.size() - pos, "checksum not-hex\n");
+    EXPECT_EQ(load_kind(bad), SerializeError::Kind::kMalformed);
+  }
+
+  // Checksum verifies but the payload itself is nonsense: the hash gate
+  // is necessary, not sufficient — parsing still validates structure.
+  {
+    const std::string payload = "layers 1\nlayer bogus shape here\n";
+    const std::string forged = "safenn-network v2\n" + payload +
+                               "checksum " + hex64(fnv1a64(payload)) + '\n';
+    EXPECT_EQ(load_kind(forged), SerializeError::Kind::kMalformed);
+  }
+
+  // The kind names are stable (they appear in registry reject reports).
+  EXPECT_STREQ(to_string(SerializeError::Kind::kChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(to_string(SerializeError::Kind::kUnsupportedVersion),
+               "unsupported-version");
+}
+
+TEST(Serialize, NoPartialNetworkOnFailure) {
+  // A corrupted stream must throw without yielding any network object —
+  // exercised via the file round trip (load path used by the registry).
+  Rng rng(15);
+  Network net = Network::make_mlp({3, 4, 2}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  const std::string path =
+      ::testing::TempDir() + "/safenn_serialize_partial.net";
+  save_network_file(path, net);
+  Network reloaded = load_network_file(path);
+  EXPECT_EQ(reloaded.describe(), net.describe());
+
+  // Corrupt one parameter byte on disk; the loader must reject it whole.
+  std::string text;
+  {
+    std::ifstream is(path);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    text = buffer.str();
+  }
+  const std::size_t digit = text.find_first_of("0123456789", text.find("layer "));
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '9' ? '8' : '9';
+  {
+    std::ofstream os(path);
+    os << text;
+  }
+  EXPECT_THROW(load_network_file(path), SerializeError);
+  EXPECT_THROW(load_network_file(path + ".does-not-exist"), SerializeError);
 }
 
 TEST(Quantize, FixedPointConversionsRoundTrip) {

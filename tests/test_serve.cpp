@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <map>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "highway/safety_rules.hpp"
 #include "linalg/verify_kernels.hpp"
+#include "registry/artifact.hpp"
 #include "serve/metrics.hpp"
 #include "serve/worker_pool.hpp"
 
@@ -128,6 +132,84 @@ TEST(RequestQueue, BatchFormationRespectsMaxBatch) {
   EXPECT_EQ(q.pop_batch(out, 4), 4u);
   EXPECT_EQ(q.pop_batch(out, 4), 2u);
   for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i].id, i);
+}
+
+TEST(RequestQueue, TryPushAtExactCapacityBoundary) {
+  RequestQueue q(3);
+  ASSERT_TRUE(q.try_push(make_request(0, Vector(1))));
+  ASSERT_TRUE(q.try_push(make_request(1, Vector(1))));
+  EXPECT_EQ(q.size(), 2u);
+  // The push that lands exactly on capacity succeeds; the next one sheds.
+  EXPECT_TRUE(q.try_push(make_request(2, Vector(1))));
+  EXPECT_EQ(q.size(), q.capacity());
+  EXPECT_FALSE(q.try_push(make_request(3, Vector(1))));
+  EXPECT_EQ(q.size(), 3u);  // the failed push must not consume a slot
+  // Freeing exactly one slot re-admits exactly one request.
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  EXPECT_TRUE(q.try_push(make_request(4, Vector(1))));
+  EXPECT_FALSE(q.try_push(make_request(5, Vector(1))));
+}
+
+TEST(RequestQueue, DrainAfterCloseKeepsFifoOrder) {
+  RequestQueue q(32);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(q.try_push(make_request(i, Vector(1))));
+  }
+  q.close();
+  // Batch boundaries must not perturb FIFO order while draining a closed
+  // queue, and the terminal 0 must be sticky.
+  std::vector<ServeRequest> out;
+  while (q.pop_batch(out, 7) > 0) {
+  }
+  ASSERT_EQ(out.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(out[i].id, i);
+  out.clear();
+  EXPECT_EQ(q.pop_batch(out, 7), 0u);
+  EXPECT_FALSE(q.try_push(make_request(99, Vector(1))));
+  EXPECT_FALSE(q.push(make_request(99, Vector(1))));
+}
+
+TEST(RequestQueue, CloseRacingPushAndPopBatchLosesNoAcceptedRequest) {
+  // close() lands at a different point in the producer/consumer schedule
+  // each round; whatever was accepted before the close must be popped
+  // exactly once, and pushes after the close must be refused.
+  for (int round = 0; round < 25; ++round) {
+    RequestQueue q(16);
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (std::uint64_t i = 0; i < 200; ++i) {
+          if (!q.push(make_request(i, Vector(1)))) return;  // closed
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::atomic<std::uint64_t> popped{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c) {
+      consumers.emplace_back([&] {
+        std::vector<ServeRequest> batch;
+        for (;;) {
+          batch.clear();
+          const std::size_t n = q.pop_batch(batch, 5);
+          if (n == 0) return;
+          popped.fetch_add(n, std::memory_order_relaxed);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::microseconds(20 * round));
+    q.close();
+    for (auto& t : producers) t.join();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(popped.load(), accepted.load()) << "round " << round;
+    EXPECT_FALSE(q.try_push(make_request(9999, Vector(1))));
+  }
 }
 
 TEST(RequestQueue, ContendedMpmcDeliversEveryRequestOnce) {
@@ -409,6 +491,197 @@ TEST_F(EngineFixture, ConcurrentInterventionsMatchSequentialReplay) {
 }
 
 // -------------------------------------------------------------------------
+// Hot reload: atomic model swap under live traffic.
+// -------------------------------------------------------------------------
+
+/// Crafts a registered-artifact analogue of make_craft_predictor with a
+/// chosen lateral bias (which controls how often the shield intervenes),
+/// content-hashed as the registry would.
+registry::ModelArtifact make_serve_artifact(const std::string& version,
+                                            double lateral_bias,
+                                            const verify::InputRegion& region,
+                                            double threshold = 1.0) {
+  core::TrainedPredictor p = make_craft_predictor();
+  p.network.layer(0).biases()[p.head.mean_index(
+      0, highway::kActionLateral)] = lateral_bias;
+  registry::MonitorConfig config;
+  config.region = region;
+  config.lateral_threshold = threshold;
+  registry::ModelArtifact artifact =
+      registry::make_artifact(version, p, config);
+  std::stringstream ss;
+  artifact.content_hash = registry::save_artifact(ss, artifact);
+  return artifact;
+}
+
+TEST_F(EngineFixture, HotReloadUnderLiveTrafficKeepsShieldContinuity) {
+  const auto scenes = make_scene_set(encoder_, region_, 900, 51);
+  // Three models with different intervention profiles: v2's loud lateral
+  // bias clamps on every in-region scene, v1/v3 only sometimes.
+  const registry::ModelArtifact v1 = make_serve_artifact("v1", 0.6, region_);
+  const registry::ModelArtifact v2 = make_serve_artifact("v2", 5.0, region_);
+  const registry::ModelArtifact v3 = make_serve_artifact("v3", 1.2, region_);
+
+  InferenceServer::Config cfg;
+  cfg.queue_capacity = 64;
+  cfg.pool.workers = 2;
+  cfg.pool.max_batch = 8;
+  InferenceServer server(v1, cfg);
+  EXPECT_EQ(server.model_version(), "v1");
+
+  std::vector<std::future<ServeResponse>> futures(scenes.size());
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < scenes.size(); ++i) {
+      futures[i] = server.submit_blocking(scenes[i]);
+    }
+  });
+
+  // Swap twice while the producer is mid-stream: each swap waits until
+  // enough requests completed that the retiring version demonstrably
+  // served traffic, then publishes the next model.
+  const auto wait_completed = [&server](std::uint64_t target) {
+    while (server.metrics().completed() < target) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  wait_completed(250);
+  server.reload(v2);
+  EXPECT_EQ(server.model_version(), "v2");
+  wait_completed(550);
+  server.reload(v3);
+  producer.join();
+  server.stop();
+
+  EXPECT_EQ(server.metrics().reloads.load(), 2u);
+  EXPECT_EQ(server.live_model().swap_count(), 2u);
+  EXPECT_EQ(server.model_version(), "v3");
+
+  // Every request was answered (no drops across swaps), every response
+  // carries the version that actually served it, and all three versions
+  // took traffic.
+  std::map<std::string, std::vector<std::size_t>> by_version;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResponse r = futures[i].get();
+    ASSERT_NE(r.outcome, ServeOutcome::kRejected) << i;
+    ASSERT_FALSE(r.model_version.empty()) << i;
+    by_version[r.model_version].push_back(i);
+  }
+  ASSERT_EQ(by_version.size(), 3u);
+  for (const char* v : {"v1", "v2", "v3"}) {
+    EXPECT_GT(by_version[v].size(), 0u) << v;
+  }
+  EXPECT_EQ(server.metrics().completed(), scenes.size());
+
+  // Shield continuity: each version's intervention slice must equal a
+  // sequential replay of exactly the scenes that version served, and the
+  // global counters must be the sum of the slices.
+  std::uint64_t sum_interventions = 0, sum_hits = 0, sum_completed = 0;
+  for (const auto& [version, indices] : by_version) {
+    const registry::ModelArtifact& artifact =
+        version == "v1" ? v1 : (version == "v2" ? v2 : v3);
+    core::SafetyMonitor replay(artifact.monitor.region,
+                               artifact.monitor.lateral_threshold);
+    const core::TrainedPredictor predictor = artifact.predictor();
+    for (const std::size_t i : indices) replay.guard(predictor, scenes[i]);
+    const core::MonitorStats stats = replay.stats();
+    VersionCounters& slice = server.metrics().version_counters(version);
+    EXPECT_EQ(slice.interventions.load(), stats.interventions) << version;
+    EXPECT_EQ(slice.assumption_hits.load(), stats.assumption_hits) << version;
+    EXPECT_EQ(slice.completed(), indices.size()) << version;
+    sum_interventions += slice.interventions.load();
+    sum_hits += slice.assumption_hits.load();
+    sum_completed += slice.completed();
+  }
+  EXPECT_EQ(server.metrics().interventions.load(), sum_interventions);
+  EXPECT_EQ(server.metrics().assumption_hits.load(), sum_hits);
+  EXPECT_EQ(server.metrics().completed(), sum_completed);
+  EXPECT_GT(sum_interventions, 0u);
+
+  // The metrics dump carries the per-version slices and lifecycle counts.
+  const std::string json = server.metrics().to_json(1.0);
+  for (const char* key : {"\"versions\"", "\"v1\"", "\"v2\"", "\"v3\"",
+                          "\"lifecycle\"", "\"reloads\": 2"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(EngineFixture, ReloadRerunsBackendAdmissionPerArtifact) {
+  const registry::ModelArtifact v1 = make_serve_artifact("v1", 0.6, region_);
+  const registry::ModelArtifact v2 = make_serve_artifact("v2", 1.2, region_);
+  InferenceServer::Config cfg;
+  cfg.pool.workers = 1;
+  cfg.backend = linalg::KernelBackend::kSimd;
+  InferenceServer server(v1, cfg);
+  // Whatever the gate decided at construction it must re-decide at
+  // reload: the returned backend matches the resolver's verdict for the
+  // new artifact's network, and the live snapshot reports it.
+  const linalg::KernelBackend resolved = resolve_serving_backend(
+      v2.network, linalg::KernelBackend::kSimd, cfg.pool.max_batch);
+  EXPECT_EQ(server.reload(v2), resolved);
+  EXPECT_EQ(server.backend(), resolved);
+  EXPECT_EQ(server.model_version(), "v2");
+  server.stop();
+}
+
+// -------------------------------------------------------------------------
+// Admission control.
+// -------------------------------------------------------------------------
+
+TEST_F(EngineFixture, DegradeAtWatermarkShedsWithSafeActionUnderOverload) {
+  InferenceServer::Config cfg;
+  cfg.queue_capacity = 8;
+  cfg.pool.workers = 1;
+  cfg.pool.max_batch = 4;
+  cfg.admission = AdmissionPolicy::kDegradeAtWatermark;
+  cfg.queue_watermark = 0.25;  // shed at depth 2 of 8
+  cfg.model_version = "wm";
+  InferenceServer server(predictor_, monitor_, cfg);
+  const auto scenes = make_scene_set(encoder_, region_, 64, 33);
+  const Vector safe = monitor_.safe_action();
+
+  // A tight single-threaded producer outruns one worker near-immediately;
+  // keep bursting until shedding is observed (bounded, deterministic in
+  // practice on any scheduler).
+  std::vector<std::future<ServeResponse>> futures;
+  for (int burst = 0; burst < 200 && server.metrics().shed.load() == 0;
+       ++burst) {
+    for (const Vector& s : scenes) futures.push_back(server.submit(s));
+  }
+  server.stop();
+
+  std::size_t degraded = 0;
+  for (auto& f : futures) {
+    const ServeResponse r = f.get();
+    // Under this policy nothing is rejected: the main thread is the only
+    // producer, so once the depth check passes the push cannot race full.
+    ASSERT_NE(r.outcome, ServeOutcome::kRejected);
+    EXPECT_EQ(r.model_version, "wm");
+    if (r.outcome == ServeOutcome::kDegraded) {
+      ++degraded;
+      EXPECT_EQ(r.action[highway::kActionLateral],
+                safe[highway::kActionLateral]);
+      EXPECT_EQ(r.infer_seconds, 0.0);  // shed answers skip inference
+    }
+  }
+  EXPECT_GT(server.metrics().shed.load(), 0u);
+  EXPECT_EQ(server.metrics().shed.load(), degraded);  // no deadline set
+  EXPECT_EQ(server.metrics().degraded.load(), degraded);
+  EXPECT_EQ(server.metrics().completed(), futures.size());
+  EXPECT_EQ(server.metrics().version_counters("wm").completed(),
+            futures.size());
+  EXPECT_GE(server.metrics().queue_depth_peak.load(), 1u);
+}
+
+TEST_F(EngineFixture, RejectWhenFullStaysTheDefaultPolicy) {
+  InferenceServer::Config cfg;
+  EXPECT_EQ(cfg.admission, AdmissionPolicy::kRejectWhenFull);
+  EXPECT_STREQ(to_string(AdmissionPolicy::kRejectWhenFull),
+               "reject-when-full");
+  EXPECT_STREQ(to_string(AdmissionPolicy::kDegradeAtWatermark),
+               "degrade-at-watermark");
+}
+
+// -------------------------------------------------------------------------
 // Metrics.
 // -------------------------------------------------------------------------
 
@@ -531,13 +804,18 @@ TEST(Metrics, JsonDumpContainsEverySection) {
   m.interventions.store(2);
   m.batches.store(5);
   m.batch_items.store(10);
+  m.shed.store(4);
+  m.reloads.store(1);
+  m.version_counters("vX").served.store(6);
   m.total_latency.record(1500000);
   const std::string json = m.to_json(2.0);
   for (const char* key :
        {"\"requests\"", "\"shield\"", "\"batching\"", "\"latency\"",
         "\"queue\"", "\"infer\"", "\"total\"", "\"p99_ms\"",
         "\"throughput_rps\"", "\"interventions\": 2",
-        "\"mean_batch_size\": 2"}) {
+        "\"mean_batch_size\": 2", "\"lifecycle\"", "\"shed\": 4",
+        "\"reloads\": 1", "\"versions\"", "\"vX\"", "\"served\": 6",
+        "\"queue_depth_peak\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   EXPECT_DOUBLE_EQ(m.mean_batch_size(), 2.0);
@@ -545,9 +823,15 @@ TEST(Metrics, JsonDumpContainsEverySection) {
   m.note_queue_depth(3);
   m.note_queue_depth(2);
   EXPECT_EQ(m.queue_depth_peak.load(), 3u);
+  // Version slices must survive reset() by identity (handed-out
+  // references stay valid) while their counts zero.
+  VersionCounters& slice = m.version_counters("vX");
   m.reset();
   EXPECT_EQ(m.submitted.load(), 0u);
   EXPECT_EQ(m.total_latency.count(), 0u);
+  EXPECT_EQ(m.shed.load(), 0u);
+  EXPECT_EQ(slice.served.load(), 0u);
+  EXPECT_EQ(&slice, &m.version_counters("vX"));
 }
 
 }  // namespace
