@@ -10,6 +10,7 @@
 #include "lp/simplex.hpp"
 #include "milp/branch_and_bound.hpp"
 #include "nn/mdn.hpp"
+#include "nn/qengine.hpp"
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
 #include "sat/solver.hpp"
@@ -252,6 +253,59 @@ void BM_QuantizedForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuantizedForward);
+
+// Fixed-point forward, allocating path vs hoisted-scratch path: the
+// per-call vector churn the serving engine avoids (Arg = hidden width).
+void BM_QuantizedForwardFixedAlloc(benchmark::State& state) {
+  const nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  const nn::QuantizedNetwork q = nn::QuantizedNetwork::quantize(net, 8);
+  Rng rng(9);
+  std::vector<std::int64_t> x(84);
+  for (auto& v : x) v = q.to_fixed(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.forward_fixed(x));
+  }
+}
+BENCHMARK(BM_QuantizedForwardFixedAlloc)->Arg(10)->Arg(30);
+
+void BM_QuantizedForwardFixedScratch(benchmark::State& state) {
+  const nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  const nn::QuantizedNetwork q = nn::QuantizedNetwork::quantize(net, 8);
+  Rng rng(9);
+  std::vector<std::int64_t> x(84);
+  for (auto& v : x) v = q.to_fixed(rng.uniform(-1, 1));
+  nn::FixedScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.forward_fixed(x, scratch));
+  }
+}
+BENCHMARK(BM_QuantizedForwardFixedScratch)->Arg(10)->Arg(30);
+
+// The packed engine's batched integer forward at serving batch sizes.
+void BM_QuantizedEngineBatch(benchmark::State& state) {
+  const nn::Network net = make_net(30);
+  const nn::QuantizedNetwork q = nn::QuantizedNetwork::quantize(net, 8);
+  const nn::QuantizedEngine engine(q, 4.0,
+                                   linalg::KernelBackend::kQuantized);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  linalg::Int32Matrix in;
+  in.resize(batch, q.input_size());
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (std::size_t c = 0; c < q.input_size(); ++c) {
+      in(r, c) = static_cast<std::int32_t>(engine.to_fixed(rng.uniform(-1, 1)));
+    }
+  }
+  nn::QuantizedEngine::Scratch scratch;
+  std::vector<std::int64_t> out;
+  for (auto _ : state) {
+    engine.forward_fixed_batch(in, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_QuantizedEngineBatch)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_CoverageRecord(benchmark::State& state) {
   const nn::Network net = make_net(20);

@@ -9,6 +9,8 @@
 // visible.
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "highway/safety_rules.hpp"
@@ -16,22 +18,31 @@
 
 using namespace safenn;
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   highway::SceneEncoder encoder;
   const highway::BuiltDataset built = bench::standard_dataset(encoder);
   const verify::InputRegion region = highway::make_vehicle_on_left_region(
       encoder, highway::data_domain_box(built.data, encoder));
-  const double time_limit = bench::env_double("SAFENN_SMT_LIMIT", 30.0);
+  const double time_limit =
+      bench::env_double("SAFENN_SMT_LIMIT", smoke ? 5.0 : 30.0);
   const double threshold = 3.0;  // the paper's "never larger than 3 m/s"
+  const std::vector<std::size_t> widths =
+      smoke ? std::vector<std::size_t>{4u} : std::vector<std::size_t>{4u, 6u};
+  const std::vector<int> frac_bit_choices =
+      smoke ? std::vector<int>{4} : std::vector<int>{4, 6};
 
   std::printf("== quantized (SAT/bit-vector) vs real-valued (MILP) "
-              "verification ==\n");
+              "verification%s ==\n", smoke ? " (smoke)" : "");
   std::printf("property: component-mean lateral velocity <= %.1f m/s on the "
               "vehicle-on-left region\n\n", threshold);
   std::printf("net   | frac bits | quant err | engine | verdict  | time    | size\n");
   std::printf("------+-----------+-----------+--------+----------+---------+---------------\n");
 
-  for (std::size_t width : {4u, 6u}) {
+  for (std::size_t width : widths) {
     const core::TrainedPredictor predictor =
         bench::train_predictor(built.data, width);
 
@@ -48,7 +59,7 @@ int main() {
     }
 
     // SAT on quantized variants.
-    for (int frac_bits : {4, 6}) {
+    for (int frac_bits : frac_bit_choices) {
       const nn::QuantizedNetwork qnet =
           nn::QuantizedNetwork::quantize(predictor.network, frac_bits);
       std::vector<linalg::Vector> probes;

@@ -27,6 +27,7 @@ std::string to_string(KernelBackend backend) {
   switch (backend) {
     case KernelBackend::kReference: return "reference";
     case KernelBackend::kSimd: return "simd";
+    case KernelBackend::kQuantized: return "quantized";
   }
   throw Error("to_string: unknown kernel backend");
 }
@@ -34,6 +35,7 @@ std::string to_string(KernelBackend backend) {
 KernelBackend kernel_backend_from_string(const std::string& name) {
   if (name == "reference") return KernelBackend::kReference;
   if (name == "simd") return KernelBackend::kSimd;
+  if (name == "quantized") return KernelBackend::kQuantized;
   throw Error("kernel_backend_from_string: unknown backend '" + name + "'");
 }
 

@@ -33,6 +33,9 @@ namespace safenn::linalg {
 enum class KernelBackend {
   kReference,  ///< Scalar ascending-k kernels; bitwise-reproducible.
   kSimd,       ///< Vectorized kernels; NT path is tolerance-checked.
+  kQuantized,  ///< Fixed-point integer engine (linalg/qmatrix.hpp); every
+               ///< ISA is bitwise equal to the scalar integer reference.
+               ///< Not valid for the float GEMM family — those throw.
 };
 
 std::string to_string(KernelBackend backend);

@@ -147,6 +147,17 @@ Matrix Matrix::operator*(const Matrix& rhs) const {
   return gemm(*this, rhs);
 }
 
+namespace {
+
+// kQuantized selects the integer engine (linalg/qmatrix.hpp); letting it
+// silently run a float kernel would serve arithmetic nobody verified.
+void require_float_backend(KernelBackend backend, const char* what) {
+  require(backend != KernelBackend::kQuantized,
+          std::string(what) + ": kQuantized is not a float GEMM backend");
+}
+
+}  // namespace
+
 Matrix Matrix::gemm(const Matrix& a, const Matrix& b, KernelBackend backend) {
   Matrix out;
   gemm_into(a, b, out, backend);
@@ -156,6 +167,7 @@ Matrix Matrix::gemm(const Matrix& a, const Matrix& b, KernelBackend backend) {
 void Matrix::gemm_into(const Matrix& a, const Matrix& b, Matrix& out,
                        KernelBackend backend) {
   require(a.cols_ == b.rows_, "Matrix::gemm: dimension mismatch");
+  require_float_backend(backend, "Matrix::gemm");
   out.resize(a.rows_, b.cols_);
   out.fill(0.0);
   if (backend == KernelBackend::kSimd) {
@@ -169,6 +181,7 @@ void Matrix::gemm_into(const Matrix& a, const Matrix& b, Matrix& out,
 void Matrix::gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out,
                           KernelBackend backend) {
   require(a.cols_ == b.cols_, "Matrix::gemm_nt: dimension mismatch");
+  require_float_backend(backend, "Matrix::gemm_nt");
   out.resize(a.rows_, b.rows_);
   out.fill(0.0);
   if (backend == KernelBackend::kSimd) {
@@ -183,6 +196,7 @@ void Matrix::gemm_nt_into(const Matrix& a, const Matrix& b, Matrix& out,
 Matrix& Matrix::add_gemm_nt(double s, const Matrix& a, const Matrix& b,
                             KernelBackend backend) {
   require(a.cols_ == b.cols_, "Matrix::add_gemm_nt: inner dimension mismatch");
+  require_float_backend(backend, "Matrix::add_gemm_nt");
   require(rows_ == a.rows_ && cols_ == b.rows_,
           "Matrix::add_gemm_nt: output shape mismatch");
   if (backend == KernelBackend::kSimd) {
@@ -197,6 +211,7 @@ Matrix& Matrix::add_gemm_nt(double s, const Matrix& a, const Matrix& b,
 Matrix& Matrix::add_gemm_tn(double s, const Matrix& a, const Matrix& b,
                             KernelBackend backend) {
   require(a.rows_ == b.rows_, "Matrix::add_gemm_tn: inner dimension mismatch");
+  require_float_backend(backend, "Matrix::add_gemm_tn");
   require(rows_ == a.cols_ && cols_ == b.cols_,
           "Matrix::add_gemm_tn: output shape mismatch");
   if (backend == KernelBackend::kSimd) {

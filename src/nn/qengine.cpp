@@ -1,0 +1,296 @@
+#include "nn/qengine.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace safenn::nn {
+
+namespace {
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw QuantizeError(
+        QuantizeError::Kind::kAccumulatorOverflow,
+        "QuantizedEngine: worst-case accumulator overflows int64 over the "
+        "declared input domain — reduce frac_bits or input_limit");
+  }
+  return out;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw QuantizeError(
+        QuantizeError::Kind::kAccumulatorOverflow,
+        "QuantizedEngine: worst-case accumulator overflows int64 over the "
+        "declared input domain — reduce frac_bits or input_limit");
+  }
+  return out;
+}
+
+}  // namespace
+
+QuantizedEngine::QuantizedEngine(const QuantizedNetwork& qnet,
+                                 double input_limit,
+                                 linalg::KernelBackend kernel_backend)
+    : frac_bits_(qnet.frac_bits()),
+      input_limit_(input_limit),
+      kernel_backend_(kernel_backend) {
+  require(input_limit > 0.0 && std::isfinite(input_limit),
+          "QuantizedEngine: input_limit must be positive and finite");
+  input_limit_fixed_ = static_cast<std::int64_t>(
+      std::llround(input_limit * std::ldexp(1.0, frac_bits_)));
+  require(input_limit_fixed_ > 0, "QuantizedEngine: input_limit too small");
+  if (input_limit_fixed_ > std::numeric_limits<std::int32_t>::max()) {
+    throw QuantizeError(
+        QuantizeError::Kind::kActivationRange,
+        "QuantizedEngine: input_limit does not fit int32 fixed point at "
+        "this frac_bits");
+  }
+
+  constexpr std::int64_t kW16 = std::numeric_limits<std::int16_t>::max();
+  constexpr std::int64_t kAct32 = std::numeric_limits<std::int32_t>::max();
+
+  layers_.reserve(qnet.num_layers());
+  acc_bounds_.reserve(qnet.num_layers());
+  std::int64_t value_bound = input_limit_fixed_;
+  for (std::size_t li = 0; li < qnet.num_layers(); ++li) {
+    const QuantizedLayer& l = qnet.layer(li);
+    if (!is_piecewise_linear(l.activation)) {
+      throw QuantizeError(
+          QuantizeError::Kind::kUnsupportedActivation,
+          "QuantizedEngine: only ReLU/identity layers are servable");
+    }
+    PackedLayer pl;
+    pl.activation = l.activation;
+    pl.weights.resize(l.out_size(), l.in_size());
+    pl.biases = l.biases;
+    std::int64_t layer_acc_bound = 0;
+    std::int64_t next_value_bound = 0;
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      std::int64_t acc = std::llabs(l.biases[r]);
+      for (std::size_t c = 0; c < l.in_size(); ++c) {
+        const std::int64_t w = l.weights[r][c];
+        if (w < -kW16 - 1 || w > kW16) {
+          std::ostringstream os;
+          os << "QuantizedEngine: weight (" << li << "," << r << "," << c
+             << ") = " << w << " does not fit int16 at frac_bits "
+             << frac_bits_;
+          throw QuantizeError(QuantizeError::Kind::kWeightRange, os.str());
+        }
+        pl.weights(r, c) = static_cast<std::int16_t>(w);
+        acc = checked_add(acc, checked_mul(std::llabs(w), value_bound));
+      }
+      layer_acc_bound = std::max(layer_acc_bound, acc);
+      next_value_bound = std::max(next_value_bound, acc >> frac_bits_);
+    }
+    acc_bounds_.push_back(layer_acc_bound);
+    // Intermediate activations feed the next layer's int32 rows; the
+    // final layer's outputs stay in the int64 accumulator plane, so only
+    // non-final layers carry the int32 restriction.
+    if (li + 1 < qnet.num_layers() && next_value_bound > kAct32) {
+      std::ostringstream os;
+      os << "QuantizedEngine: layer " << li
+         << " activation bound " << next_value_bound
+         << " does not fit int32 — reduce frac_bits or input_limit";
+      throw QuantizeError(QuantizeError::Kind::kActivationRange, os.str());
+    }
+    value_bound = std::max<std::int64_t>(next_value_bound, 1);
+    layers_.push_back(std::move(pl));
+  }
+}
+
+std::vector<linalg::QuantShape> QuantizedEngine::gemm_shapes(
+    std::size_t batch) const {
+  std::vector<linalg::QuantShape> shapes;
+  shapes.reserve(layers_.size());
+  for (const PackedLayer& l : layers_) {
+    shapes.push_back({batch, l.weights.cols(), l.weights.rows()});
+  }
+  return shapes;
+}
+
+std::int64_t QuantizedEngine::to_fixed(double x) const {
+  if (std::isnan(x)) return 0;
+  if (x > input_limit_) x = input_limit_;
+  if (x < -input_limit_) x = -input_limit_;
+  return static_cast<std::int64_t>(
+      std::llround(x * std::ldexp(1.0, frac_bits_)));
+}
+
+double QuantizedEngine::from_fixed(std::int64_t q) const {
+  return static_cast<double>(q) * std::ldexp(1.0, -frac_bits_);
+}
+
+void QuantizedEngine::forward_fixed_batch(const linalg::Int32Matrix& inputs,
+                                          Scratch& scratch,
+                                          std::vector<std::int64_t>& out) const {
+  require(inputs.cols() == input_size(),
+          "QuantizedEngine::forward_fixed_batch: input width mismatch");
+  const std::size_t m = inputs.rows();
+  const linalg::Int32Matrix* cur = &inputs;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const PackedLayer& l = layers_[li];
+    const std::size_t n = l.weights.rows();
+    // Accumulator plane seeded with the broadcast biases, then one
+    // batched integer GEMM per layer.
+    scratch.acc.resize(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::int64_t* arow = scratch.acc.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) arow[j] = l.biases[j];
+    }
+    linalg::qkernels::qgemm_nt(scratch.acc.data(), *cur, l.weights,
+                               kernel_backend_);
+    const bool relu = l.activation == Activation::kRelu;
+    if (li + 1 == layers_.size()) {
+      out.resize(m * n);
+      for (std::size_t e = 0; e < m * n; ++e) {
+        std::int64_t z = scratch.acc[e] >> frac_bits_;
+        if (relu && z < 0) z = 0;
+        out[e] = z;
+      }
+      return;
+    }
+    // Shift + activation into the next packed activation plane. resize
+    // re-zeroes the whole plane, keeping the padding lanes at zero.
+    linalg::Int32Matrix& next =
+        (cur == &scratch.act_a) ? scratch.act_b : scratch.act_a;
+    next.resize(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int64_t* arow = scratch.acc.data() + i * n;
+      std::int32_t* nrow = next.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        std::int64_t z = arow[j] >> frac_bits_;
+        if (relu && z < 0) z = 0;
+        // In range by the pack-time activation bound analysis.
+        nrow[j] = static_cast<std::int32_t>(z);
+      }
+    }
+    cur = &next;
+  }
+  // Single-layer networks return inside the loop; multi-layer networks
+  // return at their final layer. Unreachable.
+  throw Error("QuantizedEngine::forward_fixed_batch: no layers");
+}
+
+std::vector<std::vector<std::int64_t>> QuantizedEngine::forward_fixed_batch(
+    const std::vector<std::vector<std::int64_t>>& inputs) const {
+  const std::size_t m = inputs.size();
+  linalg::Int32Matrix packed(m, input_size());
+  for (std::size_t i = 0; i < m; ++i) {
+    require(inputs[i].size() == input_size(),
+            "QuantizedEngine::forward_fixed_batch: input width mismatch");
+    for (std::size_t c = 0; c < input_size(); ++c) {
+      const std::int64_t q = inputs[i][c];
+      require(q >= -input_limit_fixed_ && q <= input_limit_fixed_,
+              "QuantizedEngine::forward_fixed_batch: input outside the "
+              "admitted domain");
+      packed(i, c) = static_cast<std::int32_t>(q);
+    }
+  }
+  Scratch scratch;
+  std::vector<std::int64_t> flat;
+  forward_fixed_batch(packed, scratch, flat);
+  std::vector<std::vector<std::int64_t>> out(m);
+  const std::size_t n = output_size();
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i].assign(flat.begin() + static_cast<std::ptrdiff_t>(i * n),
+                  flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * n));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> QuantizedEngine::forward_fixed(
+    const std::vector<std::int64_t>& input) const {
+  return forward_fixed_batch(
+             std::vector<std::vector<std::int64_t>>{input})[0];
+}
+
+void QuantizedEngine::forward_real_batch(const linalg::Matrix& scenes,
+                                         Scratch& scratch,
+                                         linalg::Matrix& raw) const {
+  require(scenes.cols() == input_size(),
+          "QuantizedEngine::forward_real_batch: scene width mismatch");
+  const std::size_t m = scenes.rows();
+  // Quantize into plane A; the layer loop ping-pongs away from whichever
+  // plane currently holds its input, so no aliasing.
+  linalg::Int32Matrix& inputs = scratch.act_a;
+  inputs.resize(m, input_size());
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t* row = inputs.row(i);
+    for (std::size_t c = 0; c < input_size(); ++c) {
+      row[c] = static_cast<std::int32_t>(to_fixed(scenes(i, c)));
+    }
+  }
+  std::vector<std::int64_t> flat;
+  forward_fixed_batch(inputs, scratch, flat);
+  const std::size_t n = output_size();
+  raw.resize(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      raw(i, j) = from_fixed(flat[i * n + j]);
+    }
+  }
+  // Keep the exact integer outputs available for replay checks.
+  scratch.acc = std::move(flat);
+}
+
+QuantizedNetwork QuantizedEngine::unpack() const {
+  std::vector<QuantizedLayer> layers;
+  layers.reserve(layers_.size());
+  for (const PackedLayer& pl : layers_) {
+    QuantizedLayer l;
+    l.activation = pl.activation;
+    l.biases = pl.biases;
+    l.weights.assign(pl.weights.rows(),
+                     std::vector<std::int64_t>(pl.weights.cols(), 0));
+    for (std::size_t r = 0; r < pl.weights.rows(); ++r) {
+      for (std::size_t c = 0; c < pl.weights.cols(); ++c) {
+        l.weights[r][c] = pl.weights(r, c);
+      }
+    }
+    layers.push_back(std::move(l));
+  }
+  return QuantizedNetwork(frac_bits_, std::move(layers));
+}
+
+// ---------------------------------------------------------------------
+// QuantizedNetwork::forward_fixed_batch lives here so quantize.cpp does
+// not depend on the packed engine.
+// ---------------------------------------------------------------------
+
+std::vector<std::vector<std::int64_t>> QuantizedNetwork::forward_fixed_batch(
+    const std::vector<std::vector<std::int64_t>>& inputs,
+    linalg::KernelBackend backend) const {
+  if (inputs.empty()) return {};
+  if (backend != linalg::KernelBackend::kReference) {
+    // Pack and run the batched integer engine when the weights admit it;
+    // the fall-through below is bitwise identical, just scalar.
+    std::int64_t max_mag = 1;
+    for (const auto& row : inputs) {
+      for (const std::int64_t q : row) {
+        max_mag = std::max<std::int64_t>(max_mag, std::llabs(q));
+      }
+    }
+    try {
+      const QuantizedEngine engine(*this, from_fixed(max_mag), backend);
+      return engine.forward_fixed_batch(inputs);
+    } catch (const QuantizeError&) {
+      // Not packable (weights beyond int16 / bounds beyond int32); the
+      // scalar path below serves the same exact semantics.
+    }
+  }
+  FixedScratch scratch;
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(inputs.size());
+  for (const auto& row : inputs) {
+    out.push_back(forward_fixed(row, scratch));
+  }
+  return out;
+}
+
+}  // namespace safenn::nn

@@ -1,0 +1,116 @@
+// Packed batched fixed-point inference engine.
+//
+// QuantizedNetwork (nn/quantize.hpp) is the semantic reference: exact
+// integer arithmetic over vector<vector<int64>>, one sample at a time —
+// what the CNF encoder compiles and the SMT stack verifies. This engine
+// is the SERVING form of the same function: weights packed to
+// contiguous int16 rows, activations to int32 rows (linalg/qmatrix.hpp),
+// batches pushed through the integer GEMM with SIMD dispatch. The
+// contract is BITWISE equality with QuantizedNetwork::forward_fixed for
+// every admitted input — integer addition is associative, so packing
+// and vectorization change only the summation order, never the bits.
+//
+// Admission happens at construction: the engine propagates worst-case
+// magnitude bounds over the declared input domain |x| <= input_limit
+// and throws a typed QuantizeError if any weight misses int16, any
+// intermediate activation bound misses int32, or any accumulator bound
+// misses int64. An engine that constructs cannot overflow at runtime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qmatrix.hpp"
+#include "nn/quantize.hpp"
+
+namespace safenn::nn {
+
+class QuantizedEngine {
+ public:
+  /// Packs `qnet` for inputs bounded by |x| <= input_limit (real units;
+  /// inputs are saturated to the limit on conversion, so the bound is
+  /// enforced, not assumed). `kernel_backend` picks the integer kernel:
+  /// kReference forces the scalar reference, anything else resolves
+  /// through the SIMD dispatch — all bitwise identical.
+  QuantizedEngine(const QuantizedNetwork& qnet, double input_limit,
+                  linalg::KernelBackend kernel_backend =
+                      linalg::KernelBackend::kQuantized);
+
+  int frac_bits() const { return frac_bits_; }
+  double input_limit() const { return input_limit_; }
+  std::int64_t input_limit_fixed() const { return input_limit_fixed_; }
+  linalg::KernelBackend kernel_backend() const { return kernel_backend_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t input_size() const { return layers_.front().weights.cols(); }
+  std::size_t output_size() const { return layers_.back().weights.rows(); }
+  /// Worst-case |accumulator| per layer over the admitted input domain.
+  const std::vector<std::int64_t>& accumulator_bounds() const {
+    return acc_bounds_;
+  }
+
+  /// Layer shapes as GEMM (m, k, n) triples for batch size m — handed to
+  /// the bitwise kernel harness so the deployed shapes are exactly what
+  /// gets checked at admission time.
+  std::vector<linalg::QuantShape> gemm_shapes(std::size_t batch) const;
+
+  /// Reusable buffers: ping-pong activation matrices + the accumulator
+  /// plane. One scratch per worker; allocation-free after warm-up.
+  struct Scratch {
+    linalg::Int32Matrix act_a;
+    linalg::Int32Matrix act_b;
+    std::vector<std::int64_t> acc;
+  };
+
+  /// Saturating round-to-nearest conversion into frac_bits fixed point:
+  /// clamps to +/-input_limit first, so any real input maps into the
+  /// domain the overflow analysis covered. NaN maps to 0 (then the
+  /// shield judges the output like any other).
+  std::int64_t to_fixed(double x) const;
+  double from_fixed(std::int64_t q) const;
+
+  /// Batched exact forward: inputs as packed int32 rows (already in
+  /// fixed point, |x| <= input_limit_fixed), outputs row-major
+  /// batch x output_size in frac_bits format.
+  void forward_fixed_batch(const linalg::Int32Matrix& inputs,
+                           Scratch& scratch,
+                           std::vector<std::int64_t>& out) const;
+
+  /// Convenience wrapper over int64 samples (each must already lie in
+  /// the admitted domain).
+  std::vector<std::vector<std::int64_t>> forward_fixed_batch(
+      const std::vector<std::vector<std::int64_t>>& inputs) const;
+
+  /// Scalar forward over the packed storage; bitwise identical to both
+  /// the batched path and QuantizedNetwork::forward_fixed.
+  std::vector<std::int64_t> forward_fixed(
+      const std::vector<std::int64_t>& input) const;
+
+  /// Serving entry: real-valued scenes (one per row) are saturating-
+  /// quantized, pushed through the batched integer forward, and the raw
+  /// outputs de-quantized into `raw` (batch x output_size). The fixed
+  /// outputs land in scratch.acc (row-major) for bitwise replay checks.
+  void forward_real_batch(const linalg::Matrix& scenes, Scratch& scratch,
+                          linalg::Matrix& raw) const;
+
+  /// Reconstructs the vector-of-vectors form (exact round trip).
+  QuantizedNetwork unpack() const;
+
+ private:
+  struct PackedLayer {
+    linalg::Int16Matrix weights;       // out x in, frac_bits format
+    std::vector<std::int64_t> biases;  // 2*frac_bits format
+    Activation activation = Activation::kIdentity;
+  };
+
+  int frac_bits_;
+  double input_limit_;
+  std::int64_t input_limit_fixed_;
+  linalg::KernelBackend kernel_backend_;
+  std::vector<PackedLayer> layers_;
+  std::vector<std::int64_t> acc_bounds_;
+};
+
+}  // namespace safenn::nn

@@ -1,10 +1,58 @@
 #include "nn/quantize.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/error.hpp"
 
 namespace safenn::nn {
+
+namespace {
+
+[[noreturn]] void quantize_fail(QuantizeError::Kind kind,
+                                const std::string& message) {
+  throw QuantizeError(kind, message);
+}
+
+// Checked |a| + |b| and |a| * |b| over non-negative int64 magnitudes;
+// overflow is the typed rejection signal, never wraparound.
+std::int64_t checked_add(std::int64_t a, std::int64_t b, const char* what) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    quantize_fail(QuantizeError::Kind::kAccumulatorOverflow,
+                  std::string(what) +
+                      ": worst-case accumulator overflows int64 at this "
+                      "frac_bits — reduce frac_bits or shrink the input "
+                      "domain");
+  }
+  return out;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b, const char* what) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    quantize_fail(QuantizeError::Kind::kAccumulatorOverflow,
+                  std::string(what) +
+                      ": worst-case accumulator overflows int64 at this "
+                      "frac_bits — reduce frac_bits or shrink the input "
+                      "domain");
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(QuantizeError::Kind kind) {
+  switch (kind) {
+    case QuantizeError::Kind::kUnsupportedActivation:
+      return "unsupported-activation";
+    case QuantizeError::Kind::kWeightRange: return "weight-range";
+    case QuantizeError::Kind::kActivationRange: return "activation-range";
+    case QuantizeError::Kind::kAccumulatorOverflow:
+      return "accumulator-overflow";
+  }
+  throw Error("to_string: unknown QuantizeError kind");
+}
 
 QuantizedNetwork::QuantizedNetwork(int frac_bits,
                                    std::vector<QuantizedLayer> layers)
@@ -14,19 +62,27 @@ QuantizedNetwork::QuantizedNetwork(int frac_bits,
   require(!layers_.empty(), "QuantizedNetwork: no layers");
 }
 
-QuantizedNetwork QuantizedNetwork::quantize(const Network& net,
-                                            int frac_bits) {
+QuantizedNetwork QuantizedNetwork::quantize(const Network& net, int frac_bits,
+                                            double input_bound_real) {
   require(frac_bits > 0 && frac_bits <= 24,
           "QuantizedNetwork::quantize: frac_bits must be in [1, 24]");
+  require(input_bound_real > 0.0,
+          "QuantizedNetwork::quantize: input bound must be positive");
   const double scale = std::ldexp(1.0, frac_bits);        // 2^F
   const double bias_scale = std::ldexp(1.0, 2 * frac_bits);  // 2^2F
+  // llround saturates into UB territory past int64; reject any scaled
+  // parameter whose rounded magnitude could reach 2^62 (far beyond what
+  // a servable accumulator budget admits anyway).
+  const double param_limit = std::ldexp(1.0, 62);
   std::vector<QuantizedLayer> layers;
   layers.reserve(net.num_layers());
   for (std::size_t li = 0; li < net.num_layers(); ++li) {
     const DenseLayer& l = net.layer(li);
-    require(is_piecewise_linear(l.activation()),
-            "QuantizedNetwork::quantize: only ReLU/identity layers "
-            "admit exact bit-vector encodings");
+    if (!is_piecewise_linear(l.activation())) {
+      quantize_fail(QuantizeError::Kind::kUnsupportedActivation,
+                    "QuantizedNetwork::quantize: only ReLU/identity layers "
+                    "admit exact bit-vector encodings");
+    }
     QuantizedLayer ql;
     ql.activation = l.activation();
     ql.weights.assign(l.out_size(),
@@ -34,15 +90,33 @@ QuantizedNetwork QuantizedNetwork::quantize(const Network& net,
     ql.biases.assign(l.out_size(), 0);
     for (std::size_t r = 0; r < l.out_size(); ++r) {
       for (std::size_t c = 0; c < l.in_size(); ++c) {
-        ql.weights[r][c] =
-            static_cast<std::int64_t>(std::llround(l.weights()(r, c) * scale));
+        const double scaled = l.weights()(r, c) * scale;
+        if (!(std::fabs(scaled) < param_limit)) {
+          std::ostringstream os;
+          os << "QuantizedNetwork::quantize: weight (" << li << "," << r
+             << "," << c << ") does not fit fixed point at frac_bits "
+             << frac_bits;
+          quantize_fail(QuantizeError::Kind::kWeightRange, os.str());
+        }
+        ql.weights[r][c] = static_cast<std::int64_t>(std::llround(scaled));
       }
-      ql.biases[r] =
-          static_cast<std::int64_t>(std::llround(l.biases()[r] * bias_scale));
+      const double scaled_bias = l.biases()[r] * bias_scale;
+      if (!(std::fabs(scaled_bias) < param_limit)) {
+        std::ostringstream os;
+        os << "QuantizedNetwork::quantize: bias (" << li << "," << r
+           << ") does not fit fixed point at frac_bits " << frac_bits;
+        quantize_fail(QuantizeError::Kind::kWeightRange, os.str());
+      }
+      ql.biases[r] = static_cast<std::int64_t>(std::llround(scaled_bias));
     }
     layers.push_back(std::move(ql));
   }
-  return QuantizedNetwork(frac_bits, std::move(layers));
+  QuantizedNetwork qnet(frac_bits, std::move(layers));
+  // Rejection boundary: the worst-case accumulator over the declared
+  // input domain must fit int64, or inference could silently wrap.
+  // accumulator_bounds throws the typed error itself.
+  (void)qnet.accumulator_bounds(qnet.to_fixed(input_bound_real));
+  return qnet;
 }
 
 const QuantizedLayer& QuantizedNetwork::layer(std::size_t i) const {
@@ -58,27 +132,39 @@ std::size_t QuantizedNetwork::output_size() const {
   return layers_.back().out_size();
 }
 
-std::vector<std::int64_t> QuantizedNetwork::forward_fixed(
-    const std::vector<std::int64_t>& input) const {
+const std::vector<std::int64_t>& QuantizedNetwork::forward_fixed(
+    const std::vector<std::int64_t>& input, FixedScratch& scratch) const {
   require(input.size() == input_size(),
           "QuantizedNetwork::forward_fixed: input width mismatch");
-  std::vector<std::int64_t> v = input;
+  // Ping-pong between the two scratch buffers; after warm-up no layer
+  // allocates (resize only grows capacity once per scratch lifetime).
+  scratch.a.assign(input.begin(), input.end());
+  std::vector<std::int64_t>* cur = &scratch.a;
+  std::vector<std::int64_t>* nxt = &scratch.b;
   for (const QuantizedLayer& l : layers_) {
-    std::vector<std::int64_t> next(l.out_size());
+    nxt->resize(l.out_size());
+    const std::vector<std::int64_t>& v = *cur;
     for (std::size_t r = 0; r < l.out_size(); ++r) {
       std::int64_t acc = l.biases[r];
+      const std::vector<std::int64_t>& wrow = l.weights[r];
       for (std::size_t c = 0; c < l.in_size(); ++c) {
-        acc += l.weights[r][c] * v[c];
+        acc += wrow[c] * v[c];
       }
       // Arithmetic right shift (floor division by 2^F); C++20 defines
       // >> on signed negatives as arithmetic.
       std::int64_t z = acc >> frac_bits_;
       if (l.activation == Activation::kRelu && z < 0) z = 0;
-      next[r] = z;
+      (*nxt)[r] = z;
     }
-    v = std::move(next);
+    std::swap(cur, nxt);
   }
-  return v;
+  return *cur;
+}
+
+std::vector<std::int64_t> QuantizedNetwork::forward_fixed(
+    const std::vector<std::int64_t>& input) const {
+  FixedScratch scratch;
+  return forward_fixed(input, scratch);
 }
 
 linalg::Vector QuantizedNetwork::forward_real(const linalg::Vector& x) const {
@@ -103,6 +189,7 @@ std::vector<std::int64_t> QuantizedNetwork::accumulator_bounds(
     std::int64_t input_bound) const {
   require(input_bound > 0,
           "QuantizedNetwork::accumulator_bounds: bound must be positive");
+  constexpr const char* kWhat = "QuantizedNetwork::accumulator_bounds";
   std::vector<std::int64_t> bounds;
   bounds.reserve(layers_.size());
   std::int64_t value_bound = input_bound;  // |x_j| bound in frac_bits units
@@ -112,7 +199,9 @@ std::vector<std::int64_t> QuantizedNetwork::accumulator_bounds(
     for (std::size_t r = 0; r < l.out_size(); ++r) {
       std::int64_t acc = std::llabs(l.biases[r]);
       for (std::size_t c = 0; c < l.in_size(); ++c) {
-        acc += std::llabs(l.weights[r][c]) * value_bound;
+        acc = checked_add(
+            acc, checked_mul(std::llabs(l.weights[r][c]), value_bound, kWhat),
+            kWhat);
       }
       layer_acc_bound = std::max(layer_acc_bound, acc);
       next_value_bound =

@@ -12,15 +12,50 @@
 //   z_i   = acc_i >> frac_bits            (arithmetic shift, floor)
 //   y_i   = relu(z_i) or z_i
 // which is what the bit-vector circuit reproduces gate-for-gate.
+//
+// Overflow is a verification concern, not a runtime one: quantize() and
+// accumulator_bounds() propagate worst-case magnitudes with checked
+// arithmetic and throw a typed QuantizeError the moment a requested
+// (network, frac_bits) pair could overflow int64 — inference over an
+// admitted network is UB-free by construction. The packed batched
+// engine (nn/qengine.hpp) applies the same discipline against its
+// narrower int16/int32 storage.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/vector.hpp"
 #include "nn/network.hpp"
 
 namespace safenn::nn {
+
+/// Typed rejection from the quantization/packing pipeline. Thrown (never
+/// UB) when a network cannot be represented exactly at the requested
+/// precision; callers switch on kind() to distinguish "pick fewer
+/// frac_bits" from "this architecture is out of the exact fragment".
+class QuantizeError : public Error {
+ public:
+  enum class Kind {
+    kUnsupportedActivation,  ///< Not ReLU/identity (no exact encoding).
+    kWeightRange,            ///< A scaled weight exceeds its storage type.
+    kActivationRange,        ///< An intermediate activation bound exceeds
+                             ///< the packed engine's int32 storage.
+    kAccumulatorOverflow,    ///< Worst-case accumulator exceeds int64.
+  };
+
+  QuantizeError(Kind kind, const std::string& message)
+      : Error(message), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+const char* to_string(QuantizeError::Kind kind);
 
 /// One quantized dense layer. Biases are pre-scaled to the accumulator's
 /// 2*frac_bits format so they add directly into the product sum.
@@ -33,6 +68,14 @@ struct QuantizedLayer {
   std::size_t out_size() const { return weights.size(); }
 };
 
+/// Reusable per-layer buffers for the scalar fixed-point forward. One
+/// scratch per thread/stream; forward_fixed grows it on first use and
+/// every later call is allocation-free.
+struct FixedScratch {
+  std::vector<std::int64_t> a;
+  std::vector<std::int64_t> b;
+};
+
 /// A fixed-point network with exact, replayable integer semantics.
 class QuantizedNetwork {
  public:
@@ -40,8 +83,12 @@ class QuantizedNetwork {
 
   /// Quantizes a trained real-valued network (round-to-nearest). Only
   /// ReLU/identity activations are supported — the piecewise-linear
-  /// fragment that admits exact bit-vector encodings.
-  static QuantizedNetwork quantize(const Network& net, int frac_bits);
+  /// fragment that admits exact bit-vector encodings. Throws a typed
+  /// QuantizeError when a scaled weight/bias cannot be represented or
+  /// when the worst-case accumulator over inputs bounded by
+  /// |x| <= input_bound_real would overflow int64 at this frac_bits.
+  static QuantizedNetwork quantize(const Network& net, int frac_bits,
+                                   double input_bound_real = 1.0);
 
   int frac_bits() const { return frac_bits_; }
   std::size_t num_layers() const { return layers_.size(); }
@@ -53,6 +100,22 @@ class QuantizedNetwork {
   std::vector<std::int64_t> forward_fixed(
       const std::vector<std::int64_t>& input) const;
 
+  /// Allocation-free variant: returns a reference into `scratch`, valid
+  /// until the next call with the same scratch. Bitwise identical to the
+  /// allocating overload.
+  const std::vector<std::int64_t>& forward_fixed(
+      const std::vector<std::int64_t>& input, FixedScratch& scratch) const;
+
+  /// Batched exact inference: one row per sample. Packs the network into
+  /// the int16/int32 engine (nn/qengine.hpp) and runs the batched integer
+  /// GEMM under `backend` when the weights admit it; falls back to the
+  /// scalar path otherwise. Either way the result is BITWISE identical to
+  /// per-sample forward_fixed — integer kernels carry no tolerance.
+  std::vector<std::vector<std::int64_t>> forward_fixed_batch(
+      const std::vector<std::vector<std::int64_t>>& inputs,
+      linalg::KernelBackend backend =
+          linalg::KernelBackend::kQuantized) const;
+
   /// Convenience: quantize a real input, run fixed-point inference, and
   /// de-quantize the result.
   linalg::Vector forward_real(const linalg::Vector& x) const;
@@ -62,7 +125,10 @@ class QuantizedNetwork {
 
   /// Worst-case absolute accumulator value per layer given inputs bounded
   /// by |x| <= input_bound (fixed-point units); used to size bit-vector
-  /// word widths so the CNF encoding cannot overflow.
+  /// word widths so the CNF encoding cannot overflow. Bound propagation
+  /// itself is overflow-checked: throws QuantizeError
+  /// (kAccumulatorOverflow) if any worst case exceeds int64 — the typed
+  /// signal that this (network, frac_bits, domain) is not servable.
   std::vector<std::int64_t> accumulator_bounds(
       std::int64_t input_bound) const;
 

@@ -6,14 +6,17 @@
 #include <sstream>
 
 #include "common/hash.hpp"
+#include "nn/qengine.hpp"
 #include "nn/serialize.hpp"
 
 namespace safenn::registry {
 namespace {
 
 constexpr const char* kMagic = "safenn-artifact";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersionPlain = "v1";
+constexpr const char* kVersionQuantized = "v2";
 constexpr const char* kChecksumMarker = "artifact-checksum ";
+constexpr const char* kQuantChecksumToken = "quantized-checksum";
 
 [[noreturn]] void fail(RegistryError::Kind kind, const std::string& what) {
   throw RegistryError(kind, "load_artifact: " + what);
@@ -48,6 +51,115 @@ bool is_single_token(const std::string& s) {
   return true;
 }
 
+/// Canonical text of a quantized payload — the byte range its content
+/// address covers. Integer weights/biases serialize exactly; the input
+/// limit round-trips at 17 significant digits, so re-serializing a
+/// parsed payload reproduces these bytes and the hash can be verified
+/// structurally on load.
+std::string quantized_section_text(const QuantizedPayload& payload) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  const nn::QuantizedNetwork& qnet = payload.network;
+  os << "quantized-frac-bits " << qnet.frac_bits() << '\n';
+  os << "quantized-input-limit " << payload.input_limit << '\n';
+  os << "quantized-layers " << qnet.num_layers() << '\n';
+  for (std::size_t li = 0; li < qnet.num_layers(); ++li) {
+    const nn::QuantizedLayer& l = qnet.layer(li);
+    os << "qlayer " << l.out_size() << ' ' << l.in_size() << ' '
+       << nn::to_string(l.activation) << '\n';
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      for (std::size_t c = 0; c < l.in_size(); ++c) {
+        os << l.weights[r][c] << (c + 1 == l.in_size() ? "" : " ");
+      }
+      os << '\n';
+    }
+    for (std::size_t r = 0; r < l.out_size(); ++r) {
+      os << l.biases[r] << (r + 1 == l.out_size() ? "" : " ");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<QuantizedPayload> parse_quantized_section(std::istream& is) {
+  int frac_bits = 0;
+  is >> frac_bits;
+  check(!is.fail() && frac_bits > 0, "bad quantized frac_bits");
+
+  std::string token;
+  is >> token;
+  check(token == "quantized-input-limit", "expected 'quantized-input-limit'");
+  double input_limit = 0.0;
+  is >> input_limit;
+  check(!is.fail() && input_limit > 0.0, "bad quantized input limit");
+
+  is >> token;
+  check(token == "quantized-layers", "expected 'quantized-layers'");
+  std::size_t num_layers = 0;
+  is >> num_layers;
+  check(is.good() && num_layers > 0, "bad quantized layer count");
+
+  std::vector<nn::QuantizedLayer> layers(num_layers);
+  for (nn::QuantizedLayer& l : layers) {
+    is >> token;
+    check(token == "qlayer", "expected 'qlayer'");
+    std::size_t out = 0, in = 0;
+    std::string activation;
+    is >> out >> in >> activation;
+    check(is.good() && out > 0 && in > 0, "bad qlayer shape");
+    try {
+      l.activation = nn::activation_from_string(activation);
+    } catch (const Error&) {
+      fail(RegistryError::Kind::kBadArtifact,
+           "unknown qlayer activation '" + activation + "'");
+    }
+    l.weights.assign(out, std::vector<std::int64_t>(in, 0));
+    l.biases.assign(out, 0);
+    for (auto& row : l.weights) {
+      for (auto& w : row) {
+        is >> w;
+        check(!is.fail(), "bad quantized weight");
+      }
+    }
+    for (auto& b : l.biases) {
+      is >> b;
+      check(!is.fail(), "bad quantized bias");
+    }
+  }
+
+  is >> token;
+  check(token == kQuantChecksumToken, "expected 'quantized-checksum'");
+  std::string recorded_hex;
+  is >> recorded_hex;
+  check(!is.fail(), "missing quantized checksum value");
+  std::uint64_t recorded = 0;
+  try {
+    recorded = parse_hex64(recorded_hex);
+  } catch (const Error&) {
+    fail(RegistryError::Kind::kBadArtifact,
+         "unparseable quantized checksum value");
+  }
+
+  std::optional<QuantizedPayload> payload;
+  try {
+    payload.emplace(input_limit,
+                    nn::QuantizedNetwork(frac_bits, std::move(layers)));
+  } catch (const Error& e) {
+    fail(RegistryError::Kind::kBadArtifact,
+         std::string("quantized payload rejected: ") + e.what());
+  }
+  // Content-address verification: the canonical re-serialization of what
+  // we just parsed must hash to the recorded value bit for bit.
+  const std::uint64_t actual = fnv1a64(quantized_section_text(*payload));
+  if (actual != recorded) {
+    fail(RegistryError::Kind::kHashMismatch,
+         "quantized content hash " + hex64(actual) + " != recorded " +
+             recorded_hex);
+  }
+  payload->content_hash = actual;
+  return payload;
+}
+
 /// Everything between the header line and the checksum trailer — the
 /// byte range the content hash covers.
 std::string payload_text(const ModelArtifact& artifact) {
@@ -67,6 +179,11 @@ std::string payload_text(const ModelArtifact& artifact) {
     os << c.terms.size();
     for (const auto& [idx, coeff] : c.terms) os << ' ' << idx << ' ' << coeff;
     os << ' ' << relation_name(c.relation) << ' ' << c.rhs << '\n';
+  }
+  if (artifact.quantized) {
+    const std::string qtext = quantized_section_text(*artifact.quantized);
+    os << qtext << kQuantChecksumToken << ' ' << hex64(fnv1a64(qtext))
+       << '\n';
   }
   // The embedded network text is the v2 serialized form verbatim — it
   // carries its own checksum, so the network is double-pinned.
@@ -129,6 +246,10 @@ ModelArtifact parse_payload(const std::string& payload) {
   }
 
   is >> token;
+  if (token == "quantized-frac-bits") {
+    artifact.quantized = parse_quantized_section(is);
+    is >> token;
+  }
   check(token == "network", "expected 'network'");
   // Rest of the payload (after the marker's newline) is network v2 text.
   is.get();  // consume '\n'
@@ -144,6 +265,12 @@ ModelArtifact parse_payload(const std::string& payload) {
         "network output width does not match mdn head layout");
   check(artifact.network.input_size() == artifact.monitor.region.dims(),
         "network input width does not match monitor region");
+  if (artifact.quantized) {
+    const nn::QuantizedNetwork& qnet = artifact.quantized->network;
+    check(qnet.input_size() == artifact.network.input_size() &&
+              qnet.output_size() == artifact.network.output_size(),
+          "quantized payload shape does not match the float network");
+  }
   return artifact;
 }
 
@@ -171,10 +298,25 @@ ModelArtifact make_artifact(std::string version,
   return artifact;
 }
 
+std::uint64_t attach_quantized(ModelArtifact& artifact, int frac_bits,
+                               double input_limit) {
+  nn::QuantizedNetwork qnet =
+      nn::QuantizedNetwork::quantize(artifact.network, frac_bits, input_limit);
+  // Run the packed engine's full admission analysis now: an artifact
+  // that registers with a quantized payload is servable by construction.
+  (void)nn::QuantizedEngine(qnet, input_limit,
+                            linalg::KernelBackend::kReference);
+  artifact.quantized.emplace(input_limit, std::move(qnet));
+  artifact.quantized->content_hash =
+      fnv1a64(quantized_section_text(*artifact.quantized));
+  return artifact.quantized->content_hash;
+}
+
 std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact) {
   const std::string payload = payload_text(artifact);
   const std::uint64_t hash = fnv1a64(payload);
-  os << kMagic << ' ' << kVersion << '\n'
+  os << kMagic << ' '
+     << (artifact.quantized ? kVersionQuantized : kVersionPlain) << '\n'
      << payload << kChecksumMarker << hex64(hash) << '\n';
   return hash;
 }
@@ -191,7 +333,7 @@ ModelArtifact load_artifact(std::istream& is) {
     std::string magic, version;
     header >> magic >> version;
     check(magic == kMagic, "not a safenn-artifact file");
-    check(version == kVersion,
+    check(version == kVersionPlain || version == kVersionQuantized,
           "unsupported artifact format version '" + version + "'");
   }
 

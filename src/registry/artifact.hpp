@@ -11,14 +11,26 @@
 // Loading re-hashes and refuses anything that does not match bit for
 // bit: a corrupt, truncated, or tampered artifact is rejected with a
 // typed error, never partially loaded, never served.
+// An artifact may additionally carry a quantized payload: the exact
+// fixed-point form of the same network (frac_bits, integer weights,
+// declared input domain), content-addressed by its own checksum inside
+// the artifact-level hash. One immutable file then holds both
+// representations — the float network the trainer produced and the
+// integer network the SMT stack verifies and the quantized engine
+// serves — so "the verified model is the served model" is a statement
+// about bytes, not about a conversion step at deploy time. Artifacts
+// with a quantized payload use format version v2; plain artifacts keep
+// writing v1 and the loader accepts both.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "core/monitor.hpp"
 #include "core/pipeline.hpp"
+#include "nn/quantize.hpp"
 #include "registry/error.hpp"
 
 namespace safenn::registry {
@@ -36,12 +48,31 @@ struct MonitorConfig {
   }
 };
 
+/// The optional exact fixed-point form of an artifact's network. The
+/// declared input domain (|x| <= input_limit, real units) is part of
+/// the payload: it is what the overflow admission analysis covered, and
+/// serving saturates inputs to it.
+struct QuantizedPayload {
+  QuantizedPayload(double input_limit, nn::QuantizedNetwork network)
+      : input_limit(input_limit), network(std::move(network)) {}
+
+  double input_limit;
+  nn::QuantizedNetwork network;
+  /// FNV-1a 64 over the quantized section's canonical text — the
+  /// content address of the integer weights, pinned inside (and
+  /// independently of) the artifact-level hash.
+  std::uint64_t content_hash = 0;
+};
+
 /// A versioned, hash-pinned (network + MDN head + monitor config) bundle.
 struct ModelArtifact {
   std::string version;     // single token, e.g. "v1" or "mdn-2026-08-08"
   nn::MdnHead head{1, 1};  // raw-output layout of the MDN
   nn::Network network;
   MonitorConfig monitor;
+  /// Exact integer twin of `network`, present when the artifact was
+  /// quantized before registration.
+  std::optional<QuantizedPayload> quantized;
   /// FNV-1a 64 over the serialized payload; filled by save/load.
   std::uint64_t content_hash = 0;
 
@@ -56,7 +87,16 @@ ModelArtifact make_artifact(std::string version,
                             const core::TrainedPredictor& predictor,
                             MonitorConfig monitor);
 
-/// Writes `artifact` in the "safenn-artifact v1" text format and returns
+/// Quantizes the artifact's float network at `frac_bits` over the domain
+/// |x| <= input_limit, runs the packed engine's admission analysis
+/// (int16 weights, int32 activations, int64 accumulators — typed
+/// QuantizeError if any fails), and attaches the result as the
+/// artifact's quantized payload. Returns the payload's content hash.
+std::uint64_t attach_quantized(ModelArtifact& artifact, int frac_bits,
+                               double input_limit);
+
+/// Writes `artifact` in the "safenn-artifact v1" text format (v2 when a
+/// quantized payload is attached) and returns
 /// the content hash it recorded (also assigned to artifact.content_hash
 /// by the non-const overloads below).
 std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact);

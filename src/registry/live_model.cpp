@@ -16,7 +16,8 @@ ModelSnapshot::ModelSnapshot(std::string version,
 }
 
 ModelSnapshot::ModelSnapshot(const ModelArtifact& artifact,
-                             linalg::KernelBackend backend)
+                             linalg::KernelBackend backend,
+                             linalg::KernelBackend quantized_kernel)
     : version_(artifact.version),
       backend_(backend),
       content_hash_(artifact.content_hash),
@@ -29,6 +30,15 @@ ModelSnapshot::ModelSnapshot(const ModelArtifact& artifact,
       predictor_(owned_predictor_.get()),
       monitor_(owned_monitor_.get()) {
   require(!version_.empty(), "ModelSnapshot: artifact has no version");
+  if (backend_ == linalg::KernelBackend::kQuantized) {
+    require(artifact.quantized.has_value(),
+            "ModelSnapshot: kQuantized backend requires an artifact with a "
+            "quantized payload");
+    quantized_hash_ = artifact.quantized->content_hash;
+    quantized_engine_ = std::make_unique<const nn::QuantizedEngine>(
+        artifact.quantized->network, artifact.quantized->input_limit,
+        quantized_kernel);
+  }
 }
 
 LiveModel::LiveModel(std::shared_ptr<const ModelSnapshot> initial)

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "linalg/kernels.hpp"
+#include "nn/qengine.hpp"
 #include "registry/artifact.hpp"
 
 namespace safenn::registry {
@@ -42,8 +43,15 @@ class ModelSnapshot {
 
   /// Materializes and owns the artifact's predictor and monitor. The
   /// caller chooses the backend (serve runs its admission gate per
-  /// artifact before constructing the snapshot).
-  ModelSnapshot(const ModelArtifact& artifact, linalg::KernelBackend backend);
+  /// artifact before constructing the snapshot). With backend ==
+  /// kQuantized, the artifact must carry a quantized payload; the packed
+  /// engine is built once here and shared (it is immutable) by every
+  /// batch served against this snapshot. `quantized_kernel` then picks
+  /// the integer kernel inside the engine — kReference for the scalar
+  /// reference, anything else for the SIMD dispatch; all bitwise equal.
+  ModelSnapshot(const ModelArtifact& artifact, linalg::KernelBackend backend,
+                linalg::KernelBackend quantized_kernel =
+                    linalg::KernelBackend::kQuantized);
 
   ModelSnapshot(const ModelSnapshot&) = delete;
   ModelSnapshot& operator=(const ModelSnapshot&) = delete;
@@ -54,13 +62,21 @@ class ModelSnapshot {
   linalg::KernelBackend backend() const { return backend_; }
   /// Artifact content hash; 0 for wrapped (unregistered) models.
   std::uint64_t content_hash() const { return content_hash_; }
+  /// Content address of the quantized weights; 0 when not quantized.
+  std::uint64_t quantized_hash() const { return quantized_hash_; }
+  /// The packed integer engine; non-null iff backend() == kQuantized.
+  const nn::QuantizedEngine* quantized_engine() const {
+    return quantized_engine_.get();
+  }
 
  private:
   std::string version_;
   linalg::KernelBackend backend_;
   std::uint64_t content_hash_ = 0;
+  std::uint64_t quantized_hash_ = 0;
   std::unique_ptr<core::TrainedPredictor> owned_predictor_;
   std::unique_ptr<core::SafetyMonitor> owned_monitor_;
+  std::unique_ptr<const nn::QuantizedEngine> quantized_engine_;
   const core::TrainedPredictor* predictor_;
   const core::SafetyMonitor* monitor_;
 };

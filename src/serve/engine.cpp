@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "linalg/qmatrix.hpp"
 #include "linalg/verify_kernels.hpp"
+#include "nn/qengine.hpp"
 
 namespace safenn::serve {
 namespace {
@@ -46,6 +48,52 @@ linalg::KernelBackend resolve_serving_backend(
   return linalg::KernelBackend::kReference;
 }
 
+ResolvedBackend resolve_serving_backend(
+    const registry::ModelArtifact& artifact, linalg::KernelBackend requested,
+    std::size_t max_batch) {
+  if (requested != linalg::KernelBackend::kQuantized) {
+    return {resolve_serving_backend(artifact.network, requested, max_batch)};
+  }
+  if (!artifact.quantized.has_value()) {
+    log_warn("serve: kQuantized requested but artifact ", artifact.version,
+             " carries no quantized payload; serving float reference "
+             "kernels");
+    return {linalg::KernelBackend::kReference};
+  }
+  try {
+    // Probe-pack the payload: the same admission analysis (int16 weights,
+    // int32 activations, int64 accumulator bounds over the declared
+    // domain) the snapshot construction will run.
+    const nn::QuantizedEngine probe(artifact.quantized->network,
+                                    artifact.quantized->input_limit,
+                                    linalg::KernelBackend::kReference);
+    linalg::QuantKernelVerifyConfig config;
+    config.extra_shapes = probe.gemm_shapes(max_batch == 0 ? 1 : max_batch);
+    const linalg::QuantKernelReport report =
+        linalg::verify_quantized_kernels(config);
+    if (report.pass) {
+      log_info("serve: quantized engine admitted (",
+               linalg::to_string(report.isa),
+               " bitwise equal to the scalar integer reference over ",
+               report.checks.size(), " shapes)");
+      return {linalg::KernelBackend::kQuantized,
+              linalg::KernelBackend::kQuantized};
+    }
+    // Integer kernels carry no tolerance: any bitwise violation demotes
+    // the inner kernel to the scalar reference, which IS the verified
+    // semantics — the quantized backend itself stays admitted.
+    log_warn("serve: quantized SIMD kernels REJECTED by bitwise harness (",
+             report.summary(), "); serving the scalar integer kernels");
+    return {linalg::KernelBackend::kQuantized,
+            linalg::KernelBackend::kReference};
+  } catch (const nn::QuantizeError& e) {
+    log_warn("serve: quantized payload of artifact ", artifact.version,
+             " failed packing admission (", e.what(),
+             "); serving float reference kernels");
+    return {linalg::KernelBackend::kReference};
+  }
+}
+
 ShieldedEngine::ShieldedEngine(const core::TrainedPredictor& predictor,
                                const core::SafetyMonitor& monitor,
                                linalg::KernelBackend backend,
@@ -53,17 +101,54 @@ ShieldedEngine::ShieldedEngine(const core::TrainedPredictor& predictor,
     : predictor_(predictor),
       monitor_(monitor),
       backend_(backend),
-      version_(std::move(version)) {}
+      version_(std::move(version)) {
+  require(backend_ != linalg::KernelBackend::kQuantized,
+          "ShieldedEngine: kQuantized requires a snapshot carrying a "
+          "packed quantized engine");
+}
 
 ShieldedEngine::ShieldedEngine(const registry::ModelSnapshot& snapshot)
-    : ShieldedEngine(snapshot.predictor(), snapshot.monitor(),
-                     snapshot.backend(), snapshot.version()) {}
+    : predictor_(snapshot.predictor()),
+      monitor_(snapshot.monitor()),
+      backend_(snapshot.backend()),
+      version_(snapshot.version()),
+      qengine_(snapshot.quantized_engine()) {
+  require(backend_ != linalg::KernelBackend::kQuantized ||
+              qengine_ != nullptr,
+          "ShieldedEngine: kQuantized snapshot has no packed engine");
+}
+
+void ShieldedEngine::predict_means(const linalg::Matrix& scenes,
+                                   std::vector<linalg::Vector>& means) const {
+  means.resize(scenes.rows());
+  if (qengine_ != nullptr) {
+    // Exact integer path: saturating quantize -> packed fixed-point
+    // forward (bitwise equal to the scalar QuantizedNetwork reference)
+    // -> de-quantize -> the same MDN head parse the float path uses.
+    nn::QuantizedEngine::Scratch scratch;
+    linalg::Matrix raw;
+    qengine_->forward_real_batch(scenes, scratch, raw);
+    linalg::Vector row(raw.cols());
+    for (std::size_t r = 0; r < scenes.rows(); ++r) {
+      std::copy(raw.data() + r * raw.cols(),
+                raw.data() + (r + 1) * raw.cols(), row.data());
+      means[r] = predictor_.head.parse(row).mean();
+    }
+    return;
+  }
+  const std::vector<nn::GaussianMixture> mixtures =
+      predictor_.predict_batch(scenes, backend_);
+  for (std::size_t r = 0; r < scenes.rows(); ++r) {
+    means[r] = mixtures[r].mean();
+  }
+}
 
 ServeResponse ShieldedEngine::serve(const ServeRequest& request,
                                     Clock::time_point now) const {
   ServeResponse response;
   response.id = request.id;
   response.model_version = version_;
+  response.backend = backend_;
   if (now > request.deadline) {
     // Bounded-latency fallback: the deadline is already blown, so answer
     // with the provably safe action instead of a late prediction.
@@ -72,7 +157,19 @@ ServeResponse ShieldedEngine::serve(const ServeRequest& request,
     return response;
   }
   const Clock::time_point start = Clock::now();
-  core::GuardDecision decision = monitor_.guard(predictor_, request.scene);
+  core::GuardDecision decision;
+  if (qengine_ != nullptr) {
+    // Single-request quantized serve is the batched path at batch 1 —
+    // same arithmetic, same bits, as serve_batch demands.
+    linalg::Matrix scene(1, request.scene.size());
+    std::copy(request.scene.data(),
+              request.scene.data() + request.scene.size(), scene.data());
+    std::vector<linalg::Vector> means;
+    predict_means(scene, means);
+    decision = monitor_.guard_action(request.scene, means.front());
+  } else {
+    decision = monitor_.guard(predictor_, request.scene);
+  }
   response.infer_seconds = seconds_since(start, Clock::now());
   response.outcome =
       decision.intervened ? ServeOutcome::kClamped : ServeOutcome::kServed;
@@ -92,6 +189,7 @@ std::vector<ServeResponse> ShieldedEngine::serve_batch(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     responses[i].id = requests[i].id;
     responses[i].model_version = version_;
+    responses[i].backend = backend_;
     if (now > requests[i].deadline) {
       responses[i].outcome = ServeOutcome::kDegraded;
       responses[i].action = monitor_.safe_action();
@@ -109,12 +207,12 @@ std::vector<ServeResponse> ShieldedEngine::serve_batch(
     std::copy(s.data(), s.data() + s.size(),
               scenes.data() + r * scenes.cols());
   }
-  const std::vector<nn::GaussianMixture> mixtures =
-      predictor_.predict_batch(scenes, backend_);
+  std::vector<linalg::Vector> means;
+  predict_means(scenes, means);
   for (std::size_t r = 0; r < live.size(); ++r) {
     const std::size_t i = live[r];
     core::GuardDecision decision =
-        monitor_.guard_action(requests[i].scene, mixtures[r].mean());
+        monitor_.guard_action(requests[i].scene, means[r]);
     ServeResponse& response = responses[i];
     response.outcome =
         decision.intervened ? ServeOutcome::kClamped : ServeOutcome::kServed;

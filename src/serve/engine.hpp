@@ -36,6 +36,30 @@ linalg::KernelBackend resolve_serving_backend(
     const core::TrainedPredictor& predictor,
     linalg::KernelBackend requested, std::size_t max_batch);
 
+/// Backend resolution for a registry artifact, including the quantized
+/// engine. `backend` is what the snapshot serves with; when it is
+/// kQuantized, `quantized_kernel` picks the integer kernel inside the
+/// packed engine (kQuantized = SIMD dispatch, kReference = scalar).
+struct ResolvedBackend {
+  linalg::KernelBackend backend;
+  linalg::KernelBackend quantized_kernel = linalg::KernelBackend::kQuantized;
+};
+
+/// Admission for kQuantized, per artifact (re-run on every hot reload):
+/// the artifact must carry a quantized payload, the payload must pass
+/// the packing admission analysis (int16 weights / int32 activations /
+/// int64 accumulator bounds over the declared input domain), and the
+/// integer SIMD kernels must be BITWISE equal to the scalar reference on
+/// this host with the engine's own (batch, in, out) GEMM shapes pinned —
+/// integer kernels carry no tolerance, unlike the float kSimd gate. A
+/// failed bitwise check demotes only the inner kernel to scalar (exact
+/// semantics preserved); a missing or unpackable payload falls back to
+/// float kReference with a warning. Other requested backends defer to
+/// the float overloads above.
+ResolvedBackend resolve_serving_backend(
+    const registry::ModelArtifact& artifact, linalg::KernelBackend requested,
+    std::size_t max_batch);
+
 /// Stateless per-call engine over a shared const predictor and a shared
 /// thread-safe monitor; safe to use from any number of workers. Cheap to
 /// construct (three references + a version label) — the worker pool
@@ -79,12 +103,22 @@ class ShieldedEngine {
   const core::TrainedPredictor& predictor() const { return predictor_; }
   linalg::KernelBackend backend() const { return backend_; }
   const std::string& version() const { return version_; }
+  /// The packed integer engine serving this snapshot; non-null iff
+  /// backend() == kQuantized.
+  const nn::QuantizedEngine* quantized_engine() const { return qengine_; }
 
  private:
+  /// Mixture means for the packed scene rows, through whichever
+  /// arithmetic this engine serves (float predict_batch or the exact
+  /// integer engine); fills `means` with one action mean per row.
+  void predict_means(const linalg::Matrix& scenes,
+                     std::vector<linalg::Vector>& means) const;
+
   const core::TrainedPredictor& predictor_;
   const core::SafetyMonitor& monitor_;
   linalg::KernelBackend backend_;
   std::string version_;
+  const nn::QuantizedEngine* qengine_ = nullptr;
 };
 
 }  // namespace safenn::serve

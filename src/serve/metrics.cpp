@@ -80,6 +80,14 @@ VersionCounters& MetricsRegistry::version_counters(
   return *slot;
 }
 
+VersionCounters& MetricsRegistry::backend_counters(
+    const std::string& backend) {
+  std::lock_guard<std::mutex> lock(backends_mu_);
+  std::unique_ptr<VersionCounters>& slot = backends_[backend];
+  if (!slot) slot = std::make_unique<VersionCounters>();
+  return *slot;
+}
+
 void MetricsRegistry::note_queue_depth(std::size_t depth) {
   std::uint64_t seen = queue_depth_peak.load(kRelaxed);
   while (depth > seen &&
@@ -137,6 +145,24 @@ std::string MetricsRegistry::to_json(double elapsed_seconds) const {
     if (!first) os << "\n  ";
   }
   os << "},\n"
+     << "  \"backends\": {";
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    bool first = true;
+    for (const auto& [backend, counters] : backends_) {
+      os << (first ? "\n" : ",\n") << "    \"" << backend << "\": {"
+         << "\"served\": " << counters->served.load(kRelaxed)
+         << ", \"clamped\": " << counters->clamped.load(kRelaxed)
+         << ", \"degraded\": " << counters->degraded.load(kRelaxed)
+         << ", \"assumption_hits\": "
+         << counters->assumption_hits.load(kRelaxed)
+         << ", \"interventions\": " << counters->interventions.load(kRelaxed)
+         << "}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "},\n"
      << "  \"latency\": {\n";
   json_histogram(os, "queue", queue_latency);
   os << ",\n";
@@ -162,9 +188,20 @@ void MetricsRegistry::reset() {
                   &queue_depth_peak, &shed, &reloads}) {
     c->store(0, kRelaxed);
   }
-  std::lock_guard<std::mutex> lock(versions_mu_);
-  // Zero in place: references handed out by version_counters() stay valid.
-  for (auto& [version, counters] : versions_) {
+  // Zero in place: references handed out by version_counters() /
+  // backend_counters() stay valid.
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    for (auto& [version, counters] : versions_) {
+      for (auto* c : {&counters->served, &counters->clamped,
+                      &counters->degraded, &counters->assumption_hits,
+                      &counters->interventions}) {
+        c->store(0, kRelaxed);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(backends_mu_);
+  for (auto& [backend, counters] : backends_) {
     for (auto* c : {&counters->served, &counters->clamped,
                     &counters->degraded, &counters->assumption_hits,
                     &counters->interventions}) {

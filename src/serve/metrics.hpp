@@ -97,6 +97,13 @@ class MetricsRegistry {
   /// so callers on the hot path should resolve once per batch.
   VersionCounters& version_counters(const std::string& version);
 
+  /// The per-backend counter slice (keyed by linalg::to_string of the
+  /// serving backend — "reference", "simd", "quantized"), same lifetime
+  /// and locking contract as version_counters(). Under a float->quantized
+  /// hot swap the per-backend slices say exactly how many decisions each
+  /// arithmetic produced.
+  VersionCounters& backend_counters(const std::string& backend);
+
   /// Requests that received a response through the engine path.
   std::uint64_t completed() const;
 
@@ -112,6 +119,8 @@ class MetricsRegistry {
   // unique_ptr values keep counter addresses stable across map growth.
   mutable std::mutex versions_mu_;
   std::map<std::string, std::unique_ptr<VersionCounters>> versions_;
+  mutable std::mutex backends_mu_;
+  std::map<std::string, std::unique_ptr<VersionCounters>> backends_;
 };
 
 }  // namespace safenn::serve

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "linalg/kernels.hpp"
 #include "linalg/vector.hpp"
 
 namespace safenn::serve {
@@ -41,6 +42,12 @@ struct ServeResponse {
   /// the per-response traceability link that survives hot swaps. Empty
   /// only for kRejected (no model was involved).
   std::string model_version;
+  /// The arithmetic that produced this response: the serving backend of
+  /// the snapshot that answered (kQuantized = exact fixed point, the
+  /// semantics the SMT stack verifies). Degraded responses carry the
+  /// snapshot's backend too even though the fallback involves no network
+  /// arithmetic; kRejected keeps the default (no model was involved).
+  linalg::KernelBackend backend = linalg::KernelBackend::kReference;
   double queue_seconds = 0.0;   // enqueue -> dequeue
   double infer_seconds = 0.0;   // engine time (0 for degraded/rejected)
 };

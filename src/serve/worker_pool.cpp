@@ -30,6 +30,19 @@ std::size_t watermark_depth(std::size_t capacity, double fraction) {
   return std::max<std::size_t>(1, depth);
 }
 
+/// Snapshot construction for the artifact paths: the full admission
+/// resolution (float tolerance gate, or the quantized payload + bitwise
+/// kernel gate) picks both the serving backend and the inner integer
+/// kernel.
+std::shared_ptr<const registry::ModelSnapshot> make_snapshot(
+    const registry::ModelArtifact& artifact, linalg::KernelBackend requested,
+    std::size_t max_batch) {
+  const ResolvedBackend resolved =
+      resolve_serving_backend(artifact, requested, max_batch);
+  return std::make_shared<const registry::ModelSnapshot>(
+      artifact, resolved.backend, resolved.quantized_kernel);
+}
+
 }  // namespace
 
 const char* to_string(AdmissionPolicy policy) {
@@ -84,6 +97,8 @@ void WorkerPool::worker_loop() {
         live_.current();
     const ShieldedEngine engine(*snapshot);
     VersionCounters& version = metrics_.version_counters(snapshot->version());
+    VersionCounters& arith =
+        metrics_.backend_counters(linalg::to_string(snapshot->backend()));
     // One batched forward for the whole micro-batch; the engine applies
     // the monitor's guard per row, so decisions match per-request serve().
     std::vector<ServeResponse> responses =
@@ -98,14 +113,17 @@ void WorkerPool::worker_loop() {
         case ServeOutcome::kServed:
           metrics_.served.fetch_add(1, kRelaxed);
           version.served.fetch_add(1, kRelaxed);
+          arith.served.fetch_add(1, kRelaxed);
           break;
         case ServeOutcome::kClamped:
           metrics_.clamped.fetch_add(1, kRelaxed);
           version.clamped.fetch_add(1, kRelaxed);
+          arith.clamped.fetch_add(1, kRelaxed);
           break;
         case ServeOutcome::kDegraded:
           metrics_.degraded.fetch_add(1, kRelaxed);
           version.degraded.fetch_add(1, kRelaxed);
+          arith.degraded.fetch_add(1, kRelaxed);
           break;
         case ServeOutcome::kRejected:
           metrics_.rejected.fetch_add(1, kRelaxed);
@@ -114,10 +132,12 @@ void WorkerPool::worker_loop() {
       if (response.assumption_hit) {
         metrics_.assumption_hits.fetch_add(1, kRelaxed);
         version.assumption_hits.fetch_add(1, kRelaxed);
+        arith.assumption_hits.fetch_add(1, kRelaxed);
       }
       if (response.intervened) {
         metrics_.interventions.fetch_add(1, kRelaxed);
         version.interventions.fetch_add(1, kRelaxed);
+        arith.interventions.fetch_add(1, kRelaxed);
       }
       metrics_.queue_latency.record(
           ns_between(request.enqueue_time, dequeue_time));
@@ -148,10 +168,7 @@ InferenceServer::InferenceServer(const registry::ModelArtifact& artifact,
                                  Config config)
     : config_(config),
       queue_(config.queue_capacity),
-      live_(std::make_shared<const registry::ModelSnapshot>(
-          artifact,
-          resolve_serving_backend(artifact.network, config.backend,
-                                  config.pool.max_batch))),
+      live_(make_snapshot(artifact, config.backend, config.pool.max_batch)),
       pool_(queue_, live_, metrics_, config.pool),
       watermark_depth_(
           watermark_depth(queue_.capacity(), config.queue_watermark)) {
@@ -163,12 +180,14 @@ InferenceServer::~InferenceServer() { stop(); }
 linalg::KernelBackend InferenceServer::reload(
     const registry::ModelArtifact& artifact) {
   std::lock_guard<std::mutex> lock(reload_mu_);
-  // Re-run the admission gate for the NEW artifact's layer shapes: kSimd
-  // is admitted per artifact, never inherited across a swap.
-  const linalg::KernelBackend backend = resolve_serving_backend(
-      artifact.network, config_.backend, config_.pool.max_batch);
-  std::shared_ptr<const registry::ModelSnapshot> previous = live_.swap(
-      std::make_shared<const registry::ModelSnapshot>(artifact, backend));
+  // Re-run the admission gate for the NEW artifact: kSimd's tolerance
+  // gate and kQuantized's payload + bitwise-kernel gate are per
+  // artifact, never inherited across a swap.
+  std::shared_ptr<const registry::ModelSnapshot> next =
+      make_snapshot(artifact, config_.backend, config_.pool.max_batch);
+  const linalg::KernelBackend backend = next->backend();
+  std::shared_ptr<const registry::ModelSnapshot> previous =
+      live_.swap(std::move(next));
   metrics_.reloads.fetch_add(1, kRelaxed);
   log_info("serve: hot-swapped model ", previous->version(), " -> ",
            artifact.version, " (backend ", linalg::to_string(backend),
@@ -238,12 +257,15 @@ void InferenceServer::fulfil_shed(ServeRequest& request) {
   metrics_.shed.fetch_add(1, std::memory_order_relaxed);
   metrics_.version_counters(snapshot->version())
       .degraded.fetch_add(1, std::memory_order_relaxed);
+  metrics_.backend_counters(linalg::to_string(snapshot->backend()))
+      .degraded.fetch_add(1, std::memory_order_relaxed);
   metrics_.note_queue_depth(queue_.size());
   ServeResponse response;
   response.id = request.id;
   response.outcome = ServeOutcome::kDegraded;
   response.action = snapshot->monitor().safe_action();
   response.model_version = snapshot->version();
+  response.backend = snapshot->backend();
   request.promise.set_value(std::move(response));
 }
 

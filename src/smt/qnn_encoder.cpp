@@ -18,18 +18,17 @@ struct Circuit {
   std::size_t word_width = 0;
 };
 
-Circuit build_circuit(const nn::QuantizedNetwork& qnet,
-                      const verify::Box& input_box) {
-  require(input_box.size() == qnet.input_size(),
-          "build_circuit: box dimension mismatch");
-
-  // Fixed-point input ranges (round inward so the box is honored).
-  std::vector<std::int64_t> in_lo(input_box.size()), in_hi(input_box.size());
+/// Circuit over explicit fixed-point input ranges (in_lo[i] <= x[i] <=
+/// in_hi[i], frac_bits format). Equal bounds pin the input exactly —
+/// the replay path — without a double round trip.
+Circuit build_circuit_fixed(const nn::QuantizedNetwork& qnet,
+                            const std::vector<std::int64_t>& in_lo,
+                            const std::vector<std::int64_t>& in_hi) {
+  require(in_lo.size() == qnet.input_size() &&
+              in_hi.size() == qnet.input_size(),
+          "build_circuit: input bound dimension mismatch");
   std::int64_t max_in_mag = 1;
-  for (std::size_t i = 0; i < input_box.size(); ++i) {
-    const double scale = std::ldexp(1.0, qnet.frac_bits());
-    in_lo[i] = static_cast<std::int64_t>(std::ceil(input_box[i].lo * scale));
-    in_hi[i] = static_cast<std::int64_t>(std::floor(input_box[i].hi * scale));
+  for (std::size_t i = 0; i < in_lo.size(); ++i) {
     require(in_lo[i] <= in_hi[i],
             "build_circuit: box empty after quantization");
     max_in_mag = std::max(
@@ -52,8 +51,11 @@ Circuit build_circuit(const nn::QuantizedNetwork& qnet,
   circuit.inputs.reserve(qnet.input_size());
   std::vector<BitVec> layer_values;
   for (std::size_t i = 0; i < qnet.input_size(); ++i) {
-    BitVec x = bv.input(width);
-    bv.assert_in_range(x, in_lo[i], in_hi[i]);
+    // Pinned inputs (lo == hi, the replay path) become constants, so the
+    // whole circuit unit-propagates instead of being searched.
+    BitVec x = in_lo[i] == in_hi[i] ? bv.constant(in_lo[i], width)
+                                    : bv.input(width);
+    if (in_lo[i] != in_hi[i]) bv.assert_in_range(x, in_lo[i], in_hi[i]);
     circuit.inputs.push_back(x);
     layer_values.push_back(std::move(x));
   }
@@ -89,6 +91,20 @@ Circuit build_circuit(const nn::QuantizedNetwork& qnet,
   }
   circuit.outputs = layer_values;
   return circuit;
+}
+
+Circuit build_circuit(const nn::QuantizedNetwork& qnet,
+                      const verify::Box& input_box) {
+  require(input_box.size() == qnet.input_size(),
+          "build_circuit: box dimension mismatch");
+  // Fixed-point input ranges (round inward so the box is honored).
+  std::vector<std::int64_t> in_lo(input_box.size()), in_hi(input_box.size());
+  const double scale = std::ldexp(1.0, qnet.frac_bits());
+  for (std::size_t i = 0; i < input_box.size(); ++i) {
+    in_lo[i] = static_cast<std::int64_t>(std::ceil(input_box[i].lo * scale));
+    in_hi[i] = static_cast<std::int64_t>(std::floor(input_box[i].hi * scale));
+  }
+  return build_circuit_fixed(qnet, in_lo, in_hi);
 }
 
 }  // namespace
@@ -174,6 +190,29 @@ QnnMaxResult maximize_quantized_output(const nn::QuantizedNetwork& qnet,
   }
   result.seconds = clock.seconds();
   return result;
+}
+
+std::vector<std::int64_t> eval_quantized_through_cnf(
+    const nn::QuantizedNetwork& qnet,
+    const std::vector<std::int64_t>& input_fixed,
+    const QnnVerifierOptions& options) {
+  require(input_fixed.size() == qnet.input_size(),
+          "eval_quantized_through_cnf: input dimension mismatch");
+  Circuit circuit = build_circuit_fixed(qnet, input_fixed, input_fixed);
+  sat::Solver solver(options.solver);
+  const sat::SatResult res = solver.solve(circuit.cnf);
+  // Every input is pinned to a single value, so the circuit has exactly
+  // one model; anything but SAT means the encoding itself is broken.
+  require(res == sat::SatResult::kSat,
+          "eval_quantized_through_cnf: pinned circuit unsatisfiable");
+  GateBuilder gates(circuit.cnf);
+  BitVecBuilder bv(gates);
+  std::vector<std::int64_t> out;
+  out.reserve(circuit.outputs.size());
+  for (const BitVec& o : circuit.outputs) {
+    out.push_back(bv.decode(o, solver));
+  }
+  return out;
 }
 
 }  // namespace safenn::smt

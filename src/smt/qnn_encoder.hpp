@@ -59,4 +59,16 @@ QnnMaxResult maximize_quantized_output(const nn::QuantizedNetwork& qnet,
                                        double search_lo, double search_hi,
                                        const QnnVerifierOptions& options = {});
 
+/// Replays one already-quantized input through the CNF circuit: every
+/// input bit-vector is pinned to the given fixed-point value (lo == hi),
+/// the circuit is solved (trivially satisfiable), and the decoded output
+/// words are returned in frac_bits format. This closes the serving loop:
+/// a deployed quantized artifact's served outputs can be replayed
+/// gate-for-gate through the very circuit the SMT stack verifies —
+/// bench_quantized_serve demands bitwise equality with the served bits.
+std::vector<std::int64_t> eval_quantized_through_cnf(
+    const nn::QuantizedNetwork& qnet,
+    const std::vector<std::int64_t>& input_fixed,
+    const QnnVerifierOptions& options = {});
+
 }  // namespace safenn::smt

@@ -12,6 +12,7 @@
 #include "nn/loss.hpp"
 #include "nn/mdn.hpp"
 #include "nn/network.hpp"
+#include "nn/qengine.hpp"
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
@@ -954,6 +955,233 @@ TEST(Network, GradientsZeroResets) {
   for (std::size_t li = 0; li < net.num_layers(); ++li) {
     EXPECT_DOUBLE_EQ(g.weight_grads[li].norm_inf(), 0.0);
     EXPECT_DOUBLE_EQ(g.bias_grads[li].norm_inf(), 0.0);
+  }
+}
+
+// --- Typed quantization errors + the packed batched engine. ---
+
+TEST(QuantizeError, RejectsSmoothActivationsWithTypedKind) {
+  Rng rng(18);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kTanh,
+                                  Activation::kIdentity, rng);
+  try {
+    QuantizedNetwork::quantize(net, 8);
+    FAIL() << "expected QuantizeError";
+  } catch (const QuantizeError& e) {
+    EXPECT_EQ(e.kind(), QuantizeError::Kind::kUnsupportedActivation);
+    EXPECT_STREQ(to_string(e.kind()), "unsupported-activation");
+  }
+}
+
+TEST(QuantizeError, WeightBeyondFixedPointRangeIsTyped) {
+  Rng rng(21);
+  Network net = Network::make_mlp({1, 1}, Activation::kIdentity,
+                                  Activation::kIdentity, rng);
+  net.layer(0).weights()(0, 0) = 1e18;  // * 2^24 overflows int64
+  try {
+    QuantizedNetwork::quantize(net, 24);
+    FAIL() << "expected QuantizeError";
+  } catch (const QuantizeError& e) {
+    EXPECT_EQ(e.kind(), QuantizeError::Kind::kWeightRange);
+  }
+}
+
+// The rejection boundary: accumulator bound propagation must refuse
+// (typed, never wraparound) exactly when the worst case leaves int64.
+TEST(QuantizeError, AccumulatorOverflowBoundaryIsTyped) {
+  const std::int64_t huge = std::int64_t{1} << 62;
+  QuantizedLayer l;
+  l.weights = {{huge}};
+  l.biases = {0};
+  l.activation = Activation::kIdentity;
+  QuantizedNetwork qnet(8, {l});
+  // Bound 2^62 * 4 overflows; 2^62 * 1 + 0 still fits.
+  EXPECT_NO_THROW(qnet.accumulator_bounds(1));
+  try {
+    qnet.accumulator_bounds(4);
+    FAIL() << "expected QuantizeError";
+  } catch (const QuantizeError& e) {
+    EXPECT_EQ(e.kind(), QuantizeError::Kind::kAccumulatorOverflow);
+  }
+  // The bias addition is checked too: weight*bound + bias must not wrap.
+  QuantizedLayer l2;
+  l2.weights = {{huge}};
+  l2.biases = {huge};
+  QuantizedNetwork qnet2(8, {l2});
+  EXPECT_THROW(qnet2.accumulator_bounds(2), QuantizeError);
+}
+
+TEST(QuantizeError, QuantizeChecksBoundsOverDeclaredDomain) {
+  Rng rng(22);
+  Network net = Network::make_mlp({1, 1}, Activation::kIdentity,
+                                  Activation::kIdentity, rng);
+  net.layer(0).weights()(0, 0) = 1e11;
+  // The scaled weight fits fixed point at 12 bits (1e11 * 2^12 ~ 2^48.5)
+  // and the accumulator fits for |x| <= 1, but a wide input domain
+  // pushes the worst case past int64.
+  EXPECT_NO_THROW(QuantizedNetwork::quantize(net, 12, 1.0));
+  try {
+    QuantizedNetwork::quantize(net, 12, 1e7);
+    FAIL() << "expected QuantizeError";
+  } catch (const QuantizeError& e) {
+    EXPECT_EQ(e.kind(), QuantizeError::Kind::kAccumulatorOverflow);
+  }
+}
+
+TEST(QuantizedNetwork, ScratchForwardBitwiseEqualsAllocatingForward) {
+  Rng rng(23);
+  Network net = Network::make_mlp({4, 9, 7, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 10);
+  FixedScratch scratch;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::int64_t> in(4);
+    for (auto& v : in) v = q.to_fixed(rng.uniform(-1, 1));
+    const std::vector<std::int64_t> alloc = q.forward_fixed(in);
+    const std::vector<std::int64_t>& reused = q.forward_fixed(in, scratch);
+    ASSERT_EQ(alloc, reused);
+  }
+}
+
+TEST(QuantizedEngine, PackedForwardBitwiseEqualsScalarReference) {
+  Rng rng(24);
+  // Odd widths on purpose: remainder lanes in every layer.
+  Network net = Network::make_mlp({5, 11, 7, 3}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 10);
+  for (const auto backend : {linalg::KernelBackend::kReference,
+                             linalg::KernelBackend::kSimd,
+                             linalg::KernelBackend::kQuantized}) {
+    const QuantizedEngine engine(q, 2.0, backend);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{32}}) {
+      std::vector<std::vector<std::int64_t>> inputs(batch);
+      for (auto& row : inputs) {
+        row.resize(5);
+        for (auto& v : row) v = q.to_fixed(rng.uniform(-2, 2));
+      }
+      const auto batched = engine.forward_fixed_batch(inputs);
+      ASSERT_EQ(batched.size(), batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::vector<std::int64_t> scalar = q.forward_fixed(inputs[i]);
+        ASSERT_EQ(batched[i], scalar)
+            << "backend " << to_string(backend) << " batch " << batch
+            << " row " << i;
+        ASSERT_EQ(engine.forward_fixed(inputs[i]), scalar);
+      }
+    }
+  }
+}
+
+TEST(QuantizedNetwork, ForwardFixedBatchBitwiseAcrossBackends) {
+  Rng rng(25);
+  Network net = Network::make_mlp({3, 8, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 8);
+  std::vector<std::vector<std::int64_t>> inputs(13);
+  for (auto& row : inputs) {
+    row.resize(3);
+    for (auto& v : row) v = q.to_fixed(rng.uniform(-1.5, 1.5));
+  }
+  const auto ref = q.forward_fixed_batch(inputs,
+                                         linalg::KernelBackend::kReference);
+  const auto quant = q.forward_fixed_batch(
+      inputs, linalg::KernelBackend::kQuantized);
+  EXPECT_EQ(ref, quant);
+  EXPECT_TRUE(q.forward_fixed_batch({}).empty());
+}
+
+TEST(QuantizedEngine, RejectsWeightsBeyondInt16) {
+  QuantizedLayer l;
+  l.weights = {{40000}};  // > 32767
+  l.biases = {0};
+  QuantizedNetwork qnet(8, {l});
+  try {
+    QuantizedEngine engine(qnet, 1.0);
+    FAIL() << "expected QuantizeError";
+  } catch (const QuantizeError& e) {
+    EXPECT_EQ(e.kind(), QuantizeError::Kind::kWeightRange);
+  }
+}
+
+TEST(QuantizedEngine, RejectsIntermediateActivationsBeyondInt32) {
+  // Layer 0 amplifies by 2^15 twice: the intermediate activation bound
+  // blows past int32 while everything still fits int64.
+  QuantizedLayer big;
+  big.weights = {{std::int64_t{32767}}};
+  big.biases = {0};
+  big.activation = Activation::kIdentity;
+  QuantizedNetwork qnet(8, {big, big});
+  try {
+    // Layer-0 value bound: 1e6 * 2^8 * 32767 >> 8 ~ 2^44.9 >> int32.
+    QuantizedEngine engine(qnet, 1e6);
+    FAIL() << "expected QuantizeError";
+  } catch (const QuantizeError& e) {
+    EXPECT_EQ(e.kind(), QuantizeError::Kind::kActivationRange);
+  }
+  // The same product on the FINAL layer is fine — outputs stay int64.
+  QuantizedNetwork single(8, {big});
+  EXPECT_NO_THROW(QuantizedEngine(single, 1e6));
+}
+
+TEST(QuantizedEngine, SaturatingConversionClampsToDeclaredDomain) {
+  Rng rng(26);
+  Network net = Network::make_mlp({2, 3, 1}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 8);
+  const QuantizedEngine engine(q, 1.0);
+  EXPECT_EQ(engine.to_fixed(0.5), q.to_fixed(0.5));
+  EXPECT_EQ(engine.to_fixed(7.0), engine.input_limit_fixed());
+  EXPECT_EQ(engine.to_fixed(-7.0), -engine.input_limit_fixed());
+  EXPECT_EQ(engine.to_fixed(std::nan("")), 0);
+  // Out-of-domain fixed inputs are refused, not wrapped.
+  EXPECT_THROW(engine.forward_fixed({engine.input_limit_fixed() + 1, 0}),
+               Error);
+}
+
+TEST(QuantizedEngine, UnpackRoundTripsExactly) {
+  Rng rng(27);
+  Network net = Network::make_mlp({3, 6, 2}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 9);
+  const QuantizedEngine engine(q, 1.5);
+  const QuantizedNetwork back = engine.unpack();
+  ASSERT_EQ(back.num_layers(), q.num_layers());
+  EXPECT_EQ(back.frac_bits(), q.frac_bits());
+  for (std::size_t li = 0; li < q.num_layers(); ++li) {
+    EXPECT_EQ(back.layer(li).weights, q.layer(li).weights);
+    EXPECT_EQ(back.layer(li).biases, q.layer(li).biases);
+    EXPECT_EQ(back.layer(li).activation, q.layer(li).activation);
+  }
+}
+
+TEST(QuantizedEngine, RealBatchMatchesFixedReplay) {
+  Rng rng(28);
+  Network net = Network::make_mlp({4, 8, 3}, Activation::kRelu,
+                                  Activation::kIdentity, rng);
+  QuantizedNetwork q = QuantizedNetwork::quantize(net, 10);
+  const QuantizedEngine engine(q, 2.0);
+  const std::size_t batch = 9;
+  Matrix scenes(batch, 4);
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    scenes.data()[i] = rng.uniform(-3.0, 3.0);  // some rows saturate
+  }
+  QuantizedEngine::Scratch scratch;
+  Matrix raw;
+  engine.forward_real_batch(scenes, scratch, raw);
+  ASSERT_EQ(raw.rows(), batch);
+  ASSERT_EQ(raw.cols(), 3u);
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::vector<std::int64_t> in(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      in[c] = engine.to_fixed(scenes(i, c));
+    }
+    const std::vector<std::int64_t> fixed = q.forward_fixed(in);
+    for (std::size_t j = 0; j < 3; ++j) {
+      // Exact: raw is from_fixed of the bitwise-checked integer output.
+      ASSERT_EQ(raw(i, j), engine.from_fixed(fixed[j])) << i << "," << j;
+      ASSERT_EQ(scratch.acc[i * 3 + j], fixed[j]) << i << "," << j;
+    }
   }
 }
 

@@ -447,5 +447,128 @@ TEST(LiveModel, ConcurrentReadersNeverSeeATornSnapshot) {
   EXPECT_EQ(seen_versions.size(), 2u);
 }
 
+// -------------------------------------------------------------------------
+// Quantized payload: one immutable file, both representations.
+// -------------------------------------------------------------------------
+
+TEST(Artifact, QuantizedPayloadRoundTripsBitwise) {
+  ModelArtifact original = make_test_artifact("vq", 11, 0.75);
+  const std::uint64_t qhash = attach_quantized(original, 8, 4.0);
+  EXPECT_NE(qhash, 0u);
+  ASSERT_TRUE(original.quantized.has_value());
+  EXPECT_EQ(original.quantized->content_hash, qhash);
+
+  const std::string text = artifact_text(original);
+  // Quantized artifacts use format v2; the quantized section precedes
+  // the network and is separately checksummed (content-addressed).
+  EXPECT_EQ(text.rfind("safenn-artifact v2\n", 0), 0u);
+  EXPECT_NE(text.find("quantized-checksum "), std::string::npos);
+
+  std::istringstream is(text);
+  const ModelArtifact loaded = load_artifact(is);
+  ASSERT_TRUE(loaded.quantized.has_value());
+  EXPECT_EQ(loaded.quantized->content_hash, qhash);
+  EXPECT_EQ(loaded.quantized->input_limit, 4.0);
+  const nn::QuantizedNetwork& q0 = original.quantized->network;
+  const nn::QuantizedNetwork& q1 = loaded.quantized->network;
+  ASSERT_EQ(q1.num_layers(), q0.num_layers());
+  EXPECT_EQ(q1.frac_bits(), q0.frac_bits());
+  for (std::size_t li = 0; li < q0.num_layers(); ++li) {
+    EXPECT_EQ(q1.layer(li).weights, q0.layer(li).weights);
+    EXPECT_EQ(q1.layer(li).biases, q0.layer(li).biases);
+  }
+  // The integer semantics survive the round trip bit for bit.
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::int64_t> in(q0.input_size());
+    for (auto& v : in) v = q0.to_fixed(rng.uniform(-4.0, 4.0));
+    EXPECT_EQ(q0.forward_fixed(in), q1.forward_fixed(in));
+  }
+}
+
+TEST(Artifact, QuantizedWeightsAreContentAddressed) {
+  // Same float network, same frac_bits -> same quantized hash; any
+  // semantic difference moves it.
+  ModelArtifact a = make_test_artifact("va", 11);
+  ModelArtifact b = make_test_artifact("vb", 11);
+  ModelArtifact c = make_test_artifact("vc", 12);
+  const std::uint64_t ha = attach_quantized(a, 8, 4.0);
+  const std::uint64_t hb = attach_quantized(b, 8, 4.0);
+  const std::uint64_t hc = attach_quantized(c, 8, 4.0);
+  const std::uint64_t ha6 = [&] {
+    ModelArtifact a6 = make_test_artifact("va6", 11);
+    return attach_quantized(a6, 6, 4.0);
+  }();
+  EXPECT_EQ(ha, hb);  // version label is not part of the content address
+  EXPECT_NE(ha, hc);
+  EXPECT_NE(ha, ha6);
+}
+
+TEST(Artifact, CorruptQuantizedSectionIsRejectedAfterRestamp) {
+  // Corrupt one quantized weight, then re-stamp the OUTER artifact hash
+  // so only the quantized content address can catch the tamper.
+  ModelArtifact artifact = make_test_artifact("vq", 11);
+  attach_quantized(artifact, 8, 4.0);
+  std::string text = artifact_text(artifact);
+  const std::size_t qpos = text.find("quantized-input-limit ");
+  ASSERT_NE(qpos, std::string::npos);
+  const std::size_t digit = text.find_first_of("123456789", qpos + 21);
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '9' ? '8' : '9';
+  const std::size_t header_end = text.find('\n');
+  const std::size_t marker = text.rfind("\nartifact-checksum ");
+  ASSERT_NE(marker, std::string::npos);
+  const std::string payload = text.substr(header_end + 1,
+                                          marker - header_end);
+  const std::string restamped = "safenn-artifact v2\n" + payload +
+                                "artifact-checksum " +
+                                hex64(fnv1a64(payload)) + '\n';
+  EXPECT_EQ(load_kind(restamped), RegistryError::Kind::kHashMismatch);
+}
+
+TEST(Artifact, AttachQuantizedRunsAdmissionAnalysis) {
+  ModelArtifact artifact = make_test_artifact("vq", 11);
+  // An absurd input domain overflows the bound analysis — typed error,
+  // no payload attached.
+  EXPECT_THROW(attach_quantized(artifact, 24, 1e8), nn::QuantizeError);
+  EXPECT_FALSE(artifact.quantized.has_value());
+}
+
+TEST(Artifact, PlainArtifactsStillWriteFormatV1) {
+  const std::string text = artifact_text(make_test_artifact("v1"));
+  EXPECT_EQ(text.rfind("safenn-artifact v1\n", 0), 0u);
+  EXPECT_EQ(text.find("quantized"), std::string::npos);
+}
+
+TEST(LiveModel, QuantizedSnapshotBuildsPackedEngine) {
+  ModelArtifact artifact = make_test_artifact("vq", 11);
+  const std::uint64_t qhash = attach_quantized(artifact, 8, 4.0);
+  {
+    std::stringstream ss;
+    artifact.content_hash = save_artifact(ss, artifact);
+  }
+  const ModelSnapshot snapshot(artifact, linalg::KernelBackend::kQuantized,
+                               linalg::KernelBackend::kReference);
+  EXPECT_EQ(snapshot.backend(), linalg::KernelBackend::kQuantized);
+  EXPECT_EQ(snapshot.quantized_hash(), qhash);
+  ASSERT_NE(snapshot.quantized_engine(), nullptr);
+  EXPECT_EQ(snapshot.quantized_engine()->kernel_backend(),
+            linalg::KernelBackend::kReference);
+  EXPECT_EQ(snapshot.quantized_engine()->input_size(),
+            highway::kSceneFeatures);
+
+  // Float snapshots carry no engine; requesting kQuantized without a
+  // payload is refused.
+  const ModelSnapshot plain(artifact, linalg::KernelBackend::kReference);
+  EXPECT_EQ(plain.quantized_engine(), nullptr);
+  ModelArtifact no_payload = make_test_artifact("vf", 12);
+  {
+    std::stringstream ss;
+    no_payload.content_hash = save_artifact(ss, no_payload);
+  }
+  EXPECT_THROW(ModelSnapshot(no_payload, linalg::KernelBackend::kQuantized),
+               Error);
+}
+
 }  // namespace
 }  // namespace safenn::registry

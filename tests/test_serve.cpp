@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
@@ -832,6 +833,245 @@ TEST(Metrics, JsonDumpContainsEverySection) {
   EXPECT_EQ(m.shed.load(), 0u);
   EXPECT_EQ(slice.served.load(), 0u);
   EXPECT_EQ(&slice, &m.version_counters("vX"));
+}
+
+// -------------------------------------------------------------------------
+// Quantized serving: the exact integer semantics under the shield.
+// -------------------------------------------------------------------------
+
+/// Input-domain bound covering the whole region box (the scene sets are
+/// sampled inside it), so saturation never distorts the replay.
+double region_input_limit(const verify::InputRegion& region) {
+  double limit = 1.0;
+  for (const auto& iv : region.box) {
+    limit = std::max(limit, std::max(std::abs(iv.lo), std::abs(iv.hi)));
+  }
+  return limit;
+}
+
+/// make_serve_artifact + an attached quantized payload (re-hashed).
+registry::ModelArtifact make_quantized_serve_artifact(
+    const std::string& version, double lateral_bias,
+    const verify::InputRegion& region, double threshold = 1.0,
+    int frac_bits = 10) {
+  registry::ModelArtifact artifact =
+      make_serve_artifact(version, lateral_bias, region, threshold);
+  registry::attach_quantized(artifact, frac_bits,
+                             region_input_limit(region));
+  std::stringstream ss;
+  artifact.content_hash = registry::save_artifact(ss, artifact);
+  return artifact;
+}
+
+/// Scalar fixed-point replay of one scene: the same saturating
+/// quantization the engine applies, then QuantizedNetwork::forward_fixed
+/// (the semantic reference the CNF encoder compiles) and the same MDN
+/// head parse — what every quantized serving decision must match bit for
+/// bit.
+Vector replay_quantized_mean(const registry::ModelArtifact& artifact,
+                             const nn::QuantizedEngine& engine,
+                             const nn::MdnHead& head, const Vector& scene) {
+  const nn::QuantizedNetwork& q = artifact.quantized->network;
+  std::vector<std::int64_t> fixed(scene.size());
+  for (std::size_t j = 0; j < scene.size(); ++j) {
+    fixed[j] = engine.to_fixed(scene[j]);
+  }
+  const std::vector<std::int64_t> out = q.forward_fixed(fixed);
+  Vector raw(out.size());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    raw[j] = engine.from_fixed(out[j]);
+  }
+  return head.parse(raw).mean();
+}
+
+TEST_F(EngineFixture, QuantizedBackendGateAdmitsPayloadOrFallsBack) {
+  const registry::ModelArtifact plain =
+      make_serve_artifact("vf", 0.6, region_);
+  const registry::ModelArtifact quant =
+      make_quantized_serve_artifact("vq", 0.6, region_);
+
+  // No payload: kQuantized degrades to float reference with a warning.
+  const ResolvedBackend none = resolve_serving_backend(
+      plain, linalg::KernelBackend::kQuantized, 16);
+  EXPECT_EQ(none.backend, linalg::KernelBackend::kReference);
+
+  // Payload present: admitted; the inner integer kernel must agree with
+  // the bitwise harness's verdict on this host.
+  const ResolvedBackend admitted = resolve_serving_backend(
+      quant, linalg::KernelBackend::kQuantized, 16);
+  EXPECT_EQ(admitted.backend, linalg::KernelBackend::kQuantized);
+  const linalg::QuantKernelReport report =
+      linalg::verify_quantized_kernels();
+  EXPECT_EQ(admitted.quantized_kernel,
+            report.pass ? linalg::KernelBackend::kQuantized
+                        : linalg::KernelBackend::kReference);
+
+  // Non-quantized requests on a quantized artifact defer to the float
+  // gates untouched.
+  const ResolvedBackend ref = resolve_serving_backend(
+      quant, linalg::KernelBackend::kReference, 16);
+  EXPECT_EQ(ref.backend, linalg::KernelBackend::kReference);
+}
+
+TEST_F(EngineFixture, QuantizedServeBatchBitwiseMatchesScalarReplay) {
+  const registry::ModelArtifact artifact =
+      make_quantized_serve_artifact("vq", 0.6, region_, 0.5);
+  const registry::ModelSnapshot snapshot(
+      artifact, linalg::KernelBackend::kQuantized);
+  const ShieldedEngine engine(snapshot);
+  ASSERT_NE(snapshot.quantized_engine(), nullptr);
+
+  // 33 requests with expired deadlines sprinkled in, exactly like the
+  // float equivalence test.
+  const auto scenes = make_scene_set(encoder_, region_, 33, 7);
+  const Clock::time_point now = Clock::now();
+  std::vector<ServeRequest> requests;
+  requests.reserve(scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    requests.push_back(make_request(
+        i, scenes[i],
+        i % 5 == 0 ? now - std::chrono::milliseconds(1)
+                   : Clock::time_point::max()));
+  }
+  const std::vector<ServeResponse> responses =
+      engine.serve_batch(requests, now);
+
+  core::SafetyMonitor replay_monitor(region_, 0.5);
+  const Vector safe = replay_monitor.safe_action();
+  bool any_clamped = false;
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ServeResponse& r = responses[i];
+    EXPECT_EQ(r.backend, linalg::KernelBackend::kQuantized) << i;
+    if (i % 5 == 0) {
+      EXPECT_EQ(r.outcome, ServeOutcome::kDegraded) << i;
+      EXPECT_EQ(r.action[highway::kActionLateral],
+                safe[highway::kActionLateral]);
+      continue;
+    }
+    // Bitwise: the served action IS the scalar fixed-point replay's.
+    const Vector mean = replay_quantized_mean(
+        artifact, *snapshot.quantized_engine(), snapshot.predictor().head,
+        scenes[i]);
+    const core::GuardDecision expected =
+        replay_monitor.guard_action(scenes[i], mean);
+    EXPECT_EQ(r.outcome, expected.intervened ? ServeOutcome::kClamped
+                                             : ServeOutcome::kServed)
+        << i;
+    EXPECT_EQ(r.assumption_hit, expected.assumption_hit) << i;
+    EXPECT_EQ(r.intervened, expected.intervened) << i;
+    ASSERT_EQ(r.action.size(), expected.action.size());
+    for (std::size_t d = 0; d < expected.action.size(); ++d) {
+      EXPECT_EQ(r.action[d], expected.action[d]) << i << "," << d;
+    }
+    any_clamped = any_clamped || expected.intervened;
+
+    // Single-request quantized serve is the same arithmetic at batch 1.
+    ServeRequest single = make_request(i, scenes[i]);
+    const ServeResponse one = engine.serve(single, now);
+    EXPECT_EQ(one.outcome, r.outcome) << i;
+    for (std::size_t d = 0; d < r.action.size(); ++d) {
+      EXPECT_EQ(one.action[d], r.action[d]) << i << "," << d;
+    }
+  }
+  EXPECT_TRUE(any_clamped);
+}
+
+TEST_F(EngineFixture, HotSwapBetweenFloatAndQuantizedUnderTraffic) {
+  const auto scenes = make_scene_set(encoder_, region_, 900, 51);
+  const registry::ModelArtifact v1 = make_serve_artifact("v1", 0.6, region_);
+  const registry::ModelArtifact v2 =
+      make_quantized_serve_artifact("v2", 1.2, region_);
+  const registry::ModelArtifact v3 = make_serve_artifact("v3", 0.9, region_);
+
+  InferenceServer::Config cfg;
+  cfg.queue_capacity = 64;
+  cfg.pool.workers = 2;
+  cfg.pool.max_batch = 8;
+  cfg.backend = linalg::KernelBackend::kQuantized;
+  InferenceServer server(v1, cfg);
+  // v1 has no payload: the gate falls back to float reference kernels.
+  EXPECT_EQ(server.backend(), linalg::KernelBackend::kReference);
+
+  // The producer swaps models at submission milestones. With a 64-slot
+  // queue, everything more than 64 submissions behind a milestone has
+  // already been popped — so each version is guaranteed a non-empty
+  // slice of traffic under any thread scheduling (TSan included), while
+  // the swap still races live workers mid-batch.
+  std::vector<std::future<ServeResponse>> futures(scenes.size());
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < scenes.size(); ++i) {
+      if (i == 300) {
+        EXPECT_EQ(server.reload(v2), linalg::KernelBackend::kQuantized);
+      }
+      if (i == 600) {
+        EXPECT_EQ(server.reload(v3), linalg::KernelBackend::kReference);
+      }
+      futures[i] = server.submit_blocking(scenes[i]);
+    }
+  });
+  producer.join();
+  server.stop();
+  EXPECT_EQ(server.metrics().reloads.load(), 2u);
+
+  // Every response carries the version AND the arithmetic that produced
+  // it; all three versions took traffic, v2's through the integer engine.
+  std::map<std::string, std::vector<std::size_t>> by_version;
+  std::vector<ServeResponse> responses(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    responses[i] = futures[i].get();
+    const ServeResponse& r = responses[i];
+    ASSERT_NE(r.outcome, ServeOutcome::kRejected) << i;
+    EXPECT_EQ(r.backend, r.model_version == "v2"
+                             ? linalg::KernelBackend::kQuantized
+                             : linalg::KernelBackend::kReference)
+        << i;
+    by_version[r.model_version].push_back(i);
+  }
+  ASSERT_EQ(by_version.size(), 3u);
+  for (const char* v : {"v1", "v2", "v3"}) {
+    EXPECT_GT(by_version[v].size(), 0u) << v;
+  }
+
+  // The quantized slice of traffic must replay bitwise through the
+  // scalar fixed-point reference — shield decisions included.
+  const nn::QuantizedEngine replay_engine(
+      v2.quantized->network, v2.quantized->input_limit,
+      linalg::KernelBackend::kReference);
+  const core::TrainedPredictor v2_predictor = v2.predictor();
+  core::SafetyMonitor replay_monitor(v2.monitor.region,
+                                     v2.monitor.lateral_threshold);
+  std::uint64_t replayed_interventions = 0;
+  for (const std::size_t i : by_version["v2"]) {
+    const Vector mean = replay_quantized_mean(v2, replay_engine,
+                                              v2_predictor.head, scenes[i]);
+    const core::GuardDecision expected =
+        replay_monitor.guard_action(scenes[i], mean);
+    if (expected.intervened) ++replayed_interventions;
+    // Bitwise per-response: the served action IS the replayed one.
+    EXPECT_EQ(responses[i].intervened, expected.intervened) << i;
+    ASSERT_EQ(responses[i].action.size(), expected.action.size());
+    for (std::size_t d = 0; d < expected.action.size(); ++d) {
+      EXPECT_EQ(responses[i].action[d], expected.action[d]) << i;
+    }
+  }
+  VersionCounters& v2_slice = server.metrics().version_counters("v2");
+  EXPECT_EQ(v2_slice.interventions.load(), replayed_interventions);
+  EXPECT_EQ(v2_slice.completed(), by_version["v2"].size());
+
+  // Per-backend metrics slices: the quantized slice is exactly v2's
+  // traffic, the reference slice is v1's + v3's, and the dump carries
+  // the "backends" section.
+  VersionCounters& qslice = server.metrics().backend_counters("quantized");
+  VersionCounters& rslice = server.metrics().backend_counters("reference");
+  EXPECT_EQ(qslice.completed(), by_version["v2"].size());
+  EXPECT_EQ(rslice.completed(),
+            by_version["v1"].size() + by_version["v3"].size());
+  EXPECT_EQ(qslice.interventions.load(), replayed_interventions);
+  const std::string json = server.metrics().to_json(1.0);
+  for (const char* key : {"\"backends\"", "\"quantized\"", "\"reference\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
 }
 
 }  // namespace

@@ -280,5 +280,31 @@ TEST(QnnEncoder, RejectsBadOutputIndex) {
   EXPECT_THROW(prove_quantized_output_bound(q, box, 7, 0.0), safenn::Error);
 }
 
+TEST(QnnEncoder, CnfReplayBitwiseMatchesForwardFixed) {
+  // The serving replay gate: pin the inputs, solve, decode — the CNF
+  // circuit must reproduce forward_fixed bit for bit on every lattice
+  // point we throw at it, across several networks.
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const int frac_bits = 4;
+    const nn::QuantizedNetwork q = small_qnet(seed, frac_bits);
+    Rng rng(seed * 31 + 5);
+    const std::int64_t lo = q.to_fixed(-1.0), hi = q.to_fixed(1.0);
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::int64_t> in(q.input_size());
+      for (auto& v : in) {
+        v = lo + static_cast<std::int64_t>(
+                     rng.uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+      }
+      EXPECT_EQ(eval_quantized_through_cnf(q, in), q.forward_fixed(in))
+          << "seed " << seed << " trial " << trial;
+    }
+  }
+}
+
+TEST(QnnEncoder, CnfReplayRejectsDimensionMismatch) {
+  const nn::QuantizedNetwork q = small_qnet(6, 4);
+  EXPECT_THROW(eval_quantized_through_cnf(q, {1, 2, 3}), safenn::Error);
+}
+
 }  // namespace
 }  // namespace safenn::smt
