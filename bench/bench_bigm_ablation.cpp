@@ -20,6 +20,10 @@ int main() {
   const verify::InputRegion region = highway::make_vehicle_on_left_region(
       encoder, highway::data_domain_box(built.data, encoder));
   const double limit = bench::env_double("SAFENN_BIGM_LIMIT", 20.0);
+  // Wider nets (SAFENN_BIGM_WIDTHS="4,5,6,10") show where loose big-M
+  // stops closing at all while the tightened encodings still prove.
+  const std::vector<std::size_t> widths =
+      bench::env_widths("SAFENN_BIGM_WIDTHS", {4u, 5u, 6u, 10u});
 
   std::printf("== big-M tightening ablation ==\n");
   std::printf("net   | tightening | binaries | stable | max (m/s)       | time\n");
@@ -36,7 +40,7 @@ int main() {
       {"lp-obbt", verify::BoundTightening::kLpTighten},
   };
 
-  for (std::size_t width : {4u, 5u, 6u}) {
+  for (std::size_t width : widths) {
     const core::TrainedPredictor predictor =
         bench::train_predictor(built.data, width);
     for (const ModeRow& mode : modes) {

@@ -30,8 +30,11 @@ int main(int argc, char** argv) {
   const double time_limit =
       bench::env_double("SAFENN_SMT_LIMIT", smoke ? 5.0 : 30.0);
   const double threshold = 3.0;  // the paper's "never larger than 3 m/s"
+  // The widest net is where bit-blasting loses: CNF size grows with the
+  // weight count, and the sweep below records the crossover width.
   const std::vector<std::size_t> widths =
-      smoke ? std::vector<std::size_t>{4u} : std::vector<std::size_t>{4u, 6u};
+      smoke ? std::vector<std::size_t>{4u}
+            : bench::env_widths("SAFENN_SMT_WIDTHS", {4u, 6u, 10u});
   const std::vector<int> frac_bit_choices =
       smoke ? std::vector<int>{4} : std::vector<int>{4, 6};
 
@@ -42,9 +45,19 @@ int main(int argc, char** argv) {
   std::printf("net   | frac bits | quant err | engine | verdict  | time    | size\n");
   std::printf("------+-----------+-----------+--------+----------+---------+---------------\n");
 
+  struct WidthRow {
+    std::size_t width = 0;
+    double milp_seconds = 0.0;
+    double sat_seconds = 0.0;  // best decided SAT config (inf if none)
+    bool sat_decided = false;
+  };
+  std::vector<WidthRow> sweep;
+
   for (std::size_t width : widths) {
     const core::TrainedPredictor predictor =
         bench::train_predictor(built.data, width);
+    WidthRow row;
+    row.width = width;
 
     // MILP on the real-valued network (all components).
     {
@@ -56,6 +69,7 @@ int main(int argc, char** argv) {
       std::printf("I4x%-2zu | %9s | %9s | MILP   | %-8s | %6.2fs | -\n",
                   width, "-", "-",
                   verify::to_string(proof.verdict).c_str(), proof.seconds);
+      row.milp_seconds = proof.seconds;
     }
 
     // SAT on quantized variants.
@@ -97,7 +111,35 @@ int main(int argc, char** argv) {
                   "%d vars, %zu clauses\n",
                   width, frac_bits, err, verdict, total_seconds, vars,
                   clauses);
+      if (worst != sat::SatResult::kUnknown &&
+          (!row.sat_decided || total_seconds < row.sat_seconds)) {
+        row.sat_decided = true;
+        row.sat_seconds = total_seconds;
+      }
     }
+    sweep.push_back(row);
+  }
+
+  // Where does the CNF route stop being competitive? "Competitive" means
+  // the SAT engine decided the (quantized) query within the MILP's
+  // wall-clock on the same network.
+  std::printf("\n== CNF competitiveness sweep ==\n");
+  std::size_t crossover = 0;
+  for (const WidthRow& row : sweep) {
+    const bool competitive =
+        row.sat_decided && row.sat_seconds <= row.milp_seconds;
+    std::printf("I4x%-2zu: SAT %s (%.2fs) vs MILP %.2fs -> %s\n", row.width,
+                row.sat_decided ? "decided" : "undecided",
+                row.sat_decided ? row.sat_seconds : time_limit,
+                row.milp_seconds,
+                competitive ? "competitive" : "not competitive");
+    if (!competitive && crossover == 0) crossover = row.width;
+  }
+  if (crossover != 0) {
+    std::printf("CNF stops being competitive at width %zu on this sweep.\n",
+                crossover);
+  } else {
+    std::printf("CNF stayed competitive across the whole sweep.\n");
   }
   std::printf("\nnote: SAT proves the property of the *quantized* network; "
               "quant err bounds the deviation from the float network.\n");

@@ -29,6 +29,20 @@
 //   SAFENN_T2_ABLATION_MAXBOXES  box budget per query       (default 20000)
 //   SAFENN_T2_ABLATION_GAP  ablation gap tolerance            (default 0.1)
 //   SAFENN_T2_JSON         output path                (BENCH_verify.json)
+//
+// The run then races the verification portfolio (verify/portfolio.hpp)
+// against each engine alone on a query battery — including networks and
+// regions where the root box no longer closes — and exercises the
+// content-addressed verification cache with a warm second pass:
+//   SAFENN_T2_PORTFOLIO_WIDTHS  battery widths              ("4,6,10")
+//   SAFENN_T2_PORTFOLIO_LIMIT   per-query deadline, seconds  (default 10)
+//   SAFENN_T2_CACHE_DIR    cache directory     (.safenn_vcache_bench)
+//   SAFENN_T2_PORTFOLIO_JSON    output path     (BENCH_portfolio.json)
+// The process exits nonzero if a portfolio verdict contradicts any single
+// engine, if the portfolio's wall-clock exceeds the best single engine by
+// more than the overhead budget, if the warm pass resolves fewer than 90%
+// of queries from cache (or not bitwise-identically), or if the
+// deterministic merge differs across 1/2/4 workers.
 
 #include <cmath>
 #include <cstdio>
@@ -42,7 +56,10 @@
 #include "bench_util.hpp"
 #include "core/report.hpp"
 #include "highway/safety_rules.hpp"
+#include "verify/cache.hpp"
 #include "verify/input_split.hpp"
+#include "verify/portfolio.hpp"
+#include "verify/symbolic.hpp"
 
 using namespace safenn;
 
@@ -143,6 +160,8 @@ int main(int argc, char** argv) {
     setenv("SAFENN_T2_ABLATION_WIDTHS", "4", 0);
     setenv("SAFENN_T2_ABLATION_MAXBOXES", "1500", 0);
     setenv("SAFENN_DATA_STEPS", "60", 0);
+    setenv("SAFENN_T2_PORTFOLIO_WIDTHS", "4", 0);
+    setenv("SAFENN_T2_PORTFOLIO_LIMIT", "2", 0);
   }
 
   const double limit = bench::env_double("SAFENN_T2_LIMIT", 20.0);
@@ -337,6 +356,328 @@ int main(int argc, char** argv) {
                 determinism_ok ? "identical" : "MISMATCH");
   }
 
+  // -------------------------------------------------------------------
+  // Portfolio race + verification cache (BENCH_portfolio.json).
+  //
+  // Battery design for one physical core: the portfolio launches engines
+  // sequentially in priority order (num_workers = 1), so a query the
+  // input-split engine decides costs ~its solo time (the others cancel at
+  // entry), and a query nobody decides costs ~the shared deadline — the
+  // same as every single engine. That keeps the portfolio within the
+  // overhead budget while the verdict cross-check still runs every
+  // applicable engine standalone on every query.
+  // -------------------------------------------------------------------
+  bool portfolio_ok = true;
+  std::ostringstream pjson;
+  {
+    const double pT = bench::env_double("SAFENN_T2_PORTFOLIO_LIMIT", 10.0);
+    const auto pwidths = parse_widths("SAFENN_T2_PORTFOLIO_WIDTHS", "4,6,10");
+    const char* cache_env = std::getenv("SAFENN_T2_CACHE_DIR");
+    const std::string cache_dir =
+        cache_env && *cache_env ? cache_env : ".safenn_vcache_bench";
+    // Additive slack on the overhead check: hoisted-work jitter and timer
+    // noise on sub-second queries; the 1.25x factor is the real budget.
+    const double overhead_factor = 1.25;
+    const double overhead_slack = 0.25;
+    const double spread_threshold = 0.5;
+
+    std::printf("\n== portfolio race & verification cache ==\n");
+    std::printf("   (deadline %.0fs/query, cache dir %s)\n\n", pT,
+                cache_dir.c_str());
+
+    struct PQuery {
+      std::string name;
+      std::size_t width = 0;
+      const nn::Network* net = nullptr;
+      verify::SafetyProperty prop;
+    };
+    std::vector<core::TrainedPredictor> predictors;
+    predictors.reserve(pwidths.size());
+    std::vector<PQuery> battery;
+
+    auto lateral_expr = [&](const core::TrainedPredictor& p) {
+      verify::OutputExpr expr;
+      expr.terms = {{static_cast<int>(
+                         p.head.mean_index(0, highway::kActionLateral)),
+                     1.0}};
+      return expr;
+    };
+
+    for (std::size_t width : pwidths) {
+      predictors.push_back(bench::train_predictor(built.data, width));
+      const core::TrainedPredictor& pred = predictors.back();
+      const verify::OutputExpr expr = lateral_expr(pred);
+      const verify::InputRegion env_region = envelope_region(domain, envelope);
+
+      // Root symbolic bound: thresholds above it are closed instantly by
+      // the portfolio's hoisted work; the interesting battery sits below.
+      const verify::SymbolicPropagator sym(pred.network);
+      const double root_hi =
+          verify::SymbolicPropagator::objective_interval(
+              sym.propagate(env_region.box), env_region.box, expr.terms)
+              .hi;
+
+      // Pre-pass: converge the envelope query once so the battery's
+      // thresholds bracket the true maximum deterministically.
+      verify::InputSplitOptions pre;
+      pre.gap_tol = 0.01;
+      pre.max_boxes = 200000;
+      pre.time_limit_seconds = 3.0 * pT;
+      const verify::InputSplitResult exact_run =
+          verify::InputSplitVerifier(pre).maximize(pred.network, env_region,
+                                                   expr);
+      const double bound = exact_run.upper_bound;
+      const double achieved = exact_run.max_value;
+
+      PQuery proved;
+      proved.name = "I4x" + std::to_string(width) + "/envelope-proved";
+      proved.width = width;
+      proved.net = &pred.network;
+      proved.prop.name = proved.name;
+      proved.prop.region = env_region;
+      proved.prop.expr = expr;
+      proved.prop.threshold =
+          bound + std::max(0.02, 0.05 * std::max(0.0, root_hi - bound));
+      battery.push_back(proved);
+
+      PQuery violated = proved;
+      violated.name = "I4x" + std::to_string(width) + "/envelope-violated";
+      violated.prop.name = violated.name;
+      violated.prop.threshold =
+          achieved - std::max(0.02, 0.01 * std::abs(achieved));
+      battery.push_back(violated);
+
+      if (width == pwidths.front()) {
+        PQuery trivial = proved;
+        trivial.name = "I4x" + std::to_string(width) + "/root-closes";
+        trivial.prop.name = trivial.name;
+        trivial.prop.threshold = root_hi + 1.0;
+        battery.push_back(trivial);
+      }
+    }
+
+    // Hard query on the widest network over the full Table II region —
+    // the regime where the root box no longer closes and no engine
+    // terminates inside the deadline. A budgeted pre-pass finds the open
+    // gap; the battery threshold sits mid-gap.
+    {
+      const core::TrainedPredictor& pred = predictors.back();
+      const verify::OutputExpr expr = lateral_expr(pred);
+      verify::InputSplitOptions pre;
+      pre.gap_tol = 1e-4;
+      pre.time_limit_seconds = pT;
+      const verify::InputSplitResult open =
+          verify::InputSplitVerifier(pre).maximize(pred.network, region, expr);
+      if (!open.exact && open.has_value &&
+          open.upper_bound - open.max_value > 0.05) {
+        PQuery hard;
+        hard.name = "I4x" + std::to_string(pwidths.back()) + "/full-timeout";
+        hard.width = pwidths.back();
+        hard.net = &pred.network;
+        hard.prop.name = hard.name;
+        hard.prop.region = region;
+        hard.prop.expr = expr;
+        hard.prop.threshold = 0.5 * (open.max_value + open.upper_bound);
+        battery.push_back(hard);
+      } else {
+        std::printf("(full-region gap closed within budget; "
+                    "skipping the timeout query)\n");
+      }
+    }
+
+    auto run_engines = [&](const PQuery& q, bool split_on, bool milp_on,
+                           bool sat_on, verify::VerificationCache* c) {
+      verify::PortfolioOptions po;
+      po.time_limit_seconds = pT;
+      po.num_workers = 1;  // one core: sequential priority-order launch
+      po.use_input_split = split_on;
+      po.use_milp = milp_on;
+      po.use_sat = sat_on;
+      po.split.num_workers = 1;
+      return verify::PortfolioVerifier(po, c).prove(*q.net, q.prop);
+    };
+    auto contradicts = [](verify::Verdict a, verify::Verdict b) {
+      return (a == verify::Verdict::kProved && b == verify::Verdict::kViolated) ||
+             (a == verify::Verdict::kViolated && b == verify::Verdict::kProved);
+    };
+
+    long contradictions = 0;
+    long overhead_violations = 0;
+    long not_strictly_better = 0;
+    std::vector<verify::PortfolioResult> first_pass;
+    first_pass.reserve(battery.size());
+    verify::VerificationCache cache_a(cache_dir);
+    bool first_q = true;
+    for (const PQuery& q : battery) {
+      struct Single {
+        const char* name;
+        bool applicable = false;
+        verify::Verdict verdict = verify::Verdict::kUnknown;
+        double seconds = 0.0;
+      };
+      Single singles[3] = {{"input_split"}, {"milp"}, {"sat_quantized"}};
+      for (int e = 0; e < 3; ++e) {
+        const verify::PortfolioResult r =
+            run_engines(q, e == 0, e == 1, e == 2, nullptr);
+        // engines[0] is the root pseudo-engine; the real engine outcome
+        // sits at index 1 + its priority. "Applicable" = the engine
+        // actually ran, or the hoisted root work closed the query before
+        // any engine was needed.
+        singles[e].applicable = r.engines.size() == 1 || r.engines[1 + e].ran;
+        singles[e].verdict = r.verdict;
+        singles[e].seconds = r.seconds;
+      }
+
+      const verify::PortfolioResult p =
+          run_engines(q, true, true, true, &cache_a);
+      first_pass.push_back(p);
+
+      double best = 0.0, worst = 0.0;
+      bool any = false;
+      for (const Single& s : singles) {
+        if (!s.applicable) continue;
+        if (!any || s.seconds < best) best = s.seconds;
+        if (!any || s.seconds > worst) worst = s.seconds;
+        any = true;
+        if (contradicts(p.verdict, s.verdict)) {
+          ++contradictions;
+          std::printf("!! %s: portfolio %s contradicts %s %s\n",
+                      q.name.c_str(), to_string(p.verdict).c_str(), s.name,
+                      to_string(s.verdict).c_str());
+        }
+      }
+      const bool over =
+          any && p.seconds > overhead_factor * best + overhead_slack;
+      if (over) ++overhead_violations;
+      const bool spread = any && (worst - best) > spread_threshold;
+      const bool beats_worst = !spread || p.seconds < worst;
+      if (!beats_worst) ++not_strictly_better;
+
+      std::printf("%-28s %-9s by %-13s %6.2fs | singles", q.name.c_str(),
+                  to_string(p.verdict).c_str(), p.engine_name.c_str(),
+                  p.seconds);
+      for (const Single& s : singles) {
+        if (s.applicable) {
+          std::printf(" %s=%s/%.2fs", s.name, to_string(s.verdict).c_str(),
+                      s.seconds);
+        } else {
+          std::printf(" %s=n/a", s.name);
+        }
+      }
+      std::printf("%s%s\n", over ? "  [OVERHEAD]" : "",
+                  beats_worst ? "" : "  [NOT<WORST]");
+
+      if (!first_q) pjson << ",\n";
+      first_q = false;
+      pjson << "    {\"query\": \"" << q.name << "\", \"width\": " << q.width
+            << ", \"threshold\": " << q.prop.threshold
+            << ", \"portfolio\": {\"verdict\": \""
+            << to_string(p.verdict) << "\", \"winner\": \"" << p.engine_name
+            << "\", \"upper_bound\": " << p.upper_bound
+            << ", \"seconds\": " << p.seconds << "}";
+      for (const Single& s : singles) {
+        pjson << ", \"" << s.name << "\": ";
+        if (s.applicable) {
+          pjson << "{\"verdict\": \"" << to_string(s.verdict)
+                << "\", \"seconds\": " << s.seconds << "}";
+        } else {
+          pjson << "null";
+        }
+      }
+      pjson << ", \"overhead_ok\": " << (over ? "false" : "true")
+            << ", \"beats_worst_single\": " << (beats_worst ? "true" : "false")
+            << "}";
+    }
+
+    // Warm pass: a fresh cache instance on the same directory (as a CI
+    // re-run would see it) must resolve the battery from disk, bitwise.
+    long warm_hits = 0;
+    bool warm_bitwise = true;
+    {
+      verify::VerificationCache cache_b(cache_dir);
+      for (std::size_t i = 0; i < battery.size(); ++i) {
+        const verify::PortfolioResult w =
+            run_engines(battery[i], true, true, true, &cache_b);
+        if (w.from_cache) ++warm_hits;
+        if (w.verdict != first_pass[i].verdict ||
+            w.upper_bound != first_pass[i].upper_bound ||
+            w.max_value != first_pass[i].max_value) {
+          warm_bitwise = false;
+        }
+      }
+    }
+    const double warm_pct =
+        battery.empty() ? 100.0
+                        : 100.0 * static_cast<double>(warm_hits) /
+                              static_cast<double>(battery.size());
+
+    // Deterministic-merge cross-check: verdict, bound, and winning engine
+    // must be identical at 1/2/4 workers on a decided and an undecided
+    // query (deterministic mode; same contract test_portfolio asserts).
+    bool merge_deterministic = true;
+    {
+      std::vector<const PQuery*> checks;
+      if (!battery.empty()) checks.push_back(&battery.front());
+      if (battery.size() > 1) checks.push_back(&battery[1]);
+      for (const PQuery* q : checks) {
+        verify::PortfolioResult ref;
+        bool first = true;
+        for (int w : {1, 2, 4}) {
+          verify::PortfolioOptions po;
+          po.deterministic = true;
+          po.num_workers = w;
+          po.split.num_workers = 1;
+          const verify::PortfolioResult r =
+              verify::PortfolioVerifier(po).prove(*q->net, q->prop);
+          if (first) {
+            ref = r;
+            first = false;
+            continue;
+          }
+          if (r.verdict != ref.verdict || r.engine_name != ref.engine_name ||
+              r.upper_bound != ref.upper_bound) {
+            merge_deterministic = false;
+          }
+        }
+      }
+    }
+
+    std::printf("\nportfolio: %ld contradictions, %ld overhead violations, "
+                "%ld not-better-than-worst; warm pass %ld/%zu from cache "
+                "(%.0f%%, bitwise %s); deterministic merge %s\n",
+                contradictions, overhead_violations, not_strictly_better,
+                warm_hits, battery.size(), warm_pct,
+                warm_bitwise ? "ok" : "MISMATCH",
+                merge_deterministic ? "identical" : "MISMATCH");
+
+    portfolio_ok = contradictions == 0 && overhead_violations == 0 &&
+                   not_strictly_better == 0 && warm_pct >= 90.0 &&
+                   warm_bitwise && merge_deterministic;
+
+    std::ostringstream summary;
+    summary << "{\n  \"bench\": \"portfolio_verification\",\n"
+            << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+            << "  \"deadline_seconds\": " << pT << ",\n"
+            << "  \"overhead_factor\": " << overhead_factor << ",\n"
+            << "  \"overhead_slack_seconds\": " << overhead_slack << ",\n"
+            << "  \"cache_dir\": \"" << cache_dir << "\",\n"
+            << "  \"queries\": [\n" << pjson.str() << "\n  ],\n"
+            << "  \"checks\": {\"contradictions\": " << contradictions
+            << ", \"overhead_violations\": " << overhead_violations
+            << ", \"not_strictly_better_than_worst\": " << not_strictly_better
+            << ", \"warm_cache_hit_pct\": " << warm_pct
+            << ", \"warm_cache_bitwise\": " << (warm_bitwise ? "true" : "false")
+            << ", \"merge_deterministic\": "
+            << (merge_deterministic ? "true" : "false")
+            << ", \"pass\": " << (portfolio_ok ? "true" : "false")
+            << "}\n}\n";
+    const char* pjson_env = std::getenv("SAFENN_T2_PORTFOLIO_JSON");
+    const std::string ppath =
+        pjson_env && *pjson_env ? pjson_env : "BENCH_portfolio.json";
+    std::ofstream(ppath) << summary.str();
+    std::printf("\n%s(written to %s)\n", summary.str().c_str(), ppath.c_str());
+  }
+
   std::ostringstream json;
   json << "{\n  \"bench\": \"table2_verification\",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
@@ -368,7 +709,8 @@ int main(int argc, char** argv) {
       json_env && *json_env ? json_env : "BENCH_verify.json";
   std::ofstream(path) << json.str();
   std::printf("\n%s(written to %s)\n", json.str().c_str(), path.c_str());
-  // Determinism is a hard contract (budgets are not): fail the run — and
-  // the CI release job — if any worker count changed any result.
-  return determinism_ok ? 0 : 1;
+  // Determinism and the portfolio contracts are hard (budgets are not):
+  // fail the run — and the CI release job — if any worker count changed
+  // any result, or any portfolio check above was violated.
+  return determinism_ok && portfolio_ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "highway/dataset_builder.hpp"
@@ -21,6 +22,22 @@ inline long env_long(const char* name, long fallback) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
   return std::atol(v);
+}
+
+/// Comma-separated width list override: SAFENN_BIGM_WIDTHS="4,6,10".
+inline std::vector<std::size_t> env_widths(const char* name,
+                                           std::vector<std::size_t> fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  std::vector<std::size_t> widths;
+  for (const char* p = v; *p;) {
+    char* end = nullptr;
+    const long w = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (w > 0) widths.push_back(static_cast<std::size_t>(w));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return widths.empty() ? fallback : widths;
 }
 
 /// The standard bench dataset: the full scenario battery, moderate size.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
@@ -53,10 +54,22 @@ MilpResult BranchAndBound::solve(const Model& model) const {
 
   lp::SimplexSolver lp_solver(options_.lp_options);
   Stopwatch clock;
-  Deadline deadline(options_.time_limit_seconds);
+  // Deadline + portfolio-cancel poll, amortized at the documented
+  // default stride (one clock read per 16 nodes — the historical rate).
+  CancelToken stop(options_.time_limit_seconds, options_.cancel);
 
   MilpResult result;
   bool have_incumbent = false;
+  // Best external cutoff seen so far (problem sense); -sign*inf = none.
+  // Refreshed at the same stride as the deadline so a peer's incumbent
+  // tightens pruning within at most 16 nodes of being published.
+  double external = -sign * lp::kInfinity;
+  bool external_used = false;  // an external value ever pruned a node
+  auto refresh_external = [&] {
+    if (!options_.external_cutoff) return;
+    const double v = options_.external_cutoff();
+    if (std::isfinite(v) && better(v, external)) external = v;
+  };
 
   // Best-first: larger sign*estimate first; ties broken by depth (deeper
   // first, diving toward incumbents), then LIFO on id for determinism.
@@ -131,10 +144,11 @@ MilpResult BranchAndBound::solve(const Model& model) const {
   bool lp_trouble = false;
 
   while (!open.empty()) {
-    // The clock read is measurable against the per-node LP cost, so only
-    // consult the deadline every 16 nodes (the first node included —
-    // nodes_explored is still 0 here on iteration one).
-    if (result.nodes_explored % 16 == 0 && deadline.expired()) {
+    // One should_stop() per node: the external flag every node, the
+    // clock every 16th (CancelToken's stride) — the clock read is
+    // measurable against the per-node LP cost.
+    if (result.nodes_explored % 16 == 0) refresh_external();
+    if (stop.should_stop()) {
       aborted_time = true;
       break;
     }
@@ -157,6 +171,14 @@ MilpResult BranchAndBound::solve(const Model& model) const {
         global_bound = result.objective;
         break;
       }
+    }
+    if (std::isfinite(external) && !better(node.estimate, external)) {
+      // The externally-achieved value dominates this whole subtree (its
+      // values are <= the estimate), so it can be dropped without an LP
+      // solve. best_bound is clamped with `external` on exit, which keeps
+      // the reported bound sound.
+      external_used = true;
+      continue;
     }
 
     ++result.nodes_explored;
@@ -194,6 +216,10 @@ MilpResult BranchAndBound::solve(const Model& model) const {
 
     // Prune by bound.
     if (have_incumbent && !better(relax.objective, result.objective)) {
+      continue;
+    }
+    if (std::isfinite(external) && !better(relax.objective, external)) {
+      external_used = true;
       continue;
     }
 
@@ -261,28 +287,51 @@ MilpResult BranchAndBound::solve(const Model& model) const {
   }
 
   result.seconds = clock.seconds();
+  // Subtrees pruned against the external cutoff are dominated by it, so
+  // the sound dual bound is the sign-wise max of the tree bound and the
+  // cutoff value (which is itself achievable, just not by this search).
+  auto clamp_external = [&] {
+    if (external_used && better(external, result.best_bound)) {
+      result.best_bound = external;
+    }
+  };
   if (aborted_time || lp_trouble) {
     result.status = have_incumbent ? MilpStatus::kTimeLimitFeasible
                                    : MilpStatus::kTimeLimitNoSolution;
+    result.cancelled = stop.cause() == StopCause::kCancelled;
+    // A timeout before the root node is processed leaves no dual bound at
+    // all; report +/-inf honestly. Substituting the incumbent objective
+    // here would pass a primal (lower) bound off as a dual bound and let
+    // a caller "prove" thresholds the search never examined.
     result.best_bound = open.empty() ? global_bound : open.top().estimate;
-    if (have_incumbent && !std::isfinite(result.best_bound)) {
-      result.best_bound = result.objective;
-    }
+    clamp_external();
     return result;
   }
   if (aborted_nodes) {
     result.status = have_incumbent ? MilpStatus::kNodeLimit
                                    : MilpStatus::kTimeLimitNoSolution;
     result.best_bound = open.empty() ? global_bound : open.top().estimate;
+    clamp_external();
     return result;
   }
   if (!have_incumbent) {
+    if (external_used) {
+      // Every branch was dominated by the external cutoff: the search
+      // proved optimum <= external without ever holding an assignment.
+      result.status = MilpStatus::kTimeLimitNoSolution;
+      result.best_bound = external;
+      return result;
+    }
     result.status = MilpStatus::kInfeasible;
     result.best_bound = result.objective;
     return result;
   }
+  // With an external cutoff the incumbent is only proven optimal among
+  // assignments beating the cutoff; best_bound still brackets the true
+  // optimum after the clamp.
   result.status = MilpStatus::kOptimal;
   result.best_bound = result.objective;
+  clamp_external();
   return result;
 }
 

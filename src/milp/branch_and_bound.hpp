@@ -6,6 +6,7 @@
 // is part of the reproduced behaviour, not an afterthought).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -31,6 +32,10 @@ struct MilpResult {
   long nodes_explored = 0;
   long lp_iterations = 0;
   double seconds = 0.0;
+  /// True when the solve stopped because BnbOptions::cancel was set (the
+  /// status is then one of the time-limit statuses). objective and
+  /// best_bound remain sound snapshots of the interrupted search.
+  bool cancelled = false;
 
   bool has_solution() const {
     return status == MilpStatus::kOptimal ||
@@ -61,6 +66,20 @@ struct BnbOptions {
   /// encodings, early-layer phase binaries get high priority because
   /// fixing them stabilizes everything downstream.
   std::vector<double> branch_priority;
+  /// Cooperative cancellation: polled (with the deadline) once per node
+  /// at CancelToken's documented stride. When it fires, the solve
+  /// returns a time-limit status with MilpResult::cancelled set.
+  const std::atomic<bool>* cancel = nullptr;
+  /// External objective cutoff (problem sense): a value proven feasible
+  /// *outside* this solve — e.g. a concrete network execution found by a
+  /// racing portfolio peer. Polled at the same stride as the deadline;
+  /// nodes whose relaxation cannot beat it are pruned, exactly like an
+  /// incumbent, but it never becomes `objective` (there is no assignment
+  /// for it here). The reported best_bound is clamped so it stays a
+  /// sound bound on the true optimum: a pruned subtree is dominated by
+  /// the cutoff value, which is itself achievable. Return -inf (maximize)
+  /// / +inf (minimize) when no external value is known.
+  std::function<double()> external_cutoff;
 };
 
 class BranchAndBound {

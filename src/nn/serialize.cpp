@@ -109,6 +109,10 @@ Network load_network(std::istream& is) {
   return network_from_string(buffer.str());
 }
 
+std::uint64_t network_checksum(const Network& net) {
+  return fnv1a64(payload_text(net));
+}
+
 std::string network_to_string(const Network& net) {
   std::ostringstream os;
   save_network(os, net);

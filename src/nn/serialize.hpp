@@ -7,6 +7,7 @@
 // loader validates the checksum before parsing a single parameter.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -54,6 +55,12 @@ Network load_network(std::istream& is);
 /// In-memory conveniences (the registry embeds network text verbatim).
 std::string network_to_string(const Network& net);
 Network network_from_string(const std::string& text);
+
+/// Content checksum of `net`: FNV-1a 64 over the exact v2 payload bytes —
+/// the same value save_network records in its trailing `checksum` line.
+/// Two networks share a checksum iff they serialize identically, which is
+/// what makes it a cache/identity key (verification cache, registry).
+std::uint64_t network_checksum(const Network& net);
 
 /// File-path conveniences.
 void save_network_file(const std::string& path, const Network& net);

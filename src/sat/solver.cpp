@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 
@@ -288,7 +289,10 @@ SatResult Solver::solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
   }
   if (e.propagate() != kUndef) return SatResult::kUnsat;
 
-  Deadline deadline(options_.time_limit_seconds);
+  // Deadline + portfolio-cancel: the flag every conflict, the clock every
+  // 256th (the documented SAT stride — conflicts are much cheaper than
+  // BnB nodes).
+  CancelToken stop(options_.time_limit_seconds, options_.cancel, 256);
   std::int64_t restart_idx = 1;
   std::int64_t conflicts_until_restart = 100 * luby(restart_idx);
 
@@ -314,7 +318,7 @@ SatResult Solver::solve(const Cnf& cnf, const std::vector<Lit>& assumptions) {
           stats_.conflicts >= options_.max_conflicts) {
         return SatResult::kUnknown;
       }
-      if (stats_.conflicts % 256 == 0 && deadline.expired()) {
+      if (stop.should_stop()) {
         return SatResult::kUnknown;
       }
       if (--conflicts_until_restart <= 0) {

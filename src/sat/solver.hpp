@@ -6,6 +6,7 @@
 // the CNFs produced by bit-blasting quantized networks (Sec. IV(ii)).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +22,10 @@ struct SolverOptions {
   /// Wall-clock limit in seconds (0: unlimited).
   double time_limit_seconds = 0.0;
   double var_decay = 0.95;
+  /// Cooperative cancellation (portfolio): polled with the deadline once
+  /// per conflict at CancelToken stride 256; a fired flag returns
+  /// kUnknown exactly like a timeout.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SolverStats {

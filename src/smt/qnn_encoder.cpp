@@ -188,6 +188,7 @@ QnnMaxResult maximize_quantized_output(const nn::QuantizedNetwork& qnet,
     // Never witnessed above search_lo; the maximum is at most search_lo.
     result.max_value = search_lo;
   }
+  result.upper_bound = hi;
   result.seconds = clock.seconds();
   return result;
 }

@@ -49,6 +49,12 @@ QnnVerdict prove_quantized_output_bound(
 struct QnnMaxResult {
   bool exact = false;         // false when a probe returned Unknown
   double max_value = 0.0;     // highest SAT-witnessed value
+  /// Sound upper bound on the quantized maximum: the tightest UNSAT-proved
+  /// threshold so far, or the caller's search_hi when no probe proved one.
+  /// Valid even when a probe returned Unknown (exact == false), which is
+  /// what lets a racing portfolio use an interrupted search's partial
+  /// result.
+  double upper_bound = 0.0;
   int probes = 0;
   double seconds = 0.0;
 };

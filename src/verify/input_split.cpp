@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "common/task_pool.hpp"
@@ -163,16 +164,38 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
   }
 
   Stopwatch clock;
-  Deadline deadline(options_.time_limit_seconds);
+  // Deadline + portfolio-cancel, latched once per round (stop_now) on the
+  // merge thread; workers use the thread-safe check_now() before a box.
+  CancelToken stop(options_.time_limit_seconds, options_.cancel);
   lp::SimplexSolver solver;
   const double gap_tol = options_.gap_tol;
   const int chunk = std::max(1, options_.chunk_size);
   TaskPool pool(static_cast<std::size_t>(std::max(1, options_.num_workers)));
-  std::optional<SymbolicPropagator> symbolic;
-  if (options_.use_symbolic) symbolic.emplace(net);
+  std::optional<SymbolicPropagator> local_symbolic;
+  const SymbolicPropagator* symbolic =
+      options_.use_symbolic ? options_.propagator : nullptr;
+  if (options_.use_symbolic && symbolic == nullptr) {
+    local_symbolic.emplace(net);
+    symbolic = &*local_symbolic;
+  }
   const lp::Problem base_lp = build_base_lp(net, region);
 
   InputSplitResult result;
+  // Best peer-achieved value (racing portfolio); refreshed once per round
+  // so every pruning decision inside a round sees the same reference.
+  double external = -std::numeric_limits<double>::infinity();
+  auto refresh_external = [&] {
+    if (!options_.external_incumbent) return;
+    const double v = options_.external_incumbent();
+    if (std::isfinite(v) && v > external) external = v;
+  };
+  // Pruning reference: the best value proven achievable in-region, here
+  // or by a peer. Discarding a box whose bound cannot beat it keeps the
+  // final upper bound sound because the reference itself is achievable.
+  auto prune_has = [&] { return result.has_value || std::isfinite(external); };
+  auto prune_best = [&] {
+    return result.has_value ? std::max(result.max_value, external) : external;
+  };
   auto cmp = [](const BoxNode& a, const BoxNode& b) {
     if (a.bound != b.bound) return a.bound < b.bound;
     return a.id < b.id;
@@ -187,13 +210,14 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
       result.has_value = true;
       result.max_value = val;
       result.witness = x;
+      if (options_.on_incumbent) options_.on_incumbent(val, result.witness);
     }
   };
 
   /// Pure per-box evaluation; reads only round-start state.
   auto evaluate_box = [&](const BoxNode& node, BoxOutcome& o, bool round_has,
                           double round_best) {
-    if (!deadline.unlimited() && deadline.expired()) {
+    if (stop.check_now()) {
       o.deadline_hit = true;
       return;
     }
@@ -283,15 +307,16 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
   std::vector<std::function<void()>> tasks;
 
   while (!open.empty()) {
+    refresh_external();
     global_bound = open.top().bound;
-    if (result.has_value && global_bound <= result.max_value + gap_tol) {
-      global_bound = result.max_value;
+    if (prune_has() && global_bound <= prune_best() + gap_tol) {
+      global_bound = prune_best();
       break;  // nothing left can improve beyond the tolerance
     }
-    // Deadline/budget checks once per round (= up to chunk boxes), not
-    // per box; workers re-check before starting expensive work when a
-    // time limit is actually set.
-    if (deadline.expired() ||
+    // Deadline/budget/cancel checks once per round (= up to chunk
+    // boxes), not per box; workers re-check before starting expensive
+    // work when a limit is actually set.
+    if (stop.stop_now() ||
         (options_.max_boxes > 0 &&
          result.boxes_explored >= options_.max_boxes)) {
       timed_out = true;
@@ -302,16 +327,15 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
     // is prunable too (best-first order), so stop there.
     batch.clear();
     while (!open.empty() && static_cast<int>(batch.size()) < chunk) {
-      if (result.has_value &&
-          open.top().bound <= result.max_value + gap_tol) {
+      if (prune_has() && open.top().bound <= prune_best() + gap_tol) {
         break;
       }
       batch.push_back(open.top());
       open.pop();
     }
 
-    const bool round_has = result.has_value;
-    const double round_best = result.max_value;
+    const bool round_has = prune_has();
+    const double round_best = prune_best();
     outcomes.assign(batch.size(), BoxOutcome{});
     tasks.clear();
     tasks.reserve(batch.size());
@@ -342,8 +366,7 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
       result.lp_iterations += o.lp_iterations;
       if (o.infeasible) continue;
       if (o.has_xhat && o.xhat_in_region) consider(o.xhat, o.xhat_val);
-      if (result.has_value &&
-          o.box_bound <= result.max_value + gap_tol) {
+      if (prune_has() && o.box_bound <= prune_best() + gap_tol) {
         continue;  // pruned against the live (deterministic) incumbent
       }
       if (o.has_probe && o.probe_in_region) consider(o.probe, o.probe_val);
@@ -356,10 +379,20 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
       open.push(std::move(right));
     }
     if (timed_out) break;
+    // Early value-exit, checked only at the round boundary so the whole
+    // batch is merged first and the remaining queue still covers every
+    // unresolved box (which is what keeps upper_bound sound below).
+    if (result.has_value && result.max_value > options_.stop_when_above) {
+      timed_out = true;
+      break;
+    }
   }
 
   result.seconds = clock.seconds();
   if (timed_out) {
+    // Latch the cause if a worker saw the flag before the round check.
+    stop.stop_now();
+    result.cancelled = stop.cause() == StopCause::kCancelled;
     result.exact = false;
     result.upper_bound = open.empty() ? global_bound : open.top().bound;
     if (!std::isfinite(result.upper_bound)) {
@@ -367,15 +400,17 @@ InputSplitResult InputSplitVerifier::maximize(const nn::Network& net,
     }
     return result;
   }
-  if (!result.has_value) {
+  if (!prune_has()) {
     // Queue exhausted with every box infeasible: the region is empty.
     result.exact = true;
     result.upper_bound = -std::numeric_limits<double>::infinity();
     return result;
   }
   result.exact = true;
-  result.upper_bound =
-      std::min(global_bound, result.max_value + gap_tol);
+  // prune_best() (not max_value) so a run closed against a peer's
+  // external incumbent still reports a bound above every achievable
+  // value, including the peer's.
+  result.upper_bound = std::min(global_bound, prune_best() + gap_tol);
   return result;
 }
 

@@ -28,8 +28,13 @@
 // verification requires improvement" of paper Sec. IV(ii)).
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <limits>
+
 #include "nn/network.hpp"
 #include "verify/property.hpp"
+#include "verify/symbolic.hpp"
 #include "verify/verifier.hpp"
 
 namespace safenn::verify {
@@ -53,6 +58,32 @@ struct InputSplitOptions {
   /// incumbent. Off = plain interval bounds (the ablation baseline
   /// measured by bench_table2_verification --smoke).
   bool use_symbolic = true;
+  /// Cooperative cancellation (portfolio): latched once per synchronous
+  /// round via CancelToken::stop_now(); workers additionally poll
+  /// check_now() before starting a box. A cancelled run exits through
+  /// the timeout path, so max_value/upper_bound stay sound snapshots.
+  const std::atomic<bool>* cancel = nullptr;
+  /// External incumbent (portfolio racing): the best concrete value a
+  /// peer engine has proven achievable inside the region. Refreshed once
+  /// per round and merged into the pruning reference only — it never
+  /// becomes max_value or the witness (there is no input for it here).
+  /// Pruning against it is sound because the value is achievable, so any
+  /// discarded box is dominated by a real point. Return -inf when none.
+  /// Leave unset for bit-reproducible trajectories.
+  std::function<double()> external_incumbent;
+  /// Early value-exit: stop (through the timeout path, keeping sound
+  /// bounds) as soon as an in-region evaluation exceeds this value. The
+  /// portfolio sets it to the property threshold — a violation witness
+  /// needs no tighter maximum. +inf disables.
+  double stop_when_above = std::numeric_limits<double>::infinity();
+  /// Optional shared symbolic propagator for `net` (the portfolio hoists
+  /// one per query instead of every engine re-deriving it). Must outlive
+  /// the call; ignored when use_symbolic is false. Null: built locally.
+  const SymbolicPropagator* propagator = nullptr;
+  /// Called (from the sequential merge, never concurrently) whenever the
+  /// incumbent improves: a portfolio publishes it so peers prune sooner.
+  std::function<void(double value, const linalg::Vector& witness)>
+      on_incumbent;
 };
 
 struct InputSplitResult {
@@ -67,6 +98,9 @@ struct InputSplitResult {
   /// a triangle LP that never had to be built or solved.
   long boxes_pruned_symbolic = 0;
   long lp_iterations = 0;
+  /// True when the run stopped because InputSplitOptions::cancel fired
+  /// (exact is then false; bounds are sound snapshots).
+  bool cancelled = false;
 };
 
 class InputSplitVerifier {

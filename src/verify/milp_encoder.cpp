@@ -10,14 +10,16 @@
 
 namespace safenn::verify {
 
-std::vector<LayerBounds> lp_tightened_bounds(const nn::Network& net,
-                                             const InputRegion& region) {
+std::vector<LayerBounds> lp_tightened_bounds(
+    const nn::Network& net, const InputRegion& region,
+    const std::vector<LayerBounds>* symbolic_seed) {
   require(region.dims() == net.input_size(),
           "lp_tightened_bounds: region dimension mismatch");
   // Symbolic bounds seed the relaxation and cap the LP answers (the LP
   // can only tighten, never loosen, a sound bound). The tighter seed
   // also lets stable neurons skip their min/max LP pair below.
-  const std::vector<LayerBounds> seed = symbolic_bounds(net, region.box);
+  const std::vector<LayerBounds> seed =
+      symbolic_seed ? *symbolic_seed : symbolic_bounds(net, region.box);
 
   lp::Problem relaxation;
   std::vector<int> prev_vars;
@@ -172,10 +174,12 @@ EncodedNetwork encode_network(const nn::Network& net,
       bounds = propagate_bounds(net, region.box);
       break;
     case BoundTightening::kSymbolic:
-      bounds = symbolic_bounds(net, region.box);
+      bounds = options.precomputed_symbolic
+                   ? *options.precomputed_symbolic
+                   : symbolic_bounds(net, region.box);
       break;
     case BoundTightening::kLpTighten:
-      bounds = lp_tightened_bounds(net, region);
+      bounds = lp_tightened_bounds(net, region, options.precomputed_symbolic);
       break;
     case BoundTightening::kLooseBigM: {
       const double m = options.loose_big_m;

@@ -48,14 +48,22 @@ enum class BoundTightening {
 struct EncoderOptions {
   BoundTightening tightening = BoundTightening::kLpTighten;
   double loose_big_m = 1000.0;
+  /// Optional pre-computed symbolic bounds for exactly (net, region.box),
+  /// e.g. hoisted once per query by the portfolio. Used as the kSymbolic
+  /// result and as the kLpTighten seed instead of re-deriving them. Must
+  /// outlive the encode_network call; null re-derives locally.
+  const std::vector<LayerBounds>* precomputed_symbolic = nullptr;
 };
 
 /// Per-neuron bounds via layer-by-layer LP tightening: each neuron's
 /// pre-activation is minimized/maximized over an LP containing the input
 /// region and the triangle relaxation of all previously-bounded layers.
-/// Always at least as tight as propagate_bounds.
-std::vector<LayerBounds> lp_tightened_bounds(const nn::Network& net,
-                                             const InputRegion& region);
+/// Always at least as tight as propagate_bounds. `symbolic_seed`, when
+/// non-null, must be symbolic_bounds(net, region.box) (the caller hoisted
+/// it); null derives the seed here.
+std::vector<LayerBounds> lp_tightened_bounds(
+    const nn::Network& net, const InputRegion& region,
+    const std::vector<LayerBounds>* symbolic_seed = nullptr);
 
 /// The encoded model plus the variable maps needed to read answers back.
 struct EncodedNetwork {

@@ -1,0 +1,528 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "verify/cache.hpp"
+#include "verify/portfolio.hpp"
+
+namespace safenn::verify {
+namespace {
+
+namespace fs = std::filesystem;
+using linalg::Vector;
+using nn::Activation;
+using nn::Network;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// -------------------------------------------------------------------------
+// Fixture network with hand-computable semantics over [-1,1]^2:
+//   h1 = relu(0.5 a + 0.25 b)        h2 = relu(-0.5 a + 0.5 b)
+//   out = 0.5 h1 + 0.5 h2
+// True maximum 0.5 (at a=-1, b=1); interval bound 0.875; symbolic /
+// triangle-LP root bound exactly 0.625 (the relaxations couple through
+// u+v = 0.75 b). All weights sit on the 2^-6 grid, so the quantized
+// engine's margin analysis stays tight. Thresholds used below:
+//   0.85  — above 0.625: the root symbolic bound decides instantly
+//   0.60  — inside (0.5 + sat margin, 0.625): only the CNF probe proves
+//   0.55  — below 0.625, above 0.5: needs branching (split or MILP)
+//   0.499 — below the true max: violated, witness at the corner
+// -------------------------------------------------------------------------
+
+Network craft_net() {
+  nn::DenseLayer l1(2, 2, Activation::kRelu);
+  l1.weights() = linalg::Matrix{{0.5, 0.25}, {-0.5, 0.5}};
+  l1.biases() = Vector{0.0, 0.0};
+  nn::DenseLayer l2(2, 1, Activation::kIdentity);
+  l2.weights() = linalg::Matrix{{0.5, 0.5}};
+  l2.biases() = Vector{0.0};
+  Network net;
+  net.add_layer(std::move(l1));
+  net.add_layer(std::move(l2));
+  return net;
+}
+
+SafetyProperty craft_property(double threshold,
+                              const std::string& name = "craft") {
+  SafetyProperty prop;
+  prop.name = name;
+  prop.region.box = Box(2, Interval{-1.0, 1.0});
+  prop.expr.terms = {{0, 1.0}};
+  prop.threshold = threshold;
+  return prop;
+}
+
+PortfolioOptions det_options() {
+  PortfolioOptions o;
+  o.deterministic = true;
+  o.num_workers = 1;
+  return o;
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("safenn_vcache_" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// -------------------------------------------------------------------------
+// Cache keys: pure functions of content.
+// -------------------------------------------------------------------------
+
+TEST(CacheKey, StableAcrossReconstruction) {
+  // Rebuilding identical artifacts (as a process restart would) yields
+  // the identical key — nothing address- or session-dependent leaks in.
+  const CacheKey a = make_cache_key(craft_net(), craft_property(0.55));
+  const CacheKey b = make_cache_key(craft_net(), craft_property(0.55));
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_EQ(a.property, b.property);
+  EXPECT_EQ(a.combined, b.combined);
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(CacheKey, PropertyNameExcluded) {
+  const CacheKey a = make_cache_key(craft_net(), craft_property(0.55, "v1"));
+  const CacheKey b =
+      make_cache_key(craft_net(), craft_property(0.55, "renamed"));
+  EXPECT_EQ(a.combined, b.combined);
+}
+
+TEST(CacheKey, RetrainInvalidates) {
+  Network retrained = craft_net();
+  retrained.layer(0).weights().at(0, 0) += 1e-9;  // one ulp of retraining
+  const CacheKey before = make_cache_key(craft_net(), craft_property(0.55));
+  const CacheKey after = make_cache_key(retrained, craft_property(0.55));
+  EXPECT_NE(before.network, after.network);
+  EXPECT_NE(before.combined, after.combined);
+  EXPECT_EQ(before.property, after.property);
+}
+
+TEST(CacheKey, PropertyEditInvalidates) {
+  const CacheKey a = make_cache_key(craft_net(), craft_property(0.55));
+  const CacheKey b = make_cache_key(craft_net(), craft_property(0.56));
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_NE(a.property, b.property);
+  EXPECT_NE(a.combined, b.combined);
+
+  SafetyProperty shifted = craft_property(0.55);
+  shifted.region.box[1].hi = 0.75;
+  const CacheKey c = make_cache_key(craft_net(), shifted);
+  EXPECT_NE(a.property, c.property);
+}
+
+// -------------------------------------------------------------------------
+// Cache entries: bitwise round-trip, typed rejection, quarantine.
+// -------------------------------------------------------------------------
+
+TEST_F(CacheTest, BitwiseRoundTrip) {
+  VerificationCache cache(dir_);
+  const CacheKey key = make_cache_key(craft_net(), craft_property(0.55));
+  CachedVerdict v;
+  v.verdict = Verdict::kViolated;
+  v.upper_bound = 1.0 / 3.0;
+  v.has_value = true;
+  v.max_value = std::nextafter(0.5, 1.0);
+  v.engine = "input_split";
+  v.seconds = 0.123456789;
+  cache.store(key, v);
+
+  // A separate instance on the same directory = a process restart.
+  VerificationCache reopened(dir_);
+  const CachedVerdict r = reopened.load(key);
+  EXPECT_EQ(r.verdict, v.verdict);
+  EXPECT_EQ(r.upper_bound, v.upper_bound);  // exact, not near
+  EXPECT_EQ(r.has_value, v.has_value);
+  EXPECT_EQ(r.max_value, v.max_value);
+  EXPECT_EQ(r.engine, v.engine);
+  EXPECT_EQ(r.seconds, v.seconds);
+}
+
+TEST_F(CacheTest, RoundTripsInfinitiesAndEmptyEngine) {
+  VerificationCache cache(dir_);
+  const CacheKey key = make_cache_key(craft_net(), craft_property(0.55));
+  CachedVerdict v;
+  v.verdict = Verdict::kProved;
+  v.upper_bound = -kInf;  // vacuous property over an empty region
+  v.engine = "";
+  cache.store(key, v);
+  const CachedVerdict r = cache.load(key);
+  EXPECT_EQ(r.upper_bound, -kInf);
+  EXPECT_EQ(r.engine, "");
+  EXPECT_FALSE(r.has_value);
+}
+
+TEST_F(CacheTest, MissingEntryIsTypedNotFound) {
+  VerificationCache cache(dir_);
+  const CacheKey key = make_cache_key(craft_net(), craft_property(0.55));
+  try {
+    cache.load(key);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheError::Kind::kNotFound);
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().rejected, 0);  // absence is not corruption
+}
+
+TEST_F(CacheTest, CorruptEntryRejectedAndQuarantined) {
+  VerificationCache cache(dir_);
+  const CacheKey key = make_cache_key(craft_net(), craft_property(0.55));
+  CachedVerdict v;
+  v.verdict = Verdict::kProved;
+  v.upper_bound = 0.5;
+  v.engine = "milp";
+  cache.store(key, v);
+
+  // Flip payload bytes, keeping the recorded checksum: the mismatch must
+  // be detected before any field is trusted.
+  const std::string path = cache.entry_path(key);
+  std::string text;
+  {
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    text = os.str();
+  }
+  const auto pos = text.find("proved");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "prized");
+  {
+    std::ofstream os(path);
+    os << text;
+  }
+
+  try {
+    cache.load(key);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheError::Kind::kChecksumMismatch);
+  }
+
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().rejected, 1);
+  EXPECT_FALSE(fs::exists(path));  // never served again...
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));  // ...never deleted
+
+  // The poisoned key is writable again after quarantine.
+  cache.store(key, v);
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST_F(CacheTest, TruncatedEntryRejectedAndQuarantined) {
+  VerificationCache cache(dir_);
+  const CacheKey key = make_cache_key(craft_net(), craft_property(0.55));
+  cache.store(key, CachedVerdict{});
+  const std::string path = cache.entry_path(key);
+  fs::resize_file(path, fs::file_size(path) / 2);
+
+  try {
+    cache.load(key);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheError::Kind::kBadEntry);
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().rejected, 1);
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+}
+
+TEST_F(CacheTest, ForeignFileRejectedAsBadEntry) {
+  VerificationCache cache(dir_);
+  const CacheKey key = make_cache_key(craft_net(), craft_property(0.55));
+  {
+    std::ofstream os(cache.entry_path(key));
+    os << "not a cache entry at all\n";
+  }
+  try {
+    cache.load(key);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheError::Kind::kBadEntry);
+  }
+}
+
+// -------------------------------------------------------------------------
+// Portfolio: verdicts on the hand-computed fixture.
+// -------------------------------------------------------------------------
+
+TEST(Portfolio, RootBoundDecidesTrivialQuery) {
+  // 0.85 < interval bound 0.875 but above the symbolic root bound 0.625:
+  // the hoisted work decides before any engine launches.
+  const PortfolioResult r =
+      PortfolioVerifier(det_options()).prove(craft_net(), craft_property(0.85));
+  EXPECT_EQ(r.verdict, Verdict::kProved);
+  EXPECT_EQ(r.engine_name, "root");
+  EXPECT_DOUBLE_EQ(r.upper_bound, 0.625);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(Portfolio, InputSplitWinsBranchingQuery) {
+  const PortfolioResult r =
+      PortfolioVerifier(det_options()).prove(craft_net(), craft_property(0.55));
+  EXPECT_EQ(r.verdict, Verdict::kProved);
+  EXPECT_EQ(r.engine_name, "input_split");
+  EXPECT_LE(r.upper_bound, 0.55 + 1e-6);
+  EXPECT_GE(r.upper_bound, 0.5);  // still a sound bound on the true max
+}
+
+TEST(Portfolio, InputSplitFindsViolationWitness) {
+  const Network net = craft_net();
+  const SafetyProperty prop = craft_property(0.499);
+  const PortfolioResult r = PortfolioVerifier(det_options()).prove(net, prop);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.engine_name, "input_split");
+  ASSERT_TRUE(r.has_value);
+  ASSERT_EQ(r.witness.size(), 2u);
+  EXPECT_TRUE(prop.region.contains(r.witness));
+  // The violation is certified by the network itself, not engine algebra.
+  EXPECT_GT(prop.expr.evaluate(net.forward(r.witness)), prop.threshold);
+  EXPECT_NEAR(r.max_value, 0.5, 1e-6);
+}
+
+TEST(Portfolio, MilpWinsWhenSplitBudgetExhausted) {
+  PortfolioOptions o = det_options();
+  o.det_max_boxes = 1;  // split sees only the root box: bound 0.625 > 0.55
+  o.use_sat = false;
+  const PortfolioResult r =
+      PortfolioVerifier(o).prove(craft_net(), craft_property(0.55));
+  EXPECT_EQ(r.verdict, Verdict::kProved);
+  EXPECT_EQ(r.engine_name, "milp");
+  // The undecided split engine still contributed its (looser) evidence.
+  ASSERT_EQ(r.engines.size(), 4u);
+  EXPECT_FALSE(r.engines[1].decided);
+  EXPECT_TRUE(r.engines[2].decided);
+}
+
+TEST(Portfolio, SatQuantizedWinsInsideItsMargin) {
+  // 0.60 sits below every LP/symbolic relaxation (0.625) and the split /
+  // MILP budgets are capped at one box / one node — but the quantized
+  // maximum (0.5) plus the certified float-vs-quantized margin stays
+  // under the probe threshold, so a single UNSAT call proves the float
+  // property.
+  PortfolioOptions o = det_options();
+  o.det_max_boxes = 1;
+  o.det_max_nodes = 1;
+  o.sat_frac_bits = 6;
+  const PortfolioResult r =
+      PortfolioVerifier(o).prove(craft_net(), craft_property(0.60));
+  EXPECT_EQ(r.verdict, Verdict::kProved);
+  EXPECT_EQ(r.engine_name, "sat_quantized");
+  EXPECT_LE(r.upper_bound, 0.60 + 1e-12);
+}
+
+TEST(Portfolio, ReportsTightestBoundOnTimeout) {
+  PortfolioOptions o = det_options();
+  o.det_max_boxes = 1;
+  o.det_max_nodes = 1;
+  o.use_sat = false;
+  const PortfolioResult r =
+      PortfolioVerifier(o).prove(craft_net(), craft_property(0.60));
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_TRUE(r.timed_out);
+  // Merged evidence is tighter than the interval bound and sound.
+  EXPECT_LE(r.upper_bound, 0.625 + 1e-6);
+  EXPECT_GE(r.upper_bound, 0.5);
+  EXPECT_FALSE(r.engine_name.empty());
+}
+
+TEST(Portfolio, EnginesDisagreeIsImpossibleOnFixture) {
+  // Every engine that decides must agree with the portfolio verdict —
+  // prove() itself asserts this; run the three decisive queries and check
+  // the recorded evidence is consistent.
+  for (double threshold : {0.55, 0.499, 0.85}) {
+    const PortfolioResult r = PortfolioVerifier(det_options())
+                                  .prove(craft_net(), craft_property(threshold));
+    for (const EngineOutcome& o : r.engines) {
+      if (o.decided) EXPECT_EQ(o.verdict, r.verdict) << to_string(o.engine);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// Portfolio determinism: verdict, bound, and winning engine bit-identical
+// for any worker count and across repeated runs.
+// -------------------------------------------------------------------------
+
+struct DetCase {
+  const char* name;
+  double threshold;
+  PortfolioOptions options;
+};
+
+std::vector<DetCase> determinism_cases() {
+  std::vector<DetCase> cases;
+  cases.push_back({"split_proves", 0.55, det_options()});
+  cases.push_back({"split_violates", 0.499, det_options()});
+  PortfolioOptions milp = det_options();
+  milp.det_max_boxes = 1;
+  milp.use_sat = false;
+  cases.push_back({"milp_proves", 0.55, milp});
+  PortfolioOptions sat = det_options();
+  sat.det_max_boxes = 1;
+  sat.det_max_nodes = 1;
+  sat.sat_frac_bits = 6;
+  cases.push_back({"sat_proves", 0.60, sat});
+  PortfolioOptions timeout = det_options();
+  timeout.det_max_boxes = 1;
+  timeout.det_max_nodes = 1;
+  timeout.use_sat = false;
+  cases.push_back({"timeout", 0.60, timeout});
+  return cases;
+}
+
+TEST(PortfolioDeterminism, IdenticalAcrossWorkerCountsAndRuns) {
+  const Network net = craft_net();
+  for (const DetCase& c : determinism_cases()) {
+    const SafetyProperty prop = craft_property(c.threshold);
+    PortfolioOptions base = c.options;
+    base.num_workers = 1;
+    const PortfolioResult ref = PortfolioVerifier(base).prove(net, prop);
+    for (int workers : {1, 2, 4}) {
+      for (int run = 0; run < 2; ++run) {
+        PortfolioOptions o = c.options;
+        o.num_workers = workers;
+        const PortfolioResult r = PortfolioVerifier(o).prove(net, prop);
+        EXPECT_EQ(r.verdict, ref.verdict) << c.name << " w=" << workers;
+        EXPECT_EQ(r.engine_name, ref.engine_name)
+            << c.name << " w=" << workers;
+        EXPECT_EQ(r.upper_bound, ref.upper_bound)  // bitwise
+            << c.name << " w=" << workers;
+        EXPECT_EQ(r.has_value, ref.has_value) << c.name << " w=" << workers;
+        if (ref.has_value) {
+          EXPECT_EQ(r.max_value, ref.max_value)  // bitwise
+              << c.name << " w=" << workers;
+        }
+        EXPECT_EQ(r.timed_out, ref.timed_out) << c.name << " w=" << workers;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// Racing mode: sound verdicts under full sharing and cancellation.
+// -------------------------------------------------------------------------
+
+TEST(PortfolioRacing, AgreesWithDeterministicVerdicts) {
+  const Network net = craft_net();
+  for (double threshold : {0.85, 0.60, 0.55, 0.499}) {
+    const SafetyProperty prop = craft_property(threshold);
+    const Verdict det_verdict =
+        PortfolioVerifier(det_options()).prove(net, prop).verdict;
+    PortfolioOptions o;
+    o.time_limit_seconds = 30.0;
+    o.num_workers = 3;
+    o.sat_frac_bits = 6;
+    const PortfolioResult r = PortfolioVerifier(o).prove(net, prop);
+    if (det_verdict != Verdict::kUnknown && r.verdict != Verdict::kUnknown) {
+      EXPECT_EQ(r.verdict, det_verdict) << "threshold " << threshold;
+    }
+    if (r.verdict == Verdict::kViolated) {
+      ASSERT_TRUE(r.has_value);
+      EXPECT_GT(prop.expr.evaluate(net.forward(r.witness)), prop.threshold);
+    }
+    if (r.verdict == Verdict::kProved) {
+      EXPECT_LE(0.5, r.upper_bound + 1e-9);  // bound covers the true max
+    }
+  }
+}
+
+TEST(PortfolioRacing, SharedDeadlineProducesUnknownNotHang) {
+  Rng rng(7);
+  const Network net =
+      Network::make_mlp({4, 24, 24, 2}, Activation::kRelu,
+                        Activation::kIdentity, rng);
+  SafetyProperty prop;
+  prop.name = "hard";
+  prop.region.box = Box(4, Interval{-2.0, 2.0});
+  prop.expr.terms = {{0, 1.0}, {1, -1.0}};
+  prop.threshold = 0.0;  // far below the reachable maximum spread? if a
+  // witness exists it is found fast; otherwise the deadline binds.
+  PortfolioOptions o;
+  o.time_limit_seconds = 0.5;
+  o.num_workers = 3;
+  const PortfolioResult r = PortfolioVerifier(o).prove(net, prop);
+  // Whatever the verdict, the result is sound and the call returned —
+  // this is a hang check, so the ceiling is generous enough to absorb a
+  // sanitizer build's 10-20x slowdown of one polling stride.
+  EXPECT_LT(r.seconds, 60.0);
+  if (r.verdict == Verdict::kViolated) {
+    EXPECT_GT(prop.expr.evaluate(net.forward(r.witness)), prop.threshold);
+  }
+}
+
+// -------------------------------------------------------------------------
+// Portfolio + cache: warm answers are the recorded fresh run, bit for bit.
+// -------------------------------------------------------------------------
+
+TEST_F(CacheTest, PortfolioWarmHitIsBitwiseEqual) {
+  const Network net = craft_net();
+  const SafetyProperty prop = craft_property(0.55);
+
+  VerificationCache cache(dir_);
+  const PortfolioResult fresh =
+      PortfolioVerifier(det_options(), &cache).prove(net, prop);
+  EXPECT_FALSE(fresh.from_cache);
+  EXPECT_EQ(cache.stats().stores, 1);
+
+  // New cache instance on the same directory: a later session.
+  VerificationCache warm_cache(dir_);
+  const PortfolioResult warm =
+      PortfolioVerifier(det_options(), &warm_cache).prove(net, prop);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm_cache.stats().hits, 1);
+  EXPECT_EQ(warm.verdict, fresh.verdict);
+  EXPECT_EQ(warm.engine_name, fresh.engine_name);
+  EXPECT_EQ(warm.upper_bound, fresh.upper_bound);  // bitwise
+  EXPECT_EQ(warm.has_value, fresh.has_value);
+  EXPECT_EQ(warm.max_value, fresh.max_value);      // bitwise
+}
+
+TEST_F(CacheTest, PortfolioCachesUnknownResults) {
+  PortfolioOptions o = det_options();
+  o.det_max_boxes = 1;
+  o.det_max_nodes = 1;
+  o.use_sat = false;
+  VerificationCache cache(dir_);
+  const PortfolioResult fresh =
+      PortfolioVerifier(o, &cache).prove(craft_net(), craft_property(0.60));
+  EXPECT_EQ(fresh.verdict, Verdict::kUnknown);
+  const PortfolioResult warm =
+      PortfolioVerifier(o, &cache).prove(craft_net(), craft_property(0.60));
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_TRUE(warm.timed_out);
+  EXPECT_EQ(warm.upper_bound, fresh.upper_bound);
+}
+
+TEST_F(CacheTest, RetrainMissesAndReverifies) {
+  VerificationCache cache(dir_);
+  const SafetyProperty prop = craft_property(0.55);
+  PortfolioVerifier verifier(det_options(), &cache);
+  EXPECT_FALSE(verifier.prove(craft_net(), prop).from_cache);
+  EXPECT_TRUE(verifier.prove(craft_net(), prop).from_cache);
+
+  Network retrained = craft_net();
+  retrained.layer(1).weights().at(0, 0) = 0.53125;  // still on the grid
+  const PortfolioResult r = verifier.prove(retrained, prop);
+  EXPECT_FALSE(r.from_cache);  // retrain invalidated the key
+  EXPECT_EQ(cache.stats().stores, 2);
+}
+
+}  // namespace
+}  // namespace safenn::verify
