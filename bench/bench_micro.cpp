@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "common/rng.hpp"
 #include "coverage/neuron_coverage.hpp"
 #include "highway/scenario.hpp"
@@ -14,6 +16,7 @@
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
 #include "sat/solver.hpp"
+#include "serve/request_queue.hpp"
 #include "verify/interval.hpp"
 
 namespace {
@@ -306,6 +309,55 @@ void BM_QuantizedEngineBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_QuantizedEngineBatch)->Arg(1)->Arg(8)->Arg(32);
+
+// The serving queue's uncontended fast path: try_push + the single-lock
+// try_pop_batch drain, no worker parked. This is the path the
+// waiter-counted notifies optimize — with nobody blocked on either
+// condition variable, neither side should touch a futex. Arg = batch.
+void BM_RequestQueuePushPopBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  serve::RequestQueue queue(1024);
+  std::vector<serve::ServeRequest> drained;
+  drained.reserve(batch);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      serve::ServeRequest request;
+      request.id = i;
+      queue.try_push(std::move(request));
+    }
+    drained.clear();
+    benchmark::DoNotOptimize(queue.try_pop_batch(drained, batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_RequestQueuePushPopBatch)->Arg(1)->Arg(16)->Arg(64);
+
+// Cross-thread handoff: one producer pushing against one consumer
+// draining micro-batches of 16 — the shape worker pools actually see.
+// Wakeups here go through notify_one (notify_all is reserved for
+// close()), so a sleeping consumer costs one wake, not a stampede.
+void BM_RequestQueueHandoff(benchmark::State& state) {
+  serve::RequestQueue queue(1024);
+  std::thread consumer([&queue] {
+    std::vector<serve::ServeRequest> popped;
+    popped.reserve(16);
+    for (;;) {
+      popped.clear();
+      if (queue.pop_batch(popped, 16) == 0) return;
+    }
+  });
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    serve::ServeRequest request;
+    request.id = id++;
+    queue.push(std::move(request));
+  }
+  queue.close();
+  consumer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RequestQueueHandoff);
 
 void BM_CoverageRecord(benchmark::State& state) {
   const nn::Network net = make_net(20);

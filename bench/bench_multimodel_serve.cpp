@@ -1,0 +1,428 @@
+// Multi-model serving + compressed artifacts, proven end to end.
+//
+// The run is an executable check (exit nonzero on any violation),
+// reported as JSON (stdout + SAFENN_MM_JSON, default BENCH_multimodel.json):
+//
+//   1. Compression: every published predictor artifact round-trips
+//      BITWISE through the packed (v3, safenn-pack) encoding — identical
+//      content hash AND identical canonical re-serialization — at a
+//      compression ratio >= 2x. The serving phases load their models
+//      from the packed registry, so what is proven below was read from
+//      compressed bytes.
+//   2. Routed throughput: a 2-model MultiModelServer at 1 worker stays
+//      within 10% of the single-model InferenceServer baseline at
+//      1 worker (best-of-N trials each; this container has 1 core, so
+//      routing overhead — not parallel speedup — is what is measurable).
+//   3. Determinism under routing + work stealing + a mid-run hot swap:
+//      zero cross-model mixed micro-batches; every response tagged with
+//      (model_id, version, backend); each (model, version)'s
+//      intervention/assumption counters BITWISE equal to a sequential
+//      replay of exactly the scenes that pair served; per-model slices
+//      equal to the sum of that model's version slices; every version
+//      takes traffic.
+//
+// Env knobs: SAFENN_MM_SCENES (default 6000), SAFENN_MM_PERF_SCENES
+// (default 3000), SAFENN_MM_WIDTH (default 24), SAFENN_MM_WORKERS
+// (determinism phase, default 4), SAFENN_MM_TRIALS (default 3),
+// SAFENN_MM_JSON, SAFENN_MM_DIR. `--smoke` shrinks everything for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/stopwatch.hpp"
+#include "core/monitor.hpp"
+#include "highway/safety_rules.hpp"
+#include "registry/registry.hpp"
+#include "serve/multi_model.hpp"
+#include "serve/worker_pool.hpp"
+
+using namespace safenn;
+
+namespace {
+
+struct CompressionReport {
+  std::string version;
+  std::size_t plain_bytes = 0;
+  std::size_t packed_bytes = 0;
+  double ratio = 0.0;
+  bool bitwise = false;
+};
+
+struct PairReport {
+  std::string model_id;
+  std::string version;
+  std::size_t requests = 0;
+  std::uint64_t interventions = 0;
+  std::uint64_t replay_interventions = 0;
+  std::uint64_t assumption_hits = 0;
+  std::uint64_t replay_assumption_hits = 0;
+  bool match = false;
+};
+
+std::vector<linalg::Vector> replay_scenes(const data::Dataset& data,
+                                          std::size_t count) {
+  std::vector<linalg::Vector> scenes;
+  scenes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    scenes.push_back(data.input(i % data.size()));
+  }
+  return scenes;
+}
+
+/// Version k's model: a deterministic lateral-bias shift gives each
+/// (model, version) a distinct intervention profile, so "the right
+/// model+version answered" is observable in the counters, not just in
+/// the response tags.
+core::TrainedPredictor variant_predictor(const core::TrainedPredictor& base,
+                                         std::size_t k) {
+  core::TrainedPredictor p = base;
+  const std::size_t lat = p.head.mean_index(0, highway::kActionLateral);
+  nn::DenseLayer& out = p.network.layer(p.network.num_layers() - 1);
+  out.biases()[lat] += 0.15 * static_cast<double>(k);
+  return p;
+}
+
+std::size_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
+}
+
+/// Canonical plain-text serialization of an artifact (the bitwise
+/// round-trip comparand: encoding-independent by construction).
+std::string canonical_text(const registry::ModelArtifact& artifact) {
+  std::ostringstream os;
+  registry::save_artifact(os, artifact);
+  return os.str();
+}
+
+double best_rps(std::size_t trials, std::size_t scenes_per_trial,
+                const std::function<double(std::size_t)>& run_trial) {
+  double best = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double seconds = run_trial(t);
+    const double rps =
+        static_cast<double>(scenes_per_trial) / std::max(seconds, 1e-9);
+    best = std::max(best, rps);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto n_scenes = static_cast<std::size_t>(
+      bench::env_long("SAFENN_MM_SCENES", smoke ? 1200 : 6000));
+  const auto n_perf = static_cast<std::size_t>(
+      bench::env_long("SAFENN_MM_PERF_SCENES", smoke ? 800 : 3000));
+  const auto width = static_cast<std::size_t>(
+      bench::env_long("SAFENN_MM_WIDTH", smoke ? 16 : 24));
+  const auto workers = static_cast<std::size_t>(
+      bench::env_long("SAFENN_MM_WORKERS", 4));
+  const auto trials = static_cast<std::size_t>(
+      bench::env_long("SAFENN_MM_TRIALS", smoke ? 2 : 3));
+  const char* dir_env = std::getenv("SAFENN_MM_DIR");
+  const std::string dir =
+      dir_env && *dir_env ? dir_env : "BENCH_multimodel_registry";
+
+  std::printf("# multi-model serving%s: %zu det scenes, %zu perf scenes x%zu "
+              "trials, I4x%zu, %zu det workers\n",
+              smoke ? " (smoke)" : "", n_scenes, n_perf, trials, width,
+              workers);
+
+  highway::SceneEncoder encoder;
+  const highway::BuiltDataset built = bench::standard_dataset(encoder);
+  const core::TrainedPredictor base =
+      bench::train_predictor(built.data, width, smoke ? 2 : 6);
+  const std::vector<linalg::Vector> scenes =
+      replay_scenes(built.data, std::max(n_scenes, n_perf));
+  registry::MonitorConfig monitor_config;
+  monitor_config.region = highway::make_vehicle_on_left_region(
+      encoder, highway::data_domain_box(built.data, encoder));
+  // Low threshold so the shield intervenes on the replay mix; the
+  // per-pair replay check is vacuous at zero interventions.
+  monitor_config.lateral_threshold =
+      bench::env_double("SAFENN_MM_THRESHOLD", -0.2);
+
+  // ---- Phase 1: publish plain + packed, prove the compression gate. ----
+  // Unique version labels per (model, version) pair, so the server's
+  // version slices ARE the per-(model, version) slices.
+  const std::vector<std::pair<std::string, std::size_t>> chain = {
+      {"alpha-v1", 0}, {"beta-v1", 1}, {"beta-v2", 2}};
+  const std::string dir_plain = dir + "_plain";
+  const std::string dir_packed = dir + "_packed";
+  std::filesystem::remove_all(dir_plain);
+  std::filesystem::remove_all(dir_packed);
+  registry::ModelRegistry reg_plain(dir_plain);
+  registry::ModelRegistry reg_packed(dir_packed);
+
+  std::vector<CompressionReport> compression;
+  std::map<std::string, registry::ModelArtifact> served;  // from PACKED bytes
+  bool compression_ok = true;
+  for (const auto& [version, variant] : chain) {
+    registry::ModelArtifact artifact = registry::make_artifact(
+        version, variant_predictor(base, variant), monitor_config);
+    const std::string canonical = canonical_text(artifact);
+    const std::string plain_path = reg_plain.save(artifact);
+    const std::string packed_path =
+        reg_packed.save(artifact, registry::ArtifactEncoding::kPacked);
+
+    CompressionReport report;
+    report.version = version;
+    report.plain_bytes = file_size(plain_path);
+    report.packed_bytes = file_size(packed_path);
+    report.ratio = report.packed_bytes == 0
+                       ? 0.0
+                       : static_cast<double>(report.plain_bytes) /
+                             static_cast<double>(report.packed_bytes);
+    registry::ModelArtifact loaded = reg_packed.load(version);
+    report.bitwise = canonical_text(loaded) == canonical &&
+                     loaded.content_hash == artifact.content_hash;
+    compression_ok =
+        compression_ok && report.bitwise && report.ratio >= 2.0;
+    std::printf("compress %-9s  %6zu -> %5zu bytes  ratio %.2fx  %s\n",
+                version.c_str(), report.plain_bytes, report.packed_bytes,
+                report.ratio, report.bitwise ? "bitwise" : "MISMATCH");
+    compression.push_back(report);
+    served.emplace(version, std::move(loaded));
+  }
+
+  // ---- Phase 2: routed 2-model throughput vs single-model baseline. ----
+  // Both at 1 worker, same total request count, same network shapes:
+  // the delta is routing + sharded-queue overhead, nothing else.
+  const auto run_single = [&](std::size_t) {
+    serve::InferenceServer::Config cfg;
+    cfg.queue_capacity = 256;
+    cfg.pool.workers = 1;
+    cfg.pool.max_batch = 16;
+    serve::InferenceServer server(served.at("alpha-v1"), cfg);
+    std::vector<std::future<serve::ServeResponse>> futures(n_perf);
+    Stopwatch clock;
+    for (std::size_t i = 0; i < n_perf; ++i) {
+      futures[i] = server.submit_blocking(scenes[i]);
+    }
+    for (auto& f : futures) f.wait();
+    const double seconds = clock.seconds();
+    server.stop();
+    return seconds;
+  };
+  const auto run_routed = [&](std::size_t) {
+    serve::MultiModelConfig cfg;
+    cfg.queue_capacity = 256;
+    cfg.admission_budget = 512;
+    cfg.pool.workers = 1;
+    cfg.pool.max_batch = 16;
+    serve::MultiModelServer server(
+        {{"alpha", served.at("alpha-v1")}, {"beta", served.at("beta-v1")}},
+        cfg);
+    std::vector<std::future<serve::ServeResponse>> futures(n_perf);
+    Stopwatch clock;
+    for (std::size_t i = 0; i < n_perf; ++i) {
+      futures[i] =
+          server.submit_blocking(i % 2 == 0 ? "alpha" : "beta", scenes[i]);
+    }
+    for (auto& f : futures) f.wait();
+    const double seconds = clock.seconds();
+    server.stop();
+    return seconds;
+  };
+  const double baseline_rps = best_rps(trials, n_perf, run_single);
+  const double routed_rps = best_rps(trials, n_perf, run_routed);
+  const double overhead =
+      baseline_rps <= 0.0 ? 1.0 : 1.0 - routed_rps / baseline_rps;
+  const bool perf_ok = overhead <= 0.10;
+  std::printf("# throughput @1 worker: single %.0f rps, routed-2 %.0f rps "
+              "(overhead %+.1f%%) => %s\n",
+              baseline_rps, routed_rps, overhead * 100.0,
+              perf_ok ? "within 10%" : "TOO SLOW");
+
+  // ---- Phase 3: determinism under routing + stealing + hot swap. ----
+  serve::MultiModelConfig cfg;
+  cfg.queue_capacity = 256;
+  cfg.admission_budget = 512;
+  cfg.pool.workers = workers;
+  cfg.pool.max_batch = 16;
+  serve::MultiModelServer server(
+      {{"alpha", served.at("alpha-v1")}, {"beta", served.at("beta-v1")}},
+      cfg);
+
+  const auto model_for = [](std::size_t i) {
+    return i % 2 == 0 ? "alpha" : "beta";
+  };
+  std::vector<std::future<serve::ServeResponse>> futures(n_scenes);
+  Stopwatch clock;
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < n_scenes; ++i) {
+      futures[i] = server.submit_blocking(model_for(i), scenes[i]);
+    }
+  });
+  // One mid-run hot swap of beta only, paced on the completion counter so
+  // it lands under sustained load.
+  while (server.metrics().completed() < n_scenes / 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.reload("beta", served.at("beta-v2"));
+  producer.join();
+  for (auto& f : futures) f.wait();
+  const double det_seconds = clock.seconds();
+
+  // Every response tagged (model_id, version, backend); group scene
+  // indices by (model, version) for the replay.
+  std::size_t rejected = 0, untagged = 0;
+  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
+      by_pair;
+  for (std::size_t i = 0; i < n_scenes; ++i) {
+    const serve::ServeResponse r = futures[i].get();
+    if (r.outcome == serve::ServeOutcome::kRejected) {
+      ++rejected;
+      continue;
+    }
+    if (r.model_id != model_for(i) || r.model_version.empty()) ++untagged;
+    by_pair[{r.model_id, r.model_version}].push_back(i);
+  }
+  const bool tagging_ok = rejected == 0 && untagged == 0 &&
+                          server.metrics().completed() == n_scenes;
+  const std::uint64_t mixed = server.metrics().mixed_batches.load();
+
+  // Bitwise replay per (model, version): version labels are unique per
+  // pair, so the server's version slice is exactly the pair's slice.
+  std::vector<PairReport> pairs;
+  bool replay_ok = true;
+  std::map<std::string, std::uint64_t> model_interventions, model_hits,
+      model_completed;
+  std::uint64_t total_interventions = 0;
+  for (const auto& [key, indices] : by_pair) {
+    const auto& [model_id, version] = key;
+    PairReport report;
+    report.model_id = model_id;
+    report.version = version;
+    report.requests = indices.size();
+    const registry::ModelArtifact& artifact = served.at(version);
+    core::SafetyMonitor replay(artifact.monitor.region,
+                               artifact.monitor.lateral_threshold);
+    const core::TrainedPredictor predictor = artifact.predictor();
+    for (const std::size_t i : indices) replay.guard(predictor, scenes[i]);
+    report.replay_interventions = replay.stats().interventions;
+    report.replay_assumption_hits = replay.stats().assumption_hits;
+    const serve::VersionCounters& slice =
+        server.metrics().version_counters(version);
+    report.interventions = slice.interventions.load();
+    report.assumption_hits = slice.assumption_hits.load();
+    report.match = report.interventions == report.replay_interventions &&
+                   report.assumption_hits == report.replay_assumption_hits &&
+                   slice.completed() == report.requests;
+    replay_ok = replay_ok && report.match;
+    model_interventions[model_id] += report.replay_interventions;
+    model_hits[model_id] += report.replay_assumption_hits;
+    model_completed[model_id] += report.requests;
+    total_interventions += report.interventions;
+    std::printf("%-5s %-9s  %5zu req  interventions %5llu (replay %5llu)  "
+                "hits %5llu (replay %5llu)  %s\n",
+                model_id.c_str(), version.c_str(), report.requests,
+                static_cast<unsigned long long>(report.interventions),
+                static_cast<unsigned long long>(report.replay_interventions),
+                static_cast<unsigned long long>(report.assumption_hits),
+                static_cast<unsigned long long>(
+                    report.replay_assumption_hits),
+                report.match ? "match" : "MISMATCH");
+    pairs.push_back(report);
+  }
+  // All three versions took traffic, beta actually swapped mid-run.
+  bool coverage_ok = by_pair.size() == chain.size();
+  for (const auto& [version, variant] : chain) {
+    (void)variant;
+    bool found = false;
+    for (const auto& [key, indices] : by_pair) {
+      found = found || (key.second == version && !indices.empty());
+    }
+    coverage_ok = coverage_ok && found;
+  }
+  coverage_ok = coverage_ok && server.metrics().reloads.load() == 1 &&
+                server.version("beta") == "beta-v2" &&
+                total_interventions > 0;
+  // Per-model slices must equal the sum of that model's version replays.
+  bool model_slices_ok = true;
+  for (const auto& [model_id, interventions] : model_interventions) {
+    const serve::ModelMetrics& m = server.metrics().model_metrics(model_id);
+    model_slices_ok =
+        model_slices_ok &&
+        m.counters.interventions.load() == interventions &&
+        m.counters.assumption_hits.load() == model_hits[model_id] &&
+        m.counters.completed() == model_completed[model_id];
+  }
+  server.stop();
+
+  const bool determinism_ok =
+      tagging_ok && mixed == 0 && replay_ok && coverage_ok && model_slices_ok;
+  const bool pass = compression_ok && perf_ok && determinism_ok;
+  const double det_rps = static_cast<double>(n_scenes) / det_seconds;
+  std::printf("# determinism @%zu workers, %.0f rps: mixed_batches=%llu, "
+              "tagging %s, replay %s, model slices %s => %s\n",
+              workers, det_rps, static_cast<unsigned long long>(mixed),
+              tagging_ok ? "ok" : "BROKEN", replay_ok ? "exact" : "BROKEN",
+              model_slices_ok ? "exact" : "BROKEN", pass ? "PASS" : "FAIL");
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"multimodel_serve\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"scenes\": " << n_scenes << ",\n"
+       << "  \"perf_scenes\": " << n_perf << ",\n"
+       << "  \"workers\": " << workers << ",\n"
+       << "  \"compression\": [\n";
+  for (std::size_t i = 0; i < compression.size(); ++i) {
+    const CompressionReport& c = compression[i];
+    json << "    {\"version\": \"" << c.version
+         << "\", \"plain_bytes\": " << c.plain_bytes
+         << ", \"packed_bytes\": " << c.packed_bytes
+         << ", \"ratio\": " << c.ratio
+         << ", \"bitwise\": " << (c.bitwise ? "true" : "false") << "}"
+         << (i + 1 < compression.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"compression_ok\": " << (compression_ok ? "true" : "false")
+       << ",\n"
+       << "  \"baseline_rps_1w\": " << baseline_rps << ",\n"
+       << "  \"routed_rps_1w\": " << routed_rps << ",\n"
+       << "  \"routing_overhead_frac\": " << overhead << ",\n"
+       << "  \"perf_ok\": " << (perf_ok ? "true" : "false") << ",\n"
+       << "  \"det_throughput_rps\": " << det_rps << ",\n"
+       << "  \"mixed_batches\": " << mixed << ",\n"
+       << "  \"rejected\": " << rejected << ",\n"
+       << "  \"pairs\": [\n";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const PairReport& p = pairs[i];
+    json << "    {\"model\": \"" << p.model_id << "\", \"version\": \""
+         << p.version << "\", \"requests\": " << p.requests
+         << ", \"interventions\": " << p.interventions
+         << ", \"replay_interventions\": " << p.replay_interventions
+         << ", \"match\": " << (p.match ? "true" : "false") << "}"
+         << (i + 1 < pairs.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false")
+       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+
+  const char* out_path = std::getenv("SAFENN_MM_JSON");
+  const std::string path =
+      out_path && *out_path ? out_path : "BENCH_multimodel.json";
+  std::ofstream(path) << json.str();
+  std::printf("\n%s", json.str().c_str());
+  std::printf("# wrote %s\n", path.c_str());
+  return pass ? 0 : 1;
+}

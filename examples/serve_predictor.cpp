@@ -1,12 +1,18 @@
-// Shielded inference serving demo — the full model lifecycle:
+// Multi-model shielded serving demo — the full fleet lifecycle:
 //
-//   train -> make_artifact("v1") -> registry.save -> registry.load ->
-//   serve under load -> publish "v2" -> hot reload, zero dropped requests
+//   train -> make_artifact x2 -> registry.save(kPacked) -> registry.load
+//   -> MultiModelServer{"alpha", "beta"} -> route under load
+//   -> publish beta-v2 -> hot swap ONE model mid-run, zero drops
 //
-// The server runs with watermark admission control (overload answers
-// immediately with the safe action instead of rejecting), a per-request
-// deadline, and per-model-version metrics. Prints the outcome mix and
-// the metrics JSON, whose "versions" section shows both models serving.
+// Two routed models share one worker pool and one fleet-wide admission
+// budget; each keeps its own bounded queue, its own live-model slot and
+// its own metrics slice. Overload sheds to the safe action at 75% of the
+// FLEET backlog (a statement about total capacity, not about one model).
+// Artifacts are published compressed (safenn-pack); the checksum pins the
+// uncompressed canonical bytes, so what serves is exactly what was
+// hashed. Prints the outcome mix and the metrics JSON, whose "models"
+// section shows both slices and whose "versions" section shows all three
+// versions serving.
 //
 // Run:  ./examples/serve_predictor [workers] [rate_rps] [seconds]
 //                                  [deadline_ms] [hidden_width]
@@ -23,7 +29,7 @@
 #include "highway/dataset_builder.hpp"
 #include "highway/safety_rules.hpp"
 #include "registry/registry.hpp"
-#include "serve/worker_pool.hpp"
+#include "serve/multi_model.hpp"
 
 using namespace safenn;
 
@@ -50,9 +56,10 @@ int main(int argc, char** argv) {
   const core::TrainedPredictor predictor =
       core::train_motion_predictor(built.data, pcfg);
 
-  // Bundle predictor + shield configuration into a versioned artifact and
-  // publish it through the registry; serving loads it back, so what runs
-  // is exactly the hash-pinned bytes on disk.
+  // Two fleet members from one trained network: "alpha" serves the model
+  // as trained, "beta" a conservatively retuned shield. Both are
+  // published as COMPRESSED artifacts; loading re-hashes the
+  // decompressed canonical bytes, so the fleet serves hash-pinned models.
   registry::MonitorConfig monitor_config;
   monitor_config.region = highway::make_vehicle_on_left_region(
       encoder, highway::data_domain_box(built.data, encoder));
@@ -61,28 +68,35 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(dir);
   registry::ModelRegistry reg(dir);
   {
-    registry::ModelArtifact v1 =
-        registry::make_artifact("v1", predictor, monitor_config);
-    reg.save(v1);
+    registry::ModelArtifact a =
+        registry::make_artifact("alpha-v1", predictor, monitor_config);
+    registry::MonitorConfig tighter = monitor_config;
+    tighter.lateral_threshold = 0.15;
+    registry::ModelArtifact b =
+        registry::make_artifact("beta-v1", predictor, tighter);
+    const std::string pa = reg.save(a, registry::ArtifactEncoding::kPacked);
+    reg.save(b, registry::ArtifactEncoding::kPacked);
+    std::printf("published alpha-v1 + beta-v1 packed (e.g. %s)\n",
+                pa.c_str());
   }
-  const registry::ModelArtifact v1 = reg.load("v1");
-  std::printf("published v1 (hash %016llx) in %s/\n",
-              static_cast<unsigned long long>(v1.content_hash), dir.c_str());
 
-  serve::InferenceServer::Config cfg;
-  cfg.queue_capacity = 1024;
+  serve::MultiModelConfig cfg;
+  cfg.queue_capacity = 512;       // per model
+  cfg.admission_budget = 1024;    // for the fleet
   cfg.pool.workers = workers;
   cfg.pool.max_batch = 16;
   cfg.deadline_seconds = deadline_ms / 1e3;
-  // Overload sheds to the safe action at 75% queue depth instead of
-  // rejecting: the client always gets an actionable, shielded answer.
+  // Overload sheds to the safe action at 75% of the fleet backlog
+  // instead of rejecting: every client gets an actionable answer.
   cfg.admission = serve::AdmissionPolicy::kDegradeAtWatermark;
-  serve::InferenceServer server(v1, cfg);
+  serve::MultiModelServer server(
+      {{"alpha", reg.load("alpha-v1")}, {"beta", reg.load("beta-v1")}}, cfg);
 
-  std::printf("offering %.0f req/s for %.1fs to %zu workers "
-              "(deadline %.1fms, queue %zu, admission %s)...\n",
+  std::printf("offering %.0f req/s for %.1fs across 2 models, %zu workers "
+              "(deadline %.1fms, queue %zu/model, budget %zu, admission "
+              "%s)...\n",
               rate, duration, workers, deadline_ms, cfg.queue_capacity,
-              serve::to_string(cfg.admission));
+              cfg.admission_budget, serve::to_string(cfg.admission));
   const auto start = serve::Clock::now();
   // rate <= 0 means unpaced: submit as fast as the producer loop runs.
   const bool paced = rate > 0.0;
@@ -101,21 +115,26 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_until(next_send);
       next_send += interval;
     }
-    futures.push_back(server.submit(built.data.input(i % built.data.size())));
+    // Round-robin routing: even scenes to alpha, odd to beta.
+    futures.push_back(server.submit(i % 2 == 0 ? "alpha" : "beta",
+                                    built.data.input(i % built.data.size())));
     ++i;
-    // Halfway through, publish a retuned model (tighter shield) and hot
-    // swap it in: in-flight work finishes on v1, new pops serve v2.
+    // Halfway through, publish a retuned beta and hot swap ONLY that
+    // slot: alpha is untouched, in-flight beta batches finish on v1.
     if (!reloaded && clock.seconds() >= duration / 2) {
       registry::MonitorConfig tightened = monitor_config;
       tightened.lateral_threshold = 0.1;
       registry::ModelArtifact v2 =
-          registry::make_artifact("v2", predictor, tightened);
-      reg.save(v2);
-      const linalg::KernelBackend backend = server.reload(reg.load("v2"));
-      std::printf("hot-swapped to v2 after %llu requests (backend %s)\n",
+          registry::make_artifact("beta-v2", predictor, tightened);
+      reg.save(v2, registry::ArtifactEncoding::kPacked);
+      const linalg::KernelBackend backend =
+          server.reload("beta", reg.load("beta-v2"));
+      std::printf("hot-swapped beta -> beta-v2 after %llu requests "
+                  "(backend %s; alpha still %s)\n",
                   static_cast<unsigned long long>(
                       server.metrics().completed()),
-                  linalg::to_string(backend).c_str());
+                  linalg::to_string(backend).c_str(),
+                  server.version("alpha").c_str());
       reloaded = true;
     }
   }
@@ -125,19 +144,22 @@ int main(int argc, char** argv) {
 
   const serve::MetricsRegistry& m = server.metrics();
   std::printf("\noutcomes: served %llu, clamped %llu, degraded %llu "
-              "(%llu shed), rejected %llu (of %llu offered)\n",
+              "(%llu shed), rejected %llu (of %llu offered); "
+              "mixed batches %llu (must be 0)\n",
               static_cast<unsigned long long>(m.served.load()),
               static_cast<unsigned long long>(m.clamped.load()),
               static_cast<unsigned long long>(m.degraded.load()),
               static_cast<unsigned long long>(m.shed.load()),
               static_cast<unsigned long long>(m.rejected.load()),
-              static_cast<unsigned long long>(m.submitted.load()));
+              static_cast<unsigned long long>(m.submitted.load()),
+              static_cast<unsigned long long>(m.mixed_batches.load()));
   std::printf("shield: %llu interventions over %llu assumption hits; "
-              "%llu reloads, serving %s\n",
+              "%llu reloads; alpha=%s beta=%s\n",
               static_cast<unsigned long long>(m.interventions.load()),
               static_cast<unsigned long long>(m.assumption_hits.load()),
               static_cast<unsigned long long>(m.reloads.load()),
-              server.model_version().c_str());
+              server.version("alpha").c_str(),
+              server.version("beta").c_str());
   std::printf("\nmetrics:\n%s\n", m.to_json(elapsed).c_str());
   return 0;
 }

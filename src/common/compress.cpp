@@ -1,0 +1,248 @@
+#include "common/compress.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace safenn {
+namespace {
+
+// Op stream (after magic + varint original size). Numeric ops fold the
+// token's following separator into the opcode so the common "value then
+// one space or newline" shape costs zero extra bytes.
+enum Op : unsigned char {
+  kOpLiteral = 0,        // varint length + raw bytes
+  kOpIntSpace = 1,       // zigzag varint, then ' '
+  kOpIntNewline = 2,     // zigzag varint, then '\n'
+  kOpIntEnd = 3,         // zigzag varint, no separator (end of text)
+  kOpDoubleSpace = 4,    // 8 IEEE-754 bytes (LE), then ' '
+  kOpDoubleNewline = 5,  // 8 IEEE-754 bytes (LE), then '\n'
+  kOpDoubleEnd = 6,      // 8 IEEE-754 bytes (LE), no separator
+};
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+bool is_token_char(char c) {
+  return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+         c == 'e' || c == 'E';
+}
+
+/// The canonical double rendering every safenn serializer emits
+/// (`os << std::setprecision(17) << v` with default float formatting);
+/// a token is only packed when it reprints to these exact bytes.
+int format_double17(char* buf, std::size_t size, double v) {
+  return std::snprintf(buf, size, "%.17g", v);
+}
+
+bool parse_int64(const char* begin, const char* end, std::int64_t& out) {
+  errno = 0;
+  char* stop = nullptr;
+  const long long v = std::strtoll(begin, &stop, 10);
+  if (errno != 0 || stop != end) return false;
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_double(const char* begin, const char* end, double& out) {
+  errno = 0;
+  char* stop = nullptr;
+  const double v = std::strtod(begin, &stop);
+  if (errno != 0 || stop != end) return false;
+  out = v;
+  return true;
+}
+
+void flush_literal(std::string& out, std::string& lit) {
+  if (lit.empty()) return;
+  out.push_back(static_cast<char>(kOpLiteral));
+  put_varint(out, lit.size());
+  out.append(lit);
+  lit.clear();
+}
+
+[[noreturn]] void corrupt(const char* what) {
+  throw Error(std::string("decompress_text: ") + what);
+}
+
+}  // namespace
+
+std::string compress_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() / 2 + 16);
+  out.append(kPackMagic);
+  put_varint(out, text.size());
+
+  std::string lit;
+  // strtoll/strtod need a terminated buffer; tokens are short, so copy.
+  char token_buf[64];
+  char reprint[64];
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && is_token_char(text[j])) ++j;
+    const std::size_t tok_len = j - i;
+    if (tok_len == 0) {
+      lit.push_back(text[i]);
+      ++i;
+      continue;
+    }
+    const char sep = j < n ? text[j] : '\0';
+    const bool at_end = j == n;
+    const std::size_t sep_cost = at_end ? 0 : 1;
+    if ((sep == ' ' || sep == '\n' || at_end) &&
+        tok_len < sizeof(token_buf)) {
+      std::memcpy(token_buf, text.data() + i, tok_len);
+      token_buf[tok_len] = '\0';
+      const char* tb_end = token_buf + tok_len;
+      std::int64_t iv = 0;
+      double dv = 0.0;
+      if (parse_int64(token_buf, tb_end, iv)) {
+        const int len = std::snprintf(reprint, sizeof(reprint), "%lld",
+                                      static_cast<long long>(iv));
+        if (len > 0 && static_cast<std::size_t>(len) == tok_len &&
+            std::memcmp(reprint, token_buf, tok_len) == 0 &&
+            1 + varint_size(zigzag(iv)) < tok_len + sep_cost) {
+          flush_literal(out, lit);
+          out.push_back(static_cast<char>(at_end       ? kOpIntEnd
+                                          : sep == ' ' ? kOpIntSpace
+                                                       : kOpIntNewline));
+          put_varint(out, zigzag(iv));
+          i = j + sep_cost;
+          continue;
+        }
+      }
+      if (parse_double(token_buf, tb_end, dv)) {
+        const int len = format_double17(reprint, sizeof(reprint), dv);
+        if (len > 0 && static_cast<std::size_t>(len) == tok_len &&
+            std::memcmp(reprint, token_buf, tok_len) == 0 &&
+            9 < tok_len + sep_cost) {
+          flush_literal(out, lit);
+          out.push_back(static_cast<char>(at_end       ? kOpDoubleEnd
+                                          : sep == ' ' ? kOpDoubleSpace
+                                                       : kOpDoubleNewline));
+          put_double(out, dv);
+          i = j + sep_cost;
+          continue;
+        }
+      }
+    }
+    // Not packable: carry the token (separator follows as its own
+    // literal char on the next iteration).
+    lit.append(text.data() + i, tok_len);
+    i = j;
+  }
+  flush_literal(out, lit);
+  return out;
+}
+
+std::string decompress_text(std::string_view blob) {
+  if (blob.size() < kPackMagic.size() ||
+      blob.substr(0, kPackMagic.size()) != kPackMagic) {
+    corrupt("bad magic (not a safenn-pack blob)");
+  }
+  std::size_t pos = kPackMagic.size();
+  const auto read_varint = [&]() -> std::uint64_t {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (pos >= blob.size()) corrupt("truncated varint");
+      const auto byte = static_cast<unsigned char>(blob[pos++]);
+      if (shift >= 64) corrupt("oversized varint");
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  };
+
+  const std::uint64_t declared = read_varint();
+  std::string out;
+  out.reserve(declared);
+  char reprint[64];
+  while (pos < blob.size()) {
+    const auto op = static_cast<unsigned char>(blob[pos++]);
+    switch (op) {
+      case kOpLiteral: {
+        const std::uint64_t len = read_varint();
+        if (len > blob.size() - pos) corrupt("truncated literal");
+        out.append(blob.data() + pos, len);
+        pos += len;
+        break;
+      }
+      case kOpIntSpace:
+      case kOpIntNewline:
+      case kOpIntEnd: {
+        const std::int64_t v = unzigzag(read_varint());
+        const int len = std::snprintf(reprint, sizeof(reprint), "%lld",
+                                      static_cast<long long>(v));
+        if (len <= 0) corrupt("unprintable integer");
+        out.append(reprint, static_cast<std::size_t>(len));
+        if (op == kOpIntSpace) out.push_back(' ');
+        if (op == kOpIntNewline) out.push_back('\n');
+        break;
+      }
+      case kOpDoubleSpace:
+      case kOpDoubleNewline:
+      case kOpDoubleEnd: {
+        if (blob.size() - pos < 8) corrupt("truncated double");
+        std::uint64_t bits = 0;
+        for (int i = 0; i < 8; ++i) {
+          bits |= static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(blob[pos + i]))
+                  << (8 * i);
+        }
+        pos += 8;
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        const int len = format_double17(reprint, sizeof(reprint), v);
+        if (len <= 0) corrupt("unprintable double");
+        out.append(reprint, static_cast<std::size_t>(len));
+        if (op == kOpDoubleSpace) out.push_back(' ');
+        if (op == kOpDoubleNewline) out.push_back('\n');
+        break;
+      }
+      default:
+        corrupt("unknown opcode");
+    }
+  }
+  if (out.size() != declared) corrupt("size mismatch after decode");
+  return out;
+}
+
+}  // namespace safenn

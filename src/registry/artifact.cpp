@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/compress.hpp"
 #include "common/hash.hpp"
 #include "nn/qengine.hpp"
 #include "nn/serialize.hpp"
@@ -15,7 +16,9 @@ namespace {
 constexpr const char* kMagic = "safenn-artifact";
 constexpr const char* kVersionPlain = "v1";
 constexpr const char* kVersionQuantized = "v2";
+constexpr const char* kVersionPacked = "v3";
 constexpr const char* kChecksumMarker = "artifact-checksum ";
+constexpr const char* kPayloadBytesMarker = "payload-bytes ";
 constexpr const char* kQuantChecksumToken = "quantized-checksum";
 
 [[noreturn]] void fail(RegistryError::Kind kind, const std::string& what) {
@@ -312,14 +315,87 @@ std::uint64_t attach_quantized(ModelArtifact& artifact, int frac_bits,
   return artifact.quantized->content_hash;
 }
 
-std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact) {
+std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact,
+                            ArtifactEncoding encoding) {
   const std::string payload = payload_text(artifact);
   const std::uint64_t hash = fnv1a64(payload);
+  if (encoding == ArtifactEncoding::kPacked) {
+    // v3: checksum (over the UNCOMPRESSED payload) and blob length come
+    // before the blob, so the loader never searches binary data for a
+    // trailer and truncation is detected by the declared length.
+    const std::string blob = compress_text(payload);
+    os << kMagic << ' ' << kVersionPacked << '\n'
+       << kChecksumMarker << hex64(hash) << '\n'
+       << kPayloadBytesMarker << blob.size() << '\n';
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    os << '\n';
+    return hash;
+  }
   os << kMagic << ' '
      << (artifact.quantized ? kVersionQuantized : kVersionPlain) << '\n'
      << payload << kChecksumMarker << hex64(hash) << '\n';
   return hash;
 }
+
+namespace {
+
+/// v3 container: `artifact-checksum` + `payload-bytes` lines, then the
+/// length-framed safenn-pack blob holding the canonical payload.
+ModelArtifact load_packed(const std::string& text, std::size_t header_end) {
+  std::size_t pos = header_end + 1;
+
+  const std::size_t checksum_end = text.find('\n', pos);
+  check(checksum_end != std::string::npos, "missing checksum line");
+  const std::string checksum_line = text.substr(pos, checksum_end - pos);
+  const std::size_t marker_len = std::string(kChecksumMarker).size();
+  check(checksum_line.compare(0, marker_len, kChecksumMarker) == 0,
+        "expected 'artifact-checksum' line");
+  std::uint64_t recorded = 0;
+  try {
+    recorded = parse_hex64(checksum_line.substr(marker_len));
+  } catch (const Error&) {
+    fail(RegistryError::Kind::kBadArtifact, "unparseable checksum value");
+  }
+  pos = checksum_end + 1;
+
+  const std::size_t bytes_end = text.find('\n', pos);
+  check(bytes_end != std::string::npos, "missing payload-bytes line");
+  const std::string bytes_line = text.substr(pos, bytes_end - pos);
+  const std::size_t bytes_marker_len = std::string(kPayloadBytesMarker).size();
+  check(bytes_line.compare(0, bytes_marker_len, kPayloadBytesMarker) == 0,
+        "expected 'payload-bytes' line");
+  std::size_t blob_size = 0;
+  try {
+    blob_size = std::stoull(bytes_line.substr(bytes_marker_len));
+  } catch (const std::exception&) {
+    fail(RegistryError::Kind::kBadArtifact, "unparseable payload-bytes value");
+  }
+  pos = bytes_end + 1;
+
+  check(text.size() - pos >= blob_size,
+        "truncated packed payload (declared " + std::to_string(blob_size) +
+            " bytes)");
+  std::string payload;
+  try {
+    payload = decompress_text(
+        std::string_view(text).substr(pos, blob_size));
+  } catch (const Error& e) {
+    fail(RegistryError::Kind::kBadArtifact,
+         std::string("packed payload rejected: ") + e.what());
+  }
+
+  const std::uint64_t actual = fnv1a64(payload);
+  if (actual != recorded) {
+    fail(RegistryError::Kind::kHashMismatch,
+         "content hash " + hex64(actual) + " != recorded " + hex64(recorded));
+  }
+
+  ModelArtifact artifact = parse_payload(payload);
+  artifact.content_hash = actual;
+  return artifact;
+}
+
+}  // namespace
 
 ModelArtifact load_artifact(std::istream& is) {
   std::ostringstream buffer;
@@ -333,8 +409,10 @@ ModelArtifact load_artifact(std::istream& is) {
     std::string magic, version;
     header >> magic >> version;
     check(magic == kMagic, "not a safenn-artifact file");
-    check(version == kVersionPlain || version == kVersionQuantized,
+    check(version == kVersionPlain || version == kVersionQuantized ||
+              version == kVersionPacked,
           "unsupported artifact format version '" + version + "'");
+    if (version == kVersionPacked) return load_packed(text, header_end);
   }
 
   const std::size_t marker_pos =
@@ -367,13 +445,14 @@ ModelArtifact load_artifact(std::istream& is) {
   return artifact;
 }
 
-void save_artifact_file(const std::string& path, ModelArtifact& artifact) {
-  std::ofstream os(path);
+void save_artifact_file(const std::string& path, ModelArtifact& artifact,
+                        ArtifactEncoding encoding) {
+  std::ofstream os(path, std::ios::binary);
   if (!os.is_open()) {
     throw RegistryError(RegistryError::Kind::kIo,
                         "save_artifact_file: cannot open '" + path + "'");
   }
-  artifact.content_hash = save_artifact(os, artifact);
+  artifact.content_hash = save_artifact(os, artifact, encoding);
   if (!os.good()) {
     throw RegistryError(RegistryError::Kind::kIo,
                         "save_artifact_file: write failure on '" + path + "'");
@@ -381,7 +460,7 @@ void save_artifact_file(const std::string& path, ModelArtifact& artifact) {
 }
 
 ModelArtifact load_artifact_file(const std::string& path) {
-  std::ifstream is(path);
+  std::ifstream is(path, std::ios::binary);
   if (!is.is_open()) {
     throw RegistryError(RegistryError::Kind::kIo,
                         "load_artifact_file: cannot open '" + path + "'");

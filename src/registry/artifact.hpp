@@ -21,6 +21,12 @@
 // about bytes, not about a conversion step at deploy time. Artifacts
 // with a quantized payload use format version v2; plain artifacts keep
 // writing v1 and the loader accepts both.
+// Format v3 wraps the same canonical payload in the safenn-pack codec
+// (common/compress): the file carries the artifact checksum in clear
+// text followed by a length-framed binary blob, and the checksum is
+// still computed over the *uncompressed* canonical payload — so the
+// content address of an artifact is identical across encodings and the
+// quantized inner hash is untouched. The loader accepts all three.
 #pragma once
 
 #include <cstdint>
@@ -95,14 +101,26 @@ ModelArtifact make_artifact(std::string version,
 std::uint64_t attach_quantized(ModelArtifact& artifact, int frac_bits,
                                double input_limit);
 
+/// On-disk encoding of an artifact. The canonical payload — and hence
+/// the content hash — is the same either way; only the container
+/// differs.
+enum class ArtifactEncoding {
+  kPlain,   // v1/v2: canonical text, checksum trailer
+  kPacked,  // v3: safenn-pack blob, checksum (of the plain payload) up
+            // front
+};
+
 /// Writes `artifact` in the "safenn-artifact v1" text format (v2 when a
-/// quantized payload is attached) and returns
-/// the content hash it recorded (also assigned to artifact.content_hash
-/// by the non-const overloads below).
-std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact);
+/// quantized payload is attached, v3 when kPacked is requested) and
+/// returns the content hash it recorded (also assigned to
+/// artifact.content_hash by the non-const overloads below). The hash is
+/// always over the uncompressed canonical payload.
+std::uint64_t save_artifact(std::ostream& os, const ModelArtifact& artifact,
+                            ArtifactEncoding encoding = ArtifactEncoding::kPlain);
 ModelArtifact load_artifact(std::istream& is);
 
-void save_artifact_file(const std::string& path, ModelArtifact& artifact);
+void save_artifact_file(const std::string& path, ModelArtifact& artifact,
+                        ArtifactEncoding encoding = ArtifactEncoding::kPlain);
 ModelArtifact load_artifact_file(const std::string& path);
 
 }  // namespace safenn::registry

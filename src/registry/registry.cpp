@@ -10,6 +10,15 @@ namespace safenn::registry {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec) && !ec;
+}
+
+}  // namespace
+
 ModelRegistry::ModelRegistry(std::string directory)
     : directory_(std::move(directory)) {
   std::error_code ec;
@@ -21,19 +30,30 @@ ModelRegistry::ModelRegistry(std::string directory)
   }
 }
 
+std::string ModelRegistry::path_for(const std::string& version,
+                                    ArtifactEncoding encoding) const {
+  const char* ext =
+      encoding == ArtifactEncoding::kPacked ? kPackedExtension : kExtension;
+  return (fs::path(directory_) / (version + ext)).string();
+}
+
 std::string ModelRegistry::path_for(const std::string& version) const {
-  return (fs::path(directory_) / (version + kExtension)).string();
+  const std::string plain = path_for(version, ArtifactEncoding::kPlain);
+  if (file_exists(plain)) return plain;
+  const std::string packed = path_for(version, ArtifactEncoding::kPacked);
+  if (file_exists(packed)) return packed;
+  return plain;
 }
 
 bool ModelRegistry::contains(const std::string& version) const {
-  std::error_code ec;
-  return fs::exists(path_for(version), ec) && !ec;
+  return file_exists(path_for(version, ArtifactEncoding::kPlain)) ||
+         file_exists(path_for(version, ArtifactEncoding::kPacked));
 }
 
-std::string ModelRegistry::save(ModelArtifact& artifact) {
+std::string ModelRegistry::save(ModelArtifact& artifact,
+                                ArtifactEncoding encoding) {
   require(!artifact.version.empty(),
           "ModelRegistry::save: artifact has no version");
-  const std::string path = path_for(artifact.version);
   if (contains(artifact.version)) {
     throw RegistryError(
         RegistryError::Kind::kDuplicateVersion,
@@ -41,24 +61,36 @@ std::string ModelRegistry::save(ModelArtifact& artifact) {
             "' already published (artifacts are immutable; bump the "
             "version)");
   }
-  save_artifact_file(path, artifact);
+  const std::string path = path_for(artifact.version, encoding);
+  save_artifact_file(path, artifact, encoding);
   log_info("registry: published ", artifact.version, " (hash ",
            artifact.content_hash, ") at ", path);
   return path;
 }
 
 ModelArtifact ModelRegistry::load(const std::string& version) const {
-  if (!contains(version)) {
+  const bool plain = file_exists(path_for(version, ArtifactEncoding::kPlain));
+  const bool packed =
+      file_exists(path_for(version, ArtifactEncoding::kPacked));
+  if (!plain && !packed) {
     throw RegistryError(RegistryError::Kind::kNotFound,
                         "ModelRegistry::load: no artifact for version '" +
                             version + "' in " + directory_);
   }
-  ModelArtifact artifact = load_artifact_file(path_for(version));
-  if (artifact.version != version) {
+  if (plain && packed) {
     throw RegistryError(
-        RegistryError::Kind::kBadArtifact,
-        "ModelRegistry::load: file " + path_for(version) +
-            " declares version '" + artifact.version + "'");
+        RegistryError::Kind::kDuplicateVersion,
+        "ModelRegistry::load: version '" + version +
+            "' published under both encodings (" + kExtension + " and " +
+            kPackedExtension + ") — cannot tell which bytes are canonical");
+  }
+  const std::string path = path_for(
+      version, plain ? ArtifactEncoding::kPlain : ArtifactEncoding::kPacked);
+  ModelArtifact artifact = load_artifact_file(path);
+  if (artifact.version != version) {
+    throw RegistryError(RegistryError::Kind::kBadArtifact,
+                        "ModelRegistry::load: file " + path +
+                            " declares version '" + artifact.version + "'");
   }
   return artifact;
 }
@@ -70,7 +102,9 @@ std::vector<std::string> ModelRegistry::list() const {
        fs::directory_iterator(directory_, ec)) {
     if (!entry.is_regular_file()) continue;
     const fs::path& p = entry.path();
-    if (p.extension() != kExtension) continue;
+    if (p.extension() != kExtension && p.extension() != kPackedExtension) {
+      continue;
+    }
     versions.push_back(p.stem().string());
   }
   if (ec) {
@@ -79,6 +113,8 @@ std::vector<std::string> ModelRegistry::list() const {
                             "': " + ec.message());
   }
   std::sort(versions.begin(), versions.end());
+  versions.erase(std::unique(versions.begin(), versions.end()),
+                 versions.end());
   return versions;
 }
 

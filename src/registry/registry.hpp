@@ -1,12 +1,15 @@
 // Directory-backed model registry.
 //
-// One artifact per file (`<version>.safenn`) in a flat directory. The
-// registry is the only supported path from disk bytes to a servable
-// model: every load re-hashes the payload and anything corrupt,
-// truncated, or version-mismatched is rejected with a typed
-// RegistryError — `load_all` reports rejects instead of returning them,
-// so a sweep over a directory with damaged files yields exactly the
-// artifacts that are safe to serve.
+// One artifact per file (`<version>.safenn` plain, `<version>.safennz`
+// packed) in a flat directory. The registry is the only supported path
+// from disk bytes to a servable model: every load re-hashes the payload
+// and anything corrupt, truncated, or version-mismatched is rejected
+// with a typed RegistryError — `load_all` reports rejects instead of
+// returning them, so a sweep over a directory with damaged files yields
+// exactly the artifacts that are safe to serve. A version is immutable
+// across encodings: publishing it under both extensions is a conflict
+// (which bytes are canonical?), so `load`/`load_all` reject
+// dual-encoded versions as kDuplicateVersion instead of picking one.
 #pragma once
 
 #include <string>
@@ -21,21 +24,25 @@ class ModelRegistry {
   /// Opens (creating if needed) the registry directory.
   explicit ModelRegistry(std::string directory);
 
-  /// Saves the artifact as `<version>.safenn`, assigns its content hash,
-  /// and returns the file path. Refuses to overwrite an existing version
+  /// Saves the artifact as `<version>.safenn` (or `.safennz` when packed),
+  /// assigns its content hash, and returns the file path. Refuses to
+  /// overwrite an existing version under *either* encoding
   /// (kDuplicateVersion): artifacts are immutable once published — a new
   /// model is a new version.
-  std::string save(ModelArtifact& artifact);
+  std::string save(ModelArtifact& artifact,
+                   ArtifactEncoding encoding = ArtifactEncoding::kPlain);
 
-  /// Loads and validates one version. kNotFound when absent; corrupt or
-  /// tampered files raise kHashMismatch/kBadArtifact and are never
-  /// partially returned.
+  /// Loads and validates one version, whichever encoding it was
+  /// published under. kNotFound when absent; kDuplicateVersion when the
+  /// version exists under both encodings; corrupt or tampered files
+  /// raise kHashMismatch/kBadArtifact and are never partially returned.
   ModelArtifact load(const std::string& version) const;
 
   bool contains(const std::string& version) const;
 
-  /// Sorted list of the versions present (by filename; validity is only
-  /// established by load/load_all).
+  /// Sorted, deduplicated list of the versions present under either
+  /// encoding (by filename; validity is only established by
+  /// load/load_all).
   std::vector<std::string> list() const;
 
   /// Result of a full-directory sweep: validated artifacts (sorted by
@@ -45,17 +52,23 @@ class ModelRegistry {
     std::vector<std::string> rejected;
   };
 
-  /// Loads every `.safenn` file, validating each; damaged files land in
-  /// `rejected` with their typed reason and are never returned as
-  /// artifacts.
+  /// Loads every artifact file, validating each; damaged files (and
+  /// versions published under both encodings) land in `rejected` with
+  /// their typed reason and are never returned as artifacts.
   ScanResult load_all() const;
 
   const std::string& directory() const { return directory_; }
 
-  /// The on-disk path a version maps to.
+  /// The on-disk path a version resolves to: the file that exists, or
+  /// the plain path when the version is absent (publish target).
   std::string path_for(const std::string& version) const;
 
+  /// The on-disk path a version maps to under a specific encoding.
+  std::string path_for(const std::string& version,
+                       ArtifactEncoding encoding) const;
+
   static constexpr const char* kExtension = ".safenn";
+  static constexpr const char* kPackedExtension = ".safennz";
 
  private:
   std::string directory_;

@@ -147,6 +147,7 @@ ServeResponse ShieldedEngine::serve(const ServeRequest& request,
                                     Clock::time_point now) const {
   ServeResponse response;
   response.id = request.id;
+  response.model_id = request.model_id;
   response.model_version = version_;
   response.backend = backend_;
   if (now > request.deadline) {
@@ -188,6 +189,7 @@ std::vector<ServeResponse> ShieldedEngine::serve_batch(
   live.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     responses[i].id = requests[i].id;
+    responses[i].model_id = requests[i].model_id;
     responses[i].model_version = version_;
     responses[i].backend = backend_;
     if (now > requests[i].deadline) {

@@ -72,6 +72,13 @@ std::uint64_t VersionCounters::completed() const {
          degraded.load(kRelaxed);
 }
 
+void ModelMetrics::note_queue_depth(std::size_t depth) {
+  std::uint64_t seen = queue_depth_peak.load(kRelaxed);
+  while (depth > seen &&
+         !queue_depth_peak.compare_exchange_weak(seen, depth, kRelaxed)) {
+  }
+}
+
 VersionCounters& MetricsRegistry::version_counters(
     const std::string& version) {
   std::lock_guard<std::mutex> lock(versions_mu_);
@@ -85,6 +92,13 @@ VersionCounters& MetricsRegistry::backend_counters(
   std::lock_guard<std::mutex> lock(backends_mu_);
   std::unique_ptr<VersionCounters>& slot = backends_[backend];
   if (!slot) slot = std::make_unique<VersionCounters>();
+  return *slot;
+}
+
+ModelMetrics& MetricsRegistry::model_metrics(const std::string& model_id) {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  std::unique_ptr<ModelMetrics>& slot = models_[model_id];
+  if (!slot) slot = std::make_unique<ModelMetrics>();
   return *slot;
 }
 
@@ -122,6 +136,7 @@ std::string MetricsRegistry::to_json(double elapsed_seconds) const {
      << "  \"batching\": {"
      << "\"batches\": " << batches.load(kRelaxed)
      << ", \"mean_batch_size\": " << mean_batch_size()
+     << ", \"mixed_batches\": " << mixed_batches.load(kRelaxed)
      << ", \"queue_depth_peak\": " << queue_depth_peak.load(kRelaxed)
      << "},\n"
      << "  \"lifecycle\": {"
@@ -163,6 +178,31 @@ std::string MetricsRegistry::to_json(double elapsed_seconds) const {
     if (!first) os << "\n  ";
   }
   os << "},\n"
+     << "  \"models\": {";
+  {
+    std::lock_guard<std::mutex> lock(models_mu_);
+    bool first = true;
+    for (const auto& [model_id, m] : models_) {
+      os << (first ? "\n" : ",\n") << "    \"" << model_id << "\": {"
+         << "\"served\": " << m->counters.served.load(kRelaxed)
+         << ", \"clamped\": " << m->counters.clamped.load(kRelaxed)
+         << ", \"degraded\": " << m->counters.degraded.load(kRelaxed)
+         << ", \"assumption_hits\": "
+         << m->counters.assumption_hits.load(kRelaxed)
+         << ", \"interventions\": "
+         << m->counters.interventions.load(kRelaxed)
+         << ", \"shed\": " << m->shed.load(kRelaxed)
+         << ", \"batches\": " << m->batches.load(kRelaxed)
+         << ", \"queue_depth_peak\": " << m->queue_depth_peak.load(kRelaxed)
+         << ", \"p50_ms\": " << m->total_latency.percentile_ns(0.50) / 1e6
+         << ", \"p95_ms\": " << m->total_latency.percentile_ns(0.95) / 1e6
+         << ", \"p99_ms\": " << m->total_latency.percentile_ns(0.99) / 1e6
+         << "}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "},\n"
      << "  \"latency\": {\n";
   json_histogram(os, "queue", queue_latency);
   os << ",\n";
@@ -185,7 +225,7 @@ void MetricsRegistry::reset() {
   total_latency.reset();
   for (auto* c : {&submitted, &served, &clamped, &degraded, &rejected,
                   &assumption_hits, &interventions, &batches, &batch_items,
-                  &queue_depth_peak, &shed, &reloads}) {
+                  &mixed_batches, &queue_depth_peak, &shed, &reloads}) {
     c->store(0, kRelaxed);
   }
   // Zero in place: references handed out by version_counters() /
@@ -200,13 +240,25 @@ void MetricsRegistry::reset() {
       }
     }
   }
-  std::lock_guard<std::mutex> lock(backends_mu_);
-  for (auto& [backend, counters] : backends_) {
-    for (auto* c : {&counters->served, &counters->clamped,
-                    &counters->degraded, &counters->assumption_hits,
-                    &counters->interventions}) {
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    for (auto& [backend, counters] : backends_) {
+      for (auto* c : {&counters->served, &counters->clamped,
+                      &counters->degraded, &counters->assumption_hits,
+                      &counters->interventions}) {
+        c->store(0, kRelaxed);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(models_mu_);
+  for (auto& [model_id, m] : models_) {
+    for (auto* c : {&m->counters.served, &m->counters.clamped,
+                    &m->counters.degraded, &m->counters.assumption_hits,
+                    &m->counters.interventions, &m->shed, &m->batches,
+                    &m->queue_depth_peak}) {
       c->store(0, kRelaxed);
     }
+    m->total_latency.reset();
   }
 }
 

@@ -55,6 +55,24 @@ struct VersionCounters {
   std::uint64_t completed() const;
 };
 
+/// Per-model metric slice for multi-model serving: the same outcome /
+/// shield counters as a version slice, plus what routing adds — sheds
+/// charged to requests routed at this model, micro-batches formed from
+/// its queue, its queue-depth high-water mark, and its own end-to-end
+/// latency histogram (p50/p95/p99 per model id in the JSON dump). Same
+/// contracts as VersionCounters: stable addresses for the registry's
+/// lifetime, zeroed in place by reset().
+struct ModelMetrics {
+  VersionCounters counters;
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> queue_depth_peak{0};
+  LatencyHistogram total_latency;
+
+  /// Monotone max update of this model's queue-depth high-water mark.
+  void note_queue_depth(std::size_t depth);
+};
+
 /// All counters a serving run exposes. Every member is individually
 /// thread-safe; the registry is shared by reference between the worker
 /// pool, the submit path, and the reporter.
@@ -76,9 +94,14 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> assumption_hits{0};
   std::atomic<std::uint64_t> interventions{0};
 
-  // Micro-batch formation.
+  // Micro-batch formation. `mixed_batches` counts popped micro-batches
+  // containing requests for more than one model id — the multi-model
+  // purity invariant; it must stay 0 (bench_multimodel_serve exits
+  // nonzero otherwise, because a mixed batch would break per-model
+  // bitwise replay).
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batch_items{0};
+  std::atomic<std::uint64_t> mixed_batches{0};
 
   std::atomic<std::uint64_t> queue_depth_peak{0};
 
@@ -104,6 +127,12 @@ class MetricsRegistry {
   /// arithmetic produced.
   VersionCounters& backend_counters(const std::string& backend);
 
+  /// The per-model metric slice (keyed by routing model id), created on
+  /// first use — same lifetime and locking contract as
+  /// version_counters(). On the single-model path no slice is ever
+  /// created and the JSON "models" section stays empty.
+  ModelMetrics& model_metrics(const std::string& model_id);
+
   /// Requests that received a response through the engine path.
   std::uint64_t completed() const;
 
@@ -121,6 +150,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<VersionCounters>> versions_;
   mutable std::mutex backends_mu_;
   std::map<std::string, std::unique_ptr<VersionCounters>> backends_;
+  mutable std::mutex models_mu_;
+  std::map<std::string, std::unique_ptr<ModelMetrics>> models_;
 };
 
 }  // namespace safenn::serve

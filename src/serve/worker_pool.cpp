@@ -45,6 +45,60 @@ std::shared_ptr<const registry::ModelSnapshot> make_snapshot(
 
 }  // namespace
 
+void account_response(MetricsRegistry& metrics, VersionCounters& version,
+                      VersionCounters& arith, ModelMetrics* model,
+                      const ServeRequest& request, ServeResponse& response,
+                      Clock::time_point dequeue_time) {
+  response.queue_seconds =
+      static_cast<double>(ns_between(request.enqueue_time, dequeue_time)) /
+      1e9;
+  switch (response.outcome) {
+    case ServeOutcome::kServed:
+      metrics.served.fetch_add(1, kRelaxed);
+      version.served.fetch_add(1, kRelaxed);
+      arith.served.fetch_add(1, kRelaxed);
+      if (model != nullptr) model->counters.served.fetch_add(1, kRelaxed);
+      break;
+    case ServeOutcome::kClamped:
+      metrics.clamped.fetch_add(1, kRelaxed);
+      version.clamped.fetch_add(1, kRelaxed);
+      arith.clamped.fetch_add(1, kRelaxed);
+      if (model != nullptr) model->counters.clamped.fetch_add(1, kRelaxed);
+      break;
+    case ServeOutcome::kDegraded:
+      metrics.degraded.fetch_add(1, kRelaxed);
+      version.degraded.fetch_add(1, kRelaxed);
+      arith.degraded.fetch_add(1, kRelaxed);
+      if (model != nullptr) model->counters.degraded.fetch_add(1, kRelaxed);
+      break;
+    case ServeOutcome::kRejected:
+      metrics.rejected.fetch_add(1, kRelaxed);
+      break;
+  }
+  if (response.assumption_hit) {
+    metrics.assumption_hits.fetch_add(1, kRelaxed);
+    version.assumption_hits.fetch_add(1, kRelaxed);
+    arith.assumption_hits.fetch_add(1, kRelaxed);
+    if (model != nullptr) {
+      model->counters.assumption_hits.fetch_add(1, kRelaxed);
+    }
+  }
+  if (response.intervened) {
+    metrics.interventions.fetch_add(1, kRelaxed);
+    version.interventions.fetch_add(1, kRelaxed);
+    arith.interventions.fetch_add(1, kRelaxed);
+    if (model != nullptr) {
+      model->counters.interventions.fetch_add(1, kRelaxed);
+    }
+  }
+  metrics.queue_latency.record(ns_between(request.enqueue_time, dequeue_time));
+  metrics.infer_latency.record(to_ns(response.infer_seconds));
+  const std::uint64_t total_ns =
+      ns_between(request.enqueue_time, Clock::now());
+  metrics.total_latency.record(total_ns);
+  if (model != nullptr) model->total_latency.record(total_ns);
+}
+
 const char* to_string(AdmissionPolicy policy) {
   switch (policy) {
     case AdmissionPolicy::kRejectWhenFull: return "reject-when-full";
@@ -106,44 +160,8 @@ void WorkerPool::worker_loop() {
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ServeRequest& request = batch[i];
       ServeResponse& response = responses[i];
-      response.queue_seconds = static_cast<double>(ns_between(
-                                   request.enqueue_time, dequeue_time)) /
-                               1e9;
-      switch (response.outcome) {
-        case ServeOutcome::kServed:
-          metrics_.served.fetch_add(1, kRelaxed);
-          version.served.fetch_add(1, kRelaxed);
-          arith.served.fetch_add(1, kRelaxed);
-          break;
-        case ServeOutcome::kClamped:
-          metrics_.clamped.fetch_add(1, kRelaxed);
-          version.clamped.fetch_add(1, kRelaxed);
-          arith.clamped.fetch_add(1, kRelaxed);
-          break;
-        case ServeOutcome::kDegraded:
-          metrics_.degraded.fetch_add(1, kRelaxed);
-          version.degraded.fetch_add(1, kRelaxed);
-          arith.degraded.fetch_add(1, kRelaxed);
-          break;
-        case ServeOutcome::kRejected:
-          metrics_.rejected.fetch_add(1, kRelaxed);
-          break;
-      }
-      if (response.assumption_hit) {
-        metrics_.assumption_hits.fetch_add(1, kRelaxed);
-        version.assumption_hits.fetch_add(1, kRelaxed);
-        arith.assumption_hits.fetch_add(1, kRelaxed);
-      }
-      if (response.intervened) {
-        metrics_.interventions.fetch_add(1, kRelaxed);
-        version.interventions.fetch_add(1, kRelaxed);
-        arith.interventions.fetch_add(1, kRelaxed);
-      }
-      metrics_.queue_latency.record(
-          ns_between(request.enqueue_time, dequeue_time));
-      metrics_.infer_latency.record(to_ns(response.infer_seconds));
-      metrics_.total_latency.record(
-          ns_between(request.enqueue_time, Clock::now()));
+      account_response(metrics_, version, arith, /*model=*/nullptr, request,
+                       response, dequeue_time);
       request.promise.set_value(std::move(response));
     }
   }

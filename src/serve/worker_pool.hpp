@@ -35,6 +35,18 @@ struct WorkerPoolConfig {
   std::size_t max_batch = 16;
 };
 
+/// Per-response metrics accounting shared by the single-model WorkerPool
+/// and the model-sharded pool (serve/multi_model.hpp): fills
+/// `response.queue_seconds`, bumps the global outcome/shield counters,
+/// the per-version and per-backend slices, the per-model slice when
+/// `model` is non-null, and the latency histograms. The caller resolves
+/// the slices once per micro-batch (slice lookup takes a mutex) and
+/// still owns fulfilling the request's promise afterwards.
+void account_response(MetricsRegistry& metrics, VersionCounters& version,
+                      VersionCounters& arith, ModelMetrics* model,
+                      const ServeRequest& request, ServeResponse& response,
+                      Clock::time_point dequeue_time);
+
 class WorkerPool {
  public:
   WorkerPool(RequestQueue& queue, const registry::LiveModel& live,

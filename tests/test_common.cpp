@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/compress.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -394,6 +395,56 @@ TEST(Rng, DerivedStreamsIndependentOfDrawInterleaving) {
     EXPECT_EQ(b0.next_u64(), seq0[static_cast<std::size_t>(i)]);
     EXPECT_EQ(b1.next_u64(), seq1[static_cast<std::size_t>(i)]);
   }
+}
+
+// --- safenn-pack codec: the bitwise round-trip is the whole contract. ---
+
+TEST(Compress, RoundTripsCanonicalNumericText) {
+  // The shape registry payloads actually have: setprecision(17) doubles
+  // and small ints, whitespace separated, with a few keyword literals.
+  std::ostringstream os;
+  os.precision(17);
+  Rng rng(21);
+  os << "layer 0 dense 4 3 relu\n";
+  for (int i = 0; i < 200; ++i) {
+    os << rng.uniform(-1, 1) << (i % 5 == 4 ? '\n' : ' ');
+  }
+  os << "\nquantized-weights 128\n";
+  for (int i = 0; i < 128; ++i) {
+    os << static_cast<int>(rng.next_u64() % 255) - 127 << ' ';
+  }
+  os << "\nend\n";
+  const std::string text = os.str();
+
+  const std::string blob = compress_text(text);
+  EXPECT_EQ(decompress_text(blob), text);
+  // Doubles dominate; binary packing must at least halve them.
+  EXPECT_LT(blob.size(), text.size() / 2) << blob.size() << "/" << text.size();
+  // Deterministic: same text, same bytes (content addressing upstream).
+  EXPECT_EQ(compress_text(text), blob);
+}
+
+TEST(Compress, ArbitraryTextRoundTripsViaLiteralRuns) {
+  const std::string cases[] = {
+      "",
+      "no numbers here at all",
+      "almost 1.5e but-not +.e3 nan inf 1e999 007 1.10\n",  // reprint fails
+      std::string("\x00\xff\x7f binary\n\n\n", 12),
+      "-0 0.5 -1e-300 9223372036854775807 -9223372036854775808",
+  };
+  for (const std::string& text : cases) {
+    EXPECT_EQ(decompress_text(compress_text(text)), text) << text;
+  }
+}
+
+TEST(Compress, MalformedBlobsThrowInsteadOfYieldingWrongText) {
+  const std::string blob = compress_text("0.123456789012345678 42 end\n");
+  EXPECT_THROW(decompress_text("not-a-pack-blob"), Error);
+  EXPECT_THROW(decompress_text(blob.substr(0, blob.size() - 3)), Error);
+  // Declared-size mismatch: graft a wrong varint after the magic.
+  std::string resized = blob;
+  resized[kPackMagic.size()] ^= 0x01;
+  EXPECT_THROW(decompress_text(resized), Error);
 }
 
 TEST(Rng, SplitChildrenIndependentOfDrawInterleaving) {

@@ -342,6 +342,105 @@ TEST_F(RegistryFixture, LoadAllQuarantinesDamagedFiles) {
 }
 
 // -------------------------------------------------------------------------
+// Packed (v3) encoding in the directory registry.
+// -------------------------------------------------------------------------
+
+TEST_F(RegistryFixture, PackedArtifactRoundTripsBitwise) {
+  ModelRegistry registry(dir_);
+  ModelArtifact v1 = make_test_artifact("v1");
+  const std::string canonical = artifact_text(v1);
+  const std::string path = registry.save(v1, ArtifactEncoding::kPacked);
+  EXPECT_EQ(path, registry.path_for("v1", ArtifactEncoding::kPacked));
+  EXPECT_EQ(registry.path_for("v1"), path);  // resolves to the packed file
+  EXPECT_TRUE(registry.contains("v1"));
+
+  // The canonical (uncompressed) serialization and the content hash are
+  // encoding-independent: what comes back is bitwise what went in.
+  const ModelArtifact loaded = registry.load("v1");
+  EXPECT_EQ(artifact_text(loaded), canonical);
+  EXPECT_EQ(loaded.content_hash, v1.content_hash);
+  EXPECT_NE(loaded.content_hash, 0u);
+}
+
+TEST_F(RegistryFixture, SaveRefusesRepublishingUnderOtherEncoding) {
+  // Immutability is per VERSION, not per (version, encoding): a packed
+  // re-publication of an existing plain version must be refused.
+  ModelRegistry registry(dir_);
+  ModelArtifact v1 = make_test_artifact("v1");
+  registry.save(v1);
+  ModelArtifact again = make_test_artifact("v1", 99);
+  try {
+    registry.save(again, ArtifactEncoding::kPacked);
+    FAIL() << "cross-encoding duplicate must be refused";
+  } catch (const RegistryError& e) {
+    EXPECT_EQ(e.kind(), RegistryError::Kind::kDuplicateVersion);
+  }
+}
+
+TEST_F(RegistryFixture, LoadAllAcceptsMixedEncodingsAndQuarantinesDamage) {
+  // A realistic mixed directory: plain v1 + packed v2 (healthy), packed
+  // v3 truncated mid-blob, packed v4 with a forged checksum, and v5
+  // present under BOTH encodings. Healthy artifacts load regardless of
+  // encoding; each damaged/ambiguous one is quarantined with its typed
+  // kind, never silently skipped or half-loaded.
+  ModelRegistry registry(dir_);
+  ModelArtifact v1 = make_test_artifact("v1", 11);
+  ModelArtifact v2 = make_test_artifact("v2", 12);
+  ModelArtifact v3 = make_test_artifact("v3", 13);
+  ModelArtifact v4 = make_test_artifact("v4", 14);
+  ModelArtifact v5 = make_test_artifact("v5", 15);
+  registry.save(v1);
+  registry.save(v2, ArtifactEncoding::kPacked);
+  registry.save(v3, ArtifactEncoding::kPacked);
+  registry.save(v4, ArtifactEncoding::kPacked);
+  registry.save(v5);
+  // Forge the dual-encoding state behind the registry's back (save()
+  // itself refuses it — see SaveRefusesRepublishingUnderOtherEncoding).
+  save_artifact_file(registry.path_for("v5", ArtifactEncoding::kPacked), v5,
+                     ArtifactEncoding::kPacked);
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+  };
+  const auto write_file = [](const std::string& path,
+                             const std::string& bytes) {
+    std::ofstream os(path, std::ios::binary);
+    os << bytes;
+  };
+  {  // Truncate v3 mid-blob: malformed pack stream -> kBadArtifact.
+    const std::string path = registry.path_for("v3");
+    const std::string bytes = read_file(path);
+    write_file(path, bytes.substr(0, bytes.size() / 2));
+  }
+  {  // Flip one digit of v4's checksum: the blob decompresses fine but
+     // the declared hash no longer matches -> kHashMismatch.
+    const std::string path = registry.path_for("v4");
+    std::string bytes = read_file(path);
+    const std::size_t pos = bytes.find("artifact-checksum ") + 18;
+    bytes[pos] = bytes[pos] == 'a' ? 'b' : 'a';
+    write_file(path, bytes);
+  }
+
+  EXPECT_EQ(registry.list(),
+            (std::vector<std::string>{"v1", "v2", "v3", "v4", "v5"}));
+  const ModelRegistry::ScanResult scan = registry.load_all();
+  ASSERT_EQ(scan.artifacts.size(), 2u);
+  EXPECT_EQ(scan.artifacts[0].version, "v1");
+  EXPECT_EQ(scan.artifacts[1].version, "v2");
+  EXPECT_EQ(scan.artifacts[1].content_hash, v2.content_hash);
+  ASSERT_EQ(scan.rejected.size(), 3u);
+  EXPECT_NE(scan.rejected[0].find("bad-artifact"), std::string::npos)
+      << scan.rejected[0];
+  EXPECT_NE(scan.rejected[1].find("hash-mismatch"), std::string::npos)
+      << scan.rejected[1];
+  EXPECT_NE(scan.rejected[2].find("duplicate-version"), std::string::npos)
+      << scan.rejected[2];
+}
+
+// -------------------------------------------------------------------------
 // LiveModel: atomic hot-swap slot.
 // -------------------------------------------------------------------------
 

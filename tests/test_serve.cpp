@@ -15,6 +15,7 @@
 #include "linalg/verify_kernels.hpp"
 #include "registry/artifact.hpp"
 #include "serve/metrics.hpp"
+#include "serve/multi_model.hpp"
 #include "serve/worker_pool.hpp"
 
 namespace safenn::serve {
@@ -680,6 +681,167 @@ TEST_F(EngineFixture, RejectWhenFullStaysTheDefaultPolicy) {
                "reject-when-full");
   EXPECT_STREQ(to_string(AdmissionPolicy::kDegradeAtWatermark),
                "degrade-at-watermark");
+}
+
+// -------------------------------------------------------------------------
+// Multi-model serving.
+// -------------------------------------------------------------------------
+
+TEST_F(EngineFixture, MultiModelRoutesTagsAndMatchesPerModelReplay) {
+  const auto scenes = make_scene_set(encoder_, region_, 600, 61);
+  // Distinct intervention profiles, so a routing mistake is visible in
+  // the counters, not just the tags.
+  const registry::ModelArtifact a =
+      make_serve_artifact("alpha-v1", 0.6, region_);
+  const registry::ModelArtifact b =
+      make_serve_artifact("beta-v1", 5.0, region_);
+  MultiModelConfig cfg;
+  cfg.queue_capacity = 32;
+  cfg.pool.workers = 3;  // more workers than a busy queue -> stealing
+  cfg.pool.max_batch = 8;
+  MultiModelServer server({{"alpha", a}, {"beta", b}}, cfg);
+  EXPECT_EQ(server.num_models(), 2u);
+  EXPECT_EQ(server.version("alpha"), "alpha-v1");
+  EXPECT_EQ(server.version("beta"), "beta-v1");
+
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(scenes.size());
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    futures.push_back(
+        server.submit_blocking(i % 2 == 0 ? "alpha" : "beta", scenes[i]));
+  }
+  std::map<std::string, std::vector<std::size_t>> by_model;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResponse r = futures[i].get();
+    ASSERT_NE(r.outcome, ServeOutcome::kRejected) << i;
+    EXPECT_EQ(r.model_id, i % 2 == 0 ? "alpha" : "beta") << i;
+    EXPECT_EQ(r.model_version, i % 2 == 0 ? "alpha-v1" : "beta-v1") << i;
+    by_model[r.model_id].push_back(i);
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().completed(), scenes.size());
+  EXPECT_EQ(server.metrics().mixed_batches.load(), 0u);
+
+  // Per-model slices must equal a sequential replay of exactly the
+  // scenes routed to that model (bitwise shield determinism per model).
+  std::uint64_t sum_interventions = 0;
+  for (const auto& [model_id, indices] : by_model) {
+    const registry::ModelArtifact& artifact = model_id == "alpha" ? a : b;
+    core::SafetyMonitor replay(artifact.monitor.region,
+                               artifact.monitor.lateral_threshold);
+    const core::TrainedPredictor predictor = artifact.predictor();
+    for (const std::size_t i : indices) replay.guard(predictor, scenes[i]);
+    const ModelMetrics& slice = server.metrics().model_metrics(model_id);
+    EXPECT_EQ(slice.counters.interventions.load(),
+              replay.stats().interventions)
+        << model_id;
+    EXPECT_EQ(slice.counters.assumption_hits.load(),
+              replay.stats().assumption_hits)
+        << model_id;
+    EXPECT_EQ(slice.counters.completed(), indices.size()) << model_id;
+    EXPECT_GT(slice.batches.load(), 0u) << model_id;
+    sum_interventions += slice.counters.interventions.load();
+  }
+  EXPECT_EQ(server.metrics().interventions.load(), sum_interventions);
+  EXPECT_GT(sum_interventions, 0u);
+
+  // The dump carries the per-model section.
+  const std::string json = server.metrics().to_json(1.0);
+  for (const char* key :
+       {"\"models\"", "\"alpha\"", "\"beta\"", "\"mixed_batches\": 0"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(EngineFixture, MultiModelUnknownIdRejectsImmediately) {
+  const registry::ModelArtifact a =
+      make_serve_artifact("alpha-v1", 0.6, region_);
+  MultiModelConfig cfg;
+  cfg.pool.workers = 1;
+  MultiModelServer server({{"alpha", a}}, cfg);
+  auto f = server.submit("nope", Vector(highway::kSceneFeatures));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_EQ(f.get().outcome, ServeOutcome::kRejected);
+  auto g = server.submit_blocking("nope", Vector(highway::kSceneFeatures));
+  EXPECT_EQ(g.get().outcome, ServeOutcome::kRejected);
+  EXPECT_EQ(server.metrics().rejected.load(), 2u);
+  EXPECT_THROW(server.reload("nope", a), Error);
+  server.stop();
+}
+
+TEST_F(EngineFixture, MultiModelReloadSwapsOnlyThatSlot) {
+  const registry::ModelArtifact a =
+      make_serve_artifact("alpha-v1", 0.6, region_);
+  const registry::ModelArtifact b1 =
+      make_serve_artifact("beta-v1", 0.6, region_);
+  const registry::ModelArtifact b2 =
+      make_serve_artifact("beta-v2", 5.0, region_);
+  MultiModelConfig cfg;
+  cfg.pool.workers = 2;
+  MultiModelServer server({{"alpha", a}, {"beta", b1}}, cfg);
+  server.reload("beta", b2);
+  EXPECT_EQ(server.version("beta"), "beta-v2");
+  EXPECT_EQ(server.version("alpha"), "alpha-v1");  // untouched
+  EXPECT_EQ(server.metrics().reloads.load(), 1u);
+
+  const auto scenes = make_scene_set(encoder_, region_, 16, 71);
+  std::vector<std::future<ServeResponse>> futures;
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    futures.push_back(
+        server.submit_blocking(i % 2 == 0 ? "alpha" : "beta", scenes[i]));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResponse r = futures[i].get();
+    EXPECT_EQ(r.model_version, i % 2 == 0 ? "alpha-v1" : "beta-v2") << i;
+  }
+  server.stop();
+}
+
+TEST_F(EngineFixture, MultiModelShedIsFleetLevelAtWatermark) {
+  const registry::ModelArtifact a =
+      make_serve_artifact("alpha-v1", 0.6, region_);
+  const registry::ModelArtifact b =
+      make_serve_artifact("beta-v1", 0.6, region_);
+  MultiModelConfig cfg;
+  cfg.queue_capacity = 64;
+  cfg.admission_budget = 8;
+  cfg.pool.workers = 1;
+  cfg.pool.max_batch = 4;
+  cfg.admission = AdmissionPolicy::kDegradeAtWatermark;
+  cfg.queue_watermark = 0.25;  // shed at FLEET depth 2 of budget 8
+  MultiModelServer server({{"alpha", a}, {"beta", b}}, cfg);
+  const auto scenes = make_scene_set(encoder_, region_, 64, 33);
+
+  // Burst both models from one producer until the fleet watermark trips;
+  // the shed decision reads the GLOBAL depth, so backlog on one model
+  // sheds traffic for the other too.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int burst = 0; burst < 200 && server.metrics().shed.load() == 0;
+       ++burst) {
+    for (std::size_t i = 0; i < scenes.size(); ++i) {
+      futures.push_back(
+          server.submit(i % 2 == 0 ? "alpha" : "beta", scenes[i]));
+    }
+  }
+  server.stop();
+
+  std::size_t degraded = 0;
+  for (auto& f : futures) {
+    const ServeResponse r = f.get();
+    ASSERT_NE(r.outcome, ServeOutcome::kRejected);
+    EXPECT_FALSE(r.model_id.empty());
+    EXPECT_EQ(r.model_version,
+              r.model_id == "alpha" ? "alpha-v1" : "beta-v1");
+    if (r.outcome == ServeOutcome::kDegraded) ++degraded;
+  }
+  EXPECT_GT(server.metrics().shed.load(), 0u);
+  EXPECT_EQ(server.metrics().shed.load(), degraded);
+  // The global shed is exactly the sum of the per-model shed slices.
+  const std::uint64_t model_shed =
+      server.metrics().model_metrics("alpha").shed.load() +
+      server.metrics().model_metrics("beta").shed.load();
+  EXPECT_EQ(server.metrics().shed.load(), model_shed);
+  EXPECT_EQ(server.metrics().completed(), futures.size());
 }
 
 // -------------------------------------------------------------------------
